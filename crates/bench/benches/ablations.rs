@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what the
+//! occlusion ray-caster, the interference assessment, the Q-algorithm
+//! setting, and the fading coherence granularity cost at runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_experiments::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig};
+use rfid_experiments::Calibration;
+use rfid_gen2::{Epc96, InventoryEngine, PerfectChannel, QAlgorithm, Session, TagFsm};
+use rfid_sim::run_scenario;
+use std::hint::black_box;
+
+/// Full pass with the real geometry (24 solids to ray-cast) vs. the same
+/// pass with all objects stripped (occlusion ablated) — the cost of the
+/// occlusion subsystem.
+fn bench_occlusion_ablation(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let (full, _) = object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::Front));
+    let mut no_objects = full.clone();
+    // Strip the solids but keep the tags riding invisible paths:
+    // re-anchor each tag to a free path identical to its host's motion.
+    let motions: Vec<_> = no_objects
+        .world
+        .objects
+        .iter()
+        .map(|o| o.motion.clone())
+        .collect();
+    for tag in &mut no_objects.world.tags {
+        if let rfid_sim::Attachment::Object { object, local } = tag.attachment.clone() {
+            let pose0 = motions[object].pose_at(0.0) * local;
+            let end = motions[object].pose_at(1e9).translation()
+                - motions[object].pose_at(0.0).translation();
+            tag.attachment = rfid_sim::Attachment::Free(rfid_sim::Motion::linear(
+                pose0,
+                end * (1.0 / full.duration_s),
+                0.0,
+                full.duration_s,
+            ));
+        }
+    }
+    no_objects.world.objects.clear();
+
+    let mut group = c.benchmark_group("ablation_occlusion");
+    group.bench_function("with_geometry", |b| {
+        b.iter(|| black_box(run_scenario(&full, black_box(3))))
+    });
+    group.bench_function("no_geometry", |b| {
+        b.iter(|| black_box(run_scenario(&no_objects, black_box(3))))
+    });
+    group.finish();
+}
+
+/// One reader vs. two readers: the interference assessment runs per
+/// channel query for every foreign reader.
+fn bench_interference_ablation(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let single = object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::Front)).0;
+    let double = object_pass_scenario(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 1,
+            readers: 2,
+            dense_mode: true,
+        },
+    )
+    .0;
+    let mut group = c.benchmark_group("ablation_interference");
+    group.bench_function("one_reader", |b| {
+        b.iter(|| black_box(run_scenario(&single, black_box(5))))
+    });
+    group.bench_function("two_dense_readers", |b| {
+        b.iter(|| black_box(run_scenario(&double, black_box(5))))
+    });
+    group.finish();
+}
+
+/// Q0 selection: a mis-sized initial Q costs collisions (low Q0) or empty
+/// slots (high Q0); the bench shows the round-time effect the Q algorithm
+/// must claw back.
+fn bench_q0_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_q0");
+    for q0 in [0u8, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(q0), &q0, |b, &q0| {
+            b.iter(|| {
+                let mut tags: Vec<TagFsm> =
+                    (0..20).map(|i| TagFsm::new(Epc96::from_u128(i))).collect();
+                let mut engine = InventoryEngine {
+                    q_algo: QAlgorithm {
+                        q0,
+                        ..QAlgorithm::default()
+                    },
+                    ..InventoryEngine::default()
+                };
+                black_box(engine.run_round(
+                    &mut tags,
+                    &mut PerfectChannel,
+                    Session::S1,
+                    0.0,
+                    black_box(11),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fading coherence granularity: shorter coherence means more independent
+/// fades per pass to evaluate; the reliability physics change, and so
+/// does the runtime (same query count, different cache behavior).
+fn bench_coherence_ablation(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let mut group = c.benchmark_group("ablation_coherence");
+    for coherence_ms in [40u64, 160, 640] {
+        let mut tuned = cal.clone();
+        tuned.coherence_s = coherence_ms as f64 / 1000.0;
+        let (scenario, _) = object_pass_scenario(&tuned, &ObjectPassConfig::single(BoxFace::Front));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(coherence_ms),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(run_scenario(scenario, black_box(9)))),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets =
+        bench_occlusion_ablation,
+        bench_interference_ablation,
+        bench_q0_ablation,
+        bench_coherence_ablation,
+}
+criterion_main!(ablations);

@@ -1,0 +1,74 @@
+//! One bench per paper *figure*: Figure 2 (read range), Figure 4
+//! (spacing x orientation), Figure 5 (object redundancy bars — shared
+//! with Table 3), Figures 6/7 (human redundancy bars — derived from
+//! Tables 2/4/5), and the spacing-advice derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_experiments::experiments::{
+    fig2, fig4, figs67, readrate, spacing_advice, table2, table45,
+};
+use rfid_experiments::Calibration;
+use std::hint::black_box;
+
+fn bench_fig2_read_range(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("fig2_read_range", |b| {
+        b.iter(|| black_box(fig2::run(&cal, 4, black_box(1))))
+    });
+}
+
+fn bench_fig4_spacing_orientation(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("fig4_spacing_orientation", |b| {
+        b.iter(|| black_box(fig4::run(&cal, 1, black_box(1))))
+    });
+}
+
+fn bench_figs67_derivation(c: &mut Criterion) {
+    // The figures are derived views; bench the derivation itself on
+    // precomputed table data.
+    let cal = Calibration::default();
+    let t2 = table2::run(&cal, 2, 1);
+    let t45 = table45::run(&cal, 1, 1);
+    c.bench_function("figs67_bar_derivation", |b| {
+        b.iter(|| {
+            let f6 = figs67::figure6_bars(black_box(&t2), black_box(&t45));
+            let f7 = figs67::figure7_bars(black_box(&t45));
+            black_box((f6, f7))
+        })
+    });
+}
+
+fn bench_spacing_advice(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let fig4_data = fig4::run(&cal, 2, 3);
+    c.bench_function("spacing_advice_derivation", |b| {
+        b.iter(|| black_box(spacing_advice::from_fig4(black_box(fig4_data.clone()))))
+    });
+}
+
+fn bench_readrate_sweep(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("section4_readrate_sweep", |b| {
+        b.iter(|| black_box(readrate::run(&cal, 1, black_box(1))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets =
+        bench_fig2_read_range,
+        bench_fig4_spacing_orientation,
+        bench_figs67_derivation,
+        bench_spacing_advice,
+        bench_readrate_sweep,
+}
+criterion_main!(figures);

@@ -1,0 +1,63 @@
+//! One bench per paper *table*: times the regeneration of each table's
+//! data at reduced trial counts (the `repro` binary prints the full
+//! rows; these benches keep regeneration cost visible and regressions
+//! honest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_experiments::experiments::{readers, table1, table2, table3, table45};
+use rfid_experiments::Calibration;
+use std::hint::black_box;
+
+fn bench_table1_object_locations(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("table1_object_locations", |b| {
+        b.iter(|| black_box(table1::run(&cal, 2, black_box(1))))
+    });
+}
+
+fn bench_table2_human_locations(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("table2_human_locations", |b| {
+        b.iter(|| black_box(table2::run(&cal, 2, black_box(1))))
+    });
+}
+
+fn bench_table3_object_redundancy(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("table3_object_redundancy", |b| {
+        b.iter(|| black_box(table3::run(&cal, 1, black_box(1))))
+    });
+}
+
+fn bench_table45_human_redundancy(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("table45_human_redundancy", |b| {
+        b.iter(|| black_box(table45::run(&cal, 1, black_box(1))))
+    });
+}
+
+fn bench_reader_redundancy(c: &mut Criterion) {
+    let cal = Calibration::default();
+    c.bench_function("section4_reader_redundancy", |b| {
+        b.iter(|| black_box(readers::run(&cal, 1, black_box(1))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = tables;
+    config = config();
+    targets =
+        bench_table1_object_locations,
+        bench_table2_human_locations,
+        bench_table3_object_redundancy,
+        bench_table45_human_redundancy,
+        bench_reader_redundancy,
+}
+criterion_main!(tables);

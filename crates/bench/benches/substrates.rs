@@ -1,0 +1,148 @@
+//! Microbenchmarks of the substrate hot paths: the operations a portal
+//! simulation executes thousands of times per pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rfid_core::{combined_reliability, Probability};
+use rfid_gen2::{Epc96, InventoryEngine, PerfectChannel, Session, TagFsm};
+use rfid_geom::{Pose, Ray, Rotation, Shape, Solid, Vec3};
+use rfid_phys::{
+    coupling_loss, CouplingParams, Db, FadingProcess, LinkBudget, ReaderAntenna, TagAntenna,
+    TagChip, TagCoupling,
+};
+use std::hint::black_box;
+
+fn bench_link_budget(c: &mut Criterion) {
+    let budget = LinkBudget::new(915.0e6);
+    let reader = ReaderAntenna::portal_default(Pose::IDENTITY);
+    let tag = TagAntenna {
+        pose: Pose::new(
+            Vec3::new(0.3, 1.4, 0.9),
+            Rotation::from_yaw_pitch_roll(0.4, 0.1, -0.2),
+        ),
+        chip: TagChip::default(),
+    };
+    c.bench_function("phys_link_budget_evaluate", |b| {
+        b.iter(|| black_box(budget.evaluate(&reader, black_box(&tag), &[], Db::new(3.0))))
+    });
+}
+
+fn bench_ray_casting(c: &mut Criterion) {
+    let solids: Vec<Solid> = (0..24)
+        .map(|i| {
+            Solid::new(
+                Shape::aabb(Vec3::new(0.175, 0.175, 0.175)),
+                Pose::from_translation(Vec3::new(
+                    (i % 3) as f64 * 0.4 - 0.4,
+                    1.2 + (i / 12) as f64 * 0.36,
+                    0.7 + ((i / 3) % 2) as f64 * 0.36,
+                )),
+            )
+        })
+        .collect();
+    let ray =
+        Ray::between(Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.2, 1.5, 0.9)).expect("distinct points");
+    c.bench_function("geom_occlusion_24_solids", |b| {
+        b.iter(|| {
+            let total: f64 = solids.iter().map(|s| s.chord(black_box(&ray), 2.0)).sum();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_inventory_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen2_inventory_round");
+    for population in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(population),
+            &population,
+            |b, &n| {
+                b.iter(|| {
+                    let mut tags: Vec<TagFsm> = (0..n)
+                        .map(|i| TagFsm::new(Epc96::from_u128(i as u128)))
+                        .collect();
+                    let mut engine = InventoryEngine::default();
+                    black_box(engine.run_round(
+                        &mut tags,
+                        &mut PerfectChannel,
+                        Session::S1,
+                        0.0,
+                        black_box(7),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coupling(c: &mut Criterion) {
+    let params = CouplingParams::default();
+    let tags: Vec<TagCoupling> = (0..10)
+        .map(|i| TagCoupling {
+            position: Vec3::new(0.01 * i as f64, 0.0, 0.0),
+            axis: Vec3::X,
+        })
+        .collect();
+    c.bench_function("phys_coupling_10_neighbors", |b| {
+        b.iter(|| black_box(coupling_loss(&tags[0], black_box(&tags[1..]), 0.0, &params)))
+    });
+}
+
+fn bench_fading_lookup(c: &mut Criterion) {
+    let fading = FadingProcess::new(7.0, 0.16, 99);
+    c.bench_function("phys_fading_value_at", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.013;
+            black_box(fading.value_at(black_box(t)))
+        })
+    });
+}
+
+fn bench_analytical_model(c: &mut Criterion) {
+    let ps: Vec<Probability> = (0..8)
+        .map(|i| Probability::clamped(0.3 + 0.08 * i as f64))
+        .collect();
+    c.bench_function("core_combined_reliability_8", |b| {
+        b.iter(|| black_box(combined_reliability(black_box(ps.clone()))))
+    });
+}
+
+fn bench_rng_stream(c: &mut Criterion) {
+    let stream = rfid_sim::RngStream::new(42);
+    c.bench_function("sim_rng_normal", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(stream.normal(&[0x5AD0, k], 2.5))
+        })
+    });
+    // Reference: a plain SmallRng draw, for context.
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("reference_smallrng_f64", |b| {
+        b.iter(|| black_box(rand::Rng::gen::<f64>(&mut rng)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = substrates;
+    config = config();
+    targets =
+        bench_link_budget,
+        bench_ray_casting,
+        bench_inventory_round,
+        bench_coupling,
+        bench_fading_lookup,
+        bench_analytical_model,
+        bench_rng_stream,
+}
+criterion_main!(substrates);

@@ -1,0 +1,9 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `paper_tables` — regeneration cost of each paper table.
+//! * `paper_figures` — regeneration cost of each paper figure.
+//! * `substrates` — microbenchmarks of the hot substrate paths (link
+//!   budget, inventory rounds, ray casting, coupling).
+//! * `ablations` — cost/effect of the design choices DESIGN.md calls out
+//!   (occlusion ray-casting, interference assessment, Q-algorithm
+//!   settings, fading granularity).

@@ -1,0 +1,331 @@
+//! Correlated read opportunities.
+//!
+//! The paper's Table 3 shows the independence model `R_C` over-predicting
+//! antenna redundancy (measured 86% vs. calculated 96%): a tag's dominant
+//! failure causes — orientation, mounting, blockage, slow shadowing —
+//! persist across both antennas of a portal, so the two opportunities
+//! share a *common failure cause*. This module provides the simplest
+//! model with that structure and an estimator for it:
+//!
+//! * with probability `c`, a common-cause state defeats *every*
+//!   opportunity in the group (the badly-mounted tag, the fully-blocked
+//!   pass);
+//! * otherwise each opportunity succeeds independently with its residual
+//!   probability `q_i`, chosen so the marginals still equal the measured
+//!   single-opportunity reliabilities `p_i = (1 - c) q_i`.
+
+use crate::{combined_reliability, Probability};
+use rfid_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// The common-cause correlation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CommonCauseModel {
+    /// Probability of the shared failure state, in `[0, 1)`.
+    pub common_failure: Probability,
+}
+
+impl CommonCauseModel {
+    /// An uncorrelated model (reduces to the paper's `R_C`).
+    #[must_use]
+    pub fn independent() -> Self {
+        Self {
+            common_failure: Probability::ZERO,
+        }
+    }
+
+    /// Group reliability for opportunities with *marginal* reliabilities
+    /// `p_i`.
+    ///
+    /// Each `p_i` is what a single-opportunity experiment measures; the
+    /// model decomposes it into the common-cause survival `(1 - c)` and a
+    /// residual independent success `q_i = p_i / (1 - c)`. A marginal
+    /// exceeding `1 - c` is impossible under the model; it is clamped to
+    /// a certain residual (`q_i = 1`), the closest representable point.
+    #[must_use]
+    pub fn reliability<I>(&self, marginals: I) -> Probability
+    where
+        I: IntoIterator<Item = Probability>,
+    {
+        let c = self.common_failure.value();
+        if c >= 1.0 {
+            return Probability::ZERO;
+        }
+        let residuals = marginals
+            .into_iter()
+            .map(|p| Probability::clamped(p.value() / (1.0 - c)));
+        let independent_part = combined_reliability(residuals);
+        Probability::clamped((1.0 - c) * independent_part.value())
+    }
+
+    /// The model's prediction for `n` identical opportunities at marginal
+    /// `p` — the portal-with-`n`-antennas case.
+    #[must_use]
+    pub fn reliability_n(&self, p: Probability, n: usize) -> Probability {
+        self.reliability(std::iter::repeat_n(p, n))
+    }
+}
+
+/// Joint outcomes of two like opportunities observed over repeated trials
+/// (the 2x2 contingency table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct JointOutcomes {
+    /// Both opportunities succeeded.
+    pub both: u64,
+    /// Only the first succeeded.
+    pub first_only: u64,
+    /// Only the second succeeded.
+    pub second_only: u64,
+    /// Both failed.
+    pub neither: u64,
+}
+
+impl JointOutcomes {
+    /// Records one paired trial.
+    pub fn record(&mut self, first: bool, second: bool) {
+        match (first, second) {
+            (true, true) => self.both += 1,
+            (true, false) => self.first_only += 1,
+            (false, true) => self.second_only += 1,
+            (false, false) => self.neither += 1,
+        }
+    }
+
+    /// Total trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.both + self.first_only + self.second_only + self.neither
+    }
+
+    /// Pooled marginal success probability (the two opportunities are
+    /// treated as exchangeable, like a portal's two antennas).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ZeroTrials`] with no trials.
+    pub fn marginal(&self) -> Result<Probability, StatsError> {
+        let trials = self.trials();
+        if trials == 0 {
+            return Err(StatsError::ZeroTrials);
+        }
+        let successes = 2 * self.both + self.first_only + self.second_only;
+        Ok(Probability::clamped(successes as f64 / (2 * trials) as f64))
+    }
+
+    /// The phi (Pearson) correlation coefficient of the 2x2 table, in
+    /// `[-1, 1]`; zero for independent opportunities.
+    ///
+    /// Returns `None` when a margin is degenerate (all successes or all
+    /// failures on either side).
+    #[must_use]
+    pub fn phi(&self) -> Option<f64> {
+        let (a, b, c, d) = (
+            self.both as f64,
+            self.first_only as f64,
+            self.second_only as f64,
+            self.neither as f64,
+        );
+        let denom = ((a + b) * (c + d) * (a + c) * (b + d)).sqrt();
+        if denom == 0.0 {
+            return None;
+        }
+        Some((a * d - b * c) / denom)
+    }
+
+    /// Fits the common-cause probability `c` by matching the observed
+    /// both-fail frequency: under the model,
+    /// `P(both fail) = c + (1 - c) (1 - q)^2` with `q = p / (1 - c)`.
+    ///
+    /// Returns `None` when no trials were recorded or when the observed
+    /// table is *less* correlated than independence (fitted `c` would be
+    /// negative — the model cannot represent negative correlation).
+    #[must_use]
+    pub fn fit_common_cause(&self) -> Option<CommonCauseModel> {
+        let trials = self.trials();
+        if trials == 0 {
+            return None;
+        }
+        let p = self.marginal().ok()?.value();
+        let observed_both_fail = self.neither as f64 / trials as f64;
+        let independent_both_fail = (1.0 - p) * (1.0 - p);
+        // Tolerance absorbs floating-point wobble at exact independence.
+        if observed_both_fail <= independent_both_fail + 1e-9 {
+            return None;
+        }
+        // Monotone in c on [0, 1 - p]: bisect.
+        let both_fail = |c: f64| -> f64 {
+            let q = (p / (1.0 - c)).min(1.0);
+            c + (1.0 - c) * (1.0 - q) * (1.0 - q)
+        };
+        let (mut lo, mut hi) = (0.0f64, (1.0 - p).max(0.0));
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if both_fail(mid) < observed_both_fail {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(CommonCauseModel {
+            common_failure: Probability::clamped((lo + hi) / 2.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn zero_common_cause_reduces_to_r_c() {
+        let model = CommonCauseModel::independent();
+        let marginals = [p(0.87), p(0.83)];
+        let expected = combined_reliability(marginals);
+        assert!((model.reliability(marginals).value() - expected.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_common_cause_caps_at_the_marginal() {
+        // If every failure is common-cause (c = 1 - p, q = 1), redundancy
+        // buys nothing: n opportunities are exactly as good as one.
+        let marginal = p(0.8);
+        let model = CommonCauseModel {
+            common_failure: p(0.2),
+        };
+        for n in 1..=4 {
+            let r = model.reliability_n(marginal, n).value();
+            assert!((r - 0.8).abs() < 1e-12, "n = {n}: {r}");
+        }
+    }
+
+    #[test]
+    fn paper_table3_gap_is_representable() {
+        // Paper: single antenna 80%, two antennas measured 86%, R_C 96%.
+        // A common-cause share of ~14% reproduces the measured value.
+        let model = CommonCauseModel {
+            common_failure: p(0.14),
+        };
+        let two = model.reliability_n(p(0.80), 2).value();
+        assert!((two - 0.86).abs() < 0.015, "two antennas: {two}");
+    }
+
+    #[test]
+    fn joint_outcomes_record_and_marginal() {
+        let mut joint = JointOutcomes::default();
+        joint.record(true, true);
+        joint.record(true, false);
+        joint.record(false, true);
+        joint.record(false, false);
+        assert_eq!(joint.trials(), 4);
+        assert!((joint.marginal().unwrap().value() - 0.5).abs() < 1e-12);
+        assert_eq!(joint.phi(), Some(0.0), "this table is exactly independent");
+    }
+
+    #[test]
+    fn empty_table_has_no_marginal_or_fit() {
+        let joint = JointOutcomes::default();
+        assert!(joint.marginal().is_err());
+        assert!(joint.fit_common_cause().is_none());
+        assert!(joint.phi().is_none());
+    }
+
+    #[test]
+    fn fit_recovers_a_known_common_cause() {
+        // Simulate the model exactly: c = 0.2, q = 0.9 -> p = 0.72.
+        // P(both ok) = 0.8 * 0.81, P(one) = 0.8 * 2*0.9*0.1,
+        // P(neither) = 0.2 + 0.8 * 0.01.
+        let n = 100_000u64;
+        let joint = JointOutcomes {
+            both: (0.8 * 0.81 * n as f64) as u64,
+            first_only: (0.8 * 0.09 * n as f64) as u64,
+            second_only: (0.8 * 0.09 * n as f64) as u64,
+            neither: (0.208 * n as f64) as u64,
+        };
+        let fitted = joint.fit_common_cause().expect("correlated table");
+        assert!(
+            (fitted.common_failure.value() - 0.2).abs() < 0.01,
+            "fitted c = {}",
+            fitted.common_failure
+        );
+    }
+
+    #[test]
+    fn independent_tables_fit_no_common_cause() {
+        // p = 0.8 independent: both 0.64, each-only 0.16, neither 0.04.
+        let joint = JointOutcomes {
+            both: 640,
+            first_only: 160,
+            second_only: 160,
+            neither: 40,
+        };
+        assert!(joint.fit_common_cause().is_none());
+    }
+
+    #[test]
+    fn positively_correlated_tables_have_positive_phi() {
+        let joint = JointOutcomes {
+            both: 700,
+            first_only: 50,
+            second_only: 50,
+            neither: 200,
+        };
+        assert!(joint.phi().unwrap() > 0.3);
+        let model = joint.fit_common_cause().expect("correlated");
+        assert!(model.common_failure.value() > 0.05);
+    }
+
+    proptest! {
+        #[test]
+        fn correlated_reliability_never_exceeds_independent(
+            pv in 0.05f64..0.95,
+            c in 0.0f64..0.5,
+            n in 1usize..5,
+        ) {
+            prop_assume!(c < 1.0 - pv);
+            let model = CommonCauseModel { common_failure: Probability::clamped(c) };
+            let correlated = model.reliability_n(p(pv), n).value();
+            let independent = CommonCauseModel::independent()
+                .reliability_n(p(pv), n)
+                .value();
+            prop_assert!(correlated <= independent + 1e-12);
+            // Marginal is preserved for n = 1.
+            let single = model.reliability_n(p(pv), 1).value();
+            prop_assert!((single - pv).abs() < 1e-9);
+        }
+
+        #[test]
+        fn reliability_is_monotone_in_n(pv in 0.05f64..0.95, c in 0.0f64..0.4) {
+            prop_assume!(c < 1.0 - pv);
+            let model = CommonCauseModel { common_failure: Probability::clamped(c) };
+            let mut last = 0.0;
+            for n in 1..=5 {
+                let r = model.reliability_n(p(pv), n).value();
+                prop_assert!(r >= last - 1e-12);
+                last = r;
+            }
+            // And bounded by the common-cause ceiling.
+            prop_assert!(last <= 1.0 - c + 1e-12);
+        }
+
+        #[test]
+        fn fit_round_trips_on_exact_tables(pv in 0.2f64..0.8, c in 0.02f64..0.3) {
+            prop_assume!(c < 1.0 - pv - 0.05);
+            let q = pv / (1.0 - c);
+            let n = 1_000_000f64;
+            let joint = JointOutcomes {
+                both: ((1.0 - c) * q * q * n) as u64,
+                first_only: ((1.0 - c) * q * (1.0 - q) * n) as u64,
+                second_only: ((1.0 - c) * q * (1.0 - q) * n) as u64,
+                neither: ((c + (1.0 - c) * (1.0 - q) * (1.0 - q)) * n) as u64,
+            };
+            if let Some(fitted) = joint.fit_common_cause() {
+                prop_assert!((fitted.common_failure.value() - c).abs() < 0.02);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tag-placement analysis.
+//!
+//! The paper's Table 1 shows a 3x spread between the best (front, 87%) and
+//! worst (top, 29%) tag locations on the same object, and concludes that
+//! "determining and avoiding the worst case locations can greatly improve
+//! average reliability". This module turns a set of per-location
+//! measurements into that guidance.
+
+use crate::{combined_reliability, Probability, ReliabilityEstimate};
+use serde::{Deserialize, Serialize};
+
+/// Ranks measured tag placements and recommends which to use and avoid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlacementAdvisor {
+    placements: Vec<(String, ReliabilityEstimate)>,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Placements ordered best to worst.
+    pub ranked: Vec<(String, Probability)>,
+    /// Mean reliability across all placements (random placement).
+    pub average_all: Probability,
+    /// Mean reliability after dropping the worst placement.
+    pub average_avoiding_worst: Probability,
+    /// The single best placement.
+    pub best: String,
+    /// The placement to avoid.
+    pub worst: String,
+    /// Recommended pair for two-tag redundancy (the two best placements)
+    /// and its predicted combined reliability.
+    pub recommended_pair: (String, String, Probability),
+}
+
+impl PlacementAdvisor {
+    /// Creates an empty advisor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a measured placement.
+    pub fn add(&mut self, label: impl Into<String>, estimate: ReliabilityEstimate) -> &mut Self {
+        self.placements.push((label.into(), estimate));
+        self
+    }
+
+    /// Number of recorded placements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no placements have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Produces the ranking and recommendations.
+    ///
+    /// Returns `None` with fewer than two placements (there is nothing to
+    /// rank or avoid).
+    #[must_use]
+    pub fn report(&self) -> Option<PlacementReport> {
+        if self.placements.len() < 2 {
+            return None;
+        }
+        let mut ranked: Vec<(String, Probability)> = self
+            .placements
+            .iter()
+            .map(|(label, est)| (label.clone(), est.point()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are finite"));
+
+        let n = ranked.len() as f64;
+        let average_all =
+            Probability::clamped(ranked.iter().map(|(_, p)| p.value()).sum::<f64>() / n);
+        let average_avoiding_worst = Probability::clamped(
+            ranked[..ranked.len() - 1]
+                .iter()
+                .map(|(_, p)| p.value())
+                .sum::<f64>()
+                / (n - 1.0),
+        );
+
+        let pair_rc = combined_reliability([ranked[0].1, ranked[1].1]);
+        Some(PlacementReport {
+            best: ranked[0].0.clone(),
+            worst: ranked[ranked.len() - 1].0.clone(),
+            recommended_pair: (ranked[0].0.clone(), ranked[1].0.clone(), pair_rc),
+            average_all,
+            average_avoiding_worst,
+            ranked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_advisor() -> PlacementAdvisor {
+        // Paper Table 1 (12 passes each; counts scaled to match the
+        // reported percentages).
+        let mut advisor = PlacementAdvisor::new();
+        advisor
+            .add("front", ReliabilityEstimate::from_counts(87, 100).unwrap())
+            .add(
+                "side (closer)",
+                ReliabilityEstimate::from_counts(83, 100).unwrap(),
+            )
+            .add(
+                "side (farther)",
+                ReliabilityEstimate::from_counts(63, 100).unwrap(),
+            )
+            .add("top", ReliabilityEstimate::from_counts(29, 100).unwrap());
+        advisor
+    }
+
+    #[test]
+    fn ranks_match_the_paper() {
+        let report = table1_advisor().report().expect("enough placements");
+        assert_eq!(report.best, "front");
+        assert_eq!(report.worst, "top");
+        assert_eq!(
+            report
+                .ranked
+                .iter()
+                .map(|(l, _)| l.as_str())
+                .collect::<Vec<_>>(),
+            vec!["front", "side (closer)", "side (farther)", "top"]
+        );
+    }
+
+    #[test]
+    fn avoiding_the_worst_location_helps_substantially() {
+        let report = table1_advisor().report().unwrap();
+        // Average of all four locations: (87+83+63+29)/4 = 65.5%.
+        assert!((report.average_all.value() - 0.655).abs() < 1e-9);
+        // Dropping "top": (87+83+63)/3 = 77.7% — the paper's headline
+        // improvement from avoiding worst-case locations.
+        assert!((report.average_avoiding_worst.value() - 0.77666).abs() < 1e-4);
+        assert!(report.average_avoiding_worst > report.average_all);
+    }
+
+    #[test]
+    fn recommended_pair_is_front_plus_closer_side() {
+        let report = table1_advisor().report().unwrap();
+        let (a, b, rc) = report.recommended_pair;
+        assert_eq!((a.as_str(), b.as_str()), ("front", "side (closer)"));
+        assert!((rc.value() - 0.9779).abs() < 1e-4);
+    }
+
+    #[test]
+    fn too_few_placements_yield_no_report() {
+        let mut advisor = PlacementAdvisor::new();
+        assert!(advisor.report().is_none());
+        advisor.add("front", ReliabilityEstimate::from_counts(9, 10).unwrap());
+        assert!(advisor.report().is_none());
+        assert_eq!(advisor.len(), 1);
+        assert!(!advisor.is_empty());
+    }
+
+    #[test]
+    fn ties_are_handled_stably() {
+        let mut advisor = PlacementAdvisor::new();
+        advisor
+            .add("a", ReliabilityEstimate::from_counts(5, 10).unwrap())
+            .add("b", ReliabilityEstimate::from_counts(5, 10).unwrap());
+        let report = advisor.report().unwrap();
+        assert_eq!(report.average_all.value(), 0.5);
+        assert_eq!(report.average_avoiding_worst.value(), 0.5);
+    }
+}

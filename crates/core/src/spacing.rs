@@ -1,0 +1,124 @@
+//! Minimum safe inter-tag spacing.
+//!
+//! The paper's Figure 4 sweeps inter-tag distance against tags read and
+//! concludes that "depending on orientation, tags require at least 20 to
+//! 40 mm spacing between them to operate in a reliable fashion". This
+//! module extracts that threshold from a measured spacing-reliability
+//! curve.
+
+use crate::Probability;
+
+/// Finds the smallest spacing at which reliability reaches
+/// `fraction_of_plateau` of the curve's plateau (the reliability at the
+/// largest measured spacing).
+///
+/// The curve is a set of `(spacing_m, reliability)` samples in any order;
+/// physically reliability is non-decreasing in spacing, but measurement
+/// noise is tolerated by comparing against the plateau rather than
+/// requiring monotonicity.
+///
+/// Returns `None` if the curve is empty, if `fraction_of_plateau` is not in
+/// `(0, 1]`, or if no measured spacing reaches the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_core::{min_safe_spacing, Probability};
+///
+/// // A Figure 4-shaped curve: dead below 10 mm, healthy from 20 mm.
+/// let curve = [
+///     (0.0003, Probability::new(0.05).unwrap()),
+///     (0.004, Probability::new(0.20).unwrap()),
+///     (0.010, Probability::new(0.55).unwrap()),
+///     (0.020, Probability::new(0.92).unwrap()),
+///     (0.040, Probability::new(0.95).unwrap()),
+/// ];
+/// let safe = min_safe_spacing(&curve, 0.95).unwrap();
+/// assert_eq!(safe, 0.020);
+/// ```
+#[must_use]
+pub fn min_safe_spacing(curve: &[(f64, Probability)], fraction_of_plateau: f64) -> Option<f64> {
+    if curve.is_empty() || !(0.0..=1.0).contains(&fraction_of_plateau) || fraction_of_plateau == 0.0
+    {
+        return None;
+    }
+    let mut sorted: Vec<(f64, Probability)> = curve.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("spacings are finite"));
+    let plateau = sorted.last()?.1.value();
+    let threshold = plateau * fraction_of_plateau;
+    // The minimum safe spacing is the smallest spacing from which the curve
+    // *stays* at or above the threshold (a single lucky low-spacing sample
+    // must not qualify).
+    let mut safe_from = None;
+    for &(spacing, reliability) in sorted.iter().rev() {
+        if reliability.value() >= threshold {
+            safe_from = Some(spacing);
+        } else {
+            break;
+        }
+    }
+    safe_from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_shaped_curve_gives_twenty_mm() {
+        let curve = [
+            (0.0003, p(0.1)),
+            (0.004, p(0.3)),
+            (0.010, p(0.6)),
+            (0.020, p(0.93)),
+            (0.040, p(0.95)),
+        ];
+        assert_eq!(min_safe_spacing(&curve, 0.95), Some(0.020));
+    }
+
+    #[test]
+    fn stricter_threshold_needs_more_spacing() {
+        let curve = [(0.010, p(0.6)), (0.020, p(0.90)), (0.040, p(0.95))];
+        assert_eq!(min_safe_spacing(&curve, 0.99), Some(0.040));
+        assert_eq!(min_safe_spacing(&curve, 0.90), Some(0.020));
+    }
+
+    #[test]
+    fn unordered_input_is_sorted() {
+        let curve = [(0.040, p(0.95)), (0.0003, p(0.1)), (0.020, p(0.93))];
+        assert_eq!(min_safe_spacing(&curve, 0.95), Some(0.020));
+    }
+
+    #[test]
+    fn a_lucky_low_sample_does_not_qualify() {
+        // 4 mm happened to measure high once, but 10 mm is bad: the safe
+        // spacing must be 20 mm, not 4 mm.
+        let curve = [
+            (0.004, p(0.96)),
+            (0.010, p(0.40)),
+            (0.020, p(0.94)),
+            (0.040, p(0.95)),
+        ];
+        assert_eq!(min_safe_spacing(&curve, 0.9), Some(0.020));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(min_safe_spacing(&[], 0.9), None);
+        let curve = [(0.02, p(0.9))];
+        assert_eq!(min_safe_spacing(&curve, 0.0), None);
+        assert_eq!(min_safe_spacing(&curve, 1.5), None);
+        // A single point is its own plateau.
+        assert_eq!(min_safe_spacing(&curve, 1.0), Some(0.02));
+    }
+
+    #[test]
+    fn flat_curve_is_safe_from_the_start() {
+        let curve = [(0.001, p(0.9)), (0.01, p(0.9)), (0.04, p(0.9))];
+        assert_eq!(min_safe_spacing(&curve, 0.95), Some(0.001));
+    }
+}

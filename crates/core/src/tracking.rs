@@ -1,0 +1,126 @@
+//! Bridges from raw simulator output to tracking outcomes.
+//!
+//! The paper distinguishes *read* reliability (one tag, one antenna) from
+//! *tracking* reliability (the system identifies the object while it is in
+//! the designated area, via any of its tags at any antenna). These helpers
+//! apply those definitions to a [`SimOutput`].
+
+use crate::ReliabilityEstimate;
+use rfid_sim::{Scenario, SimOutput};
+
+/// Whether the system tracked an object: at least one of `object_tags`
+/// (world tag indices) was read by any reader/antenna.
+///
+/// # Examples
+///
+/// ```no_run
+/// # let scenario: rfid_sim::Scenario = unimplemented!();
+/// let output = rfid_sim::run_scenario(&scenario, 1);
+/// // The object carries tags 0 and 1 (front and side).
+/// let tracked = rfid_core::tracking_outcome(&output, &[0, 1]);
+/// ```
+#[must_use]
+pub fn tracking_outcome(output: &SimOutput, object_tags: &[usize]) -> bool {
+    object_tags.iter().any(|&tag| output.tag_was_read(tag))
+}
+
+/// Whether a specific read opportunity succeeded: tag `tag` read by
+/// antenna (`reader`, `antenna`).
+///
+/// Measuring these per-opportunity outcomes is how the paper obtains the
+/// `P_i` values it feeds into the analytical model.
+#[must_use]
+pub fn antenna_opportunity_outcome(
+    output: &SimOutput,
+    tag: usize,
+    reader: usize,
+    antenna: usize,
+) -> bool {
+    output.tag_was_read_by(tag, reader, antenna)
+}
+
+/// Runs `trials` independent simulations of `scenario` (seeds
+/// `seed0, seed0+1, ...`) and estimates the probability that `outcome`
+/// holds — the generic engine behind every R_M in the reproduction.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the scenario is invalid.
+#[must_use]
+pub fn estimate_over_trials<F>(
+    scenario: &Scenario,
+    trials: u64,
+    seed0: u64,
+    mut outcome: F,
+) -> ReliabilityEstimate
+where
+    F: FnMut(&SimOutput) -> bool,
+{
+    ReliabilityEstimate::from_trials(trials, |i| {
+        let output = rfid_sim::run_scenario(scenario, seed0.wrapping_add(i));
+        outcome(&output)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::{Pose, Rotation, Vec3};
+    use rfid_sim::{Motion, ScenarioBuilder};
+
+    fn facing() -> Rotation {
+        Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel")
+    }
+
+    fn two_tag_pass() -> Scenario {
+        // Tag 0 passes close (readable); tag 1 is far out of range.
+        ScenarioBuilder::new()
+            .duration_s(3.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+            .free_tag(Motion::linear(
+                Pose::new(Vec3::new(-1.5, 1.0, 1.0), facing()),
+                Vec3::new(1.0, 0.0, 0.0),
+                0.0,
+                3.0,
+            ))
+            .free_tag(Motion::Static(Pose::new(
+                Vec3::new(0.0, 40.0, 1.0),
+                facing(),
+            )))
+            .build()
+    }
+
+    #[test]
+    fn any_tag_identifies_the_object() {
+        let output = rfid_sim::run_scenario(&two_tag_pass(), 5);
+        assert!(output.tag_was_read(0));
+        assert!(!output.tag_was_read(1));
+        // Object carrying both tags is tracked through tag 0 alone.
+        assert!(tracking_outcome(&output, &[0, 1]));
+        // An object carrying only the unreadable tag is missed.
+        assert!(!tracking_outcome(&output, &[1]));
+        // An untagged object is never tracked.
+        assert!(!tracking_outcome(&output, &[]));
+    }
+
+    #[test]
+    fn opportunity_outcomes_are_per_antenna() {
+        let output = rfid_sim::run_scenario(&two_tag_pass(), 5);
+        assert_eq!(
+            antenna_opportunity_outcome(&output, 0, 0, 0),
+            output.tag_was_read_by(0, 0, 0)
+        );
+        assert!(!antenna_opportunity_outcome(&output, 1, 0, 0));
+    }
+
+    #[test]
+    fn estimation_over_trials_is_deterministic_and_sane() {
+        let scenario = two_tag_pass();
+        let est_a = estimate_over_trials(&scenario, 10, 100, |o| tracking_outcome(o, &[0]));
+        let est_b = estimate_over_trials(&scenario, 10, 100, |o| tracking_outcome(o, &[0]));
+        assert_eq!(est_a, est_b);
+        assert!(est_a.point().value() > 0.5, "close pass should mostly read");
+        let miss = estimate_over_trials(&scenario, 10, 100, |o| tracking_outcome(o, &[1]));
+        assert_eq!(miss.point().value(), 0.0);
+    }
+}

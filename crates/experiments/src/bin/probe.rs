@@ -1,0 +1,177 @@
+//! Calibration probe: quick-and-dirty dumps of the single-opportunity
+//! reliabilities against the paper's targets. Used while tuning
+//! `Calibration`; the polished reports live in the `repro` binary.
+
+use rfid_core::tracking_outcome;
+use rfid_experiments::scenarios::{
+    human_pass_scenario, object_pass_scenario, read_range_scenario, spacing_scenario, BadgeSpot,
+    BoxFace, HumanPassConfig, ObjectPassConfig, OrientationCase,
+};
+use rfid_experiments::Calibration;
+use rfid_sim::{run_scenario, run_single_round};
+
+fn main() {
+    let cal = Calibration::default();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let trials: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    if which == "fig2" || which == "all" {
+        println!("== fig2: tags read of 20 vs distance (paper: 20 @1m, declining 2-9m)");
+        for d in 1..=9 {
+            let scenario = read_range_scenario(&cal, d as f64);
+            let total: usize = (0..trials)
+                .map(|s| run_single_round(&scenario, 0, 0, 0.0, s).reads.len())
+                .sum();
+            println!("  {d} m: {:.1}/20", total as f64 / trials as f64);
+        }
+    }
+
+    if which == "fig4" || which == "all" {
+        println!(
+            "== fig4: tags read of 10, orientation x spacing (paper: >=20-40mm ok; cases 1,5 bad)"
+        );
+        for case in OrientationCase::ALL {
+            print!("  case {:40}", case.label());
+            for mm in [0.3, 4.0, 10.0, 20.0, 40.0] {
+                let scenario = spacing_scenario(&cal, mm / 1000.0, case);
+                let total: usize = (0..trials)
+                    .map(|s| run_scenario(&scenario, s).tags_read().len())
+                    .sum();
+                print!(" {:4.1}", total as f64 / trials as f64);
+            }
+            println!();
+        }
+    }
+
+    if which == "table1" || which == "all" {
+        println!("== table1: box faces (paper: front 87, closer 83, farther 63, top 29)");
+        for face in BoxFace::ALL {
+            let (scenario, box_tags) = object_pass_scenario(&cal, &ObjectPassConfig::single(face));
+            let mut hits = 0u64;
+            let mut total = 0u64;
+            for s in 0..trials {
+                let output = run_scenario(&scenario, s);
+                for tags in &box_tags {
+                    total += 1;
+                    if tracking_outcome(&output, tags) {
+                        hits += 1;
+                    }
+                }
+            }
+            println!(
+                "  {:16} {:5.1}% ({hits}/{total})",
+                face.label(),
+                100.0 * hits as f64 / total as f64
+            );
+        }
+    }
+
+    if which == "table3" || which == "all" {
+        table3_probe(&cal, trials);
+    }
+
+    if which == "table2" || which == "all" {
+        println!("== table2: badge spots, 1 subject (paper: front/back 75, closer 90, farther 10)");
+        for spot in BadgeSpot::ALL {
+            let (scenario, subject_tags) =
+                human_pass_scenario(&cal, &HumanPassConfig::single(spot));
+            let mut hits = 0u64;
+            for s in 0..trials * 2 {
+                let output = run_scenario(&scenario, s);
+                if tracking_outcome(&output, &subject_tags[0]) {
+                    hits += 1;
+                }
+            }
+            println!(
+                "  {:16} {:5.1}% ({hits}/{})",
+                spot.label(),
+                100.0 * hits as f64 / (trials * 2) as f64,
+                trials * 2
+            );
+        }
+        println!("== table2: two subjects (paper: closer avg 75, farther avg 38)");
+        for spot in [
+            BadgeSpot::Front,
+            BadgeSpot::SideCloser,
+            BadgeSpot::SideFarther,
+        ] {
+            let config = HumanPassConfig {
+                subjects: 2,
+                spots: vec![spot],
+                antennas: 1,
+            };
+            let (scenario, subject_tags) = human_pass_scenario(&cal, &config);
+            let mut close_hits = 0u64;
+            let mut far_hits = 0u64;
+            for s in 0..trials * 2 {
+                let output = run_scenario(&scenario, s);
+                if tracking_outcome(&output, &subject_tags[0]) {
+                    close_hits += 1;
+                }
+                if tracking_outcome(&output, &subject_tags[1]) {
+                    far_hits += 1;
+                }
+            }
+            let n = (trials * 2) as f64;
+            println!(
+                "  {:16} closer {:5.1}%  farther {:5.1}%",
+                spot.label(),
+                100.0 * close_hits as f64 / n,
+                100.0 * far_hits as f64 / n
+            );
+        }
+    }
+}
+
+fn table3_probe(cal: &Calibration, trials: u64) {
+    println!("== table3: redundancy (paper: 1a1t 80; 2a1t 86 vs calc 96; 1a2t 97/97; 2a2t 100)");
+    let configs = [
+        ("1 ant, front", vec![BoxFace::Front], 1),
+        ("1 ant, side", vec![BoxFace::SideCloser], 1),
+        ("2 ant, front", vec![BoxFace::Front], 2),
+        ("2 ant, side", vec![BoxFace::SideCloser], 2),
+        (
+            "1 ant, front+side",
+            vec![BoxFace::Front, BoxFace::SideCloser],
+            1,
+        ),
+        (
+            "1 ant, front+farside",
+            vec![BoxFace::Front, BoxFace::SideFarther],
+            1,
+        ),
+        (
+            "2 ant, front+side",
+            vec![BoxFace::Front, BoxFace::SideCloser],
+            2,
+        ),
+    ];
+    for (label, faces, antennas) in configs {
+        let config = ObjectPassConfig {
+            faces,
+            antennas,
+            readers: 1,
+            dense_mode: false,
+        };
+        let (scenario, box_tags) = object_pass_scenario(cal, &config);
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for s in 0..trials {
+            let output = run_scenario(&scenario, 7000 + s);
+            for tags in &box_tags {
+                total += 1;
+                if tracking_outcome(&output, tags) {
+                    hits += 1;
+                }
+            }
+        }
+        println!(
+            "  {:22} {:5.1}% ({hits}/{total})",
+            label,
+            100.0 * hits as f64 / total as f64
+        );
+    }
+}

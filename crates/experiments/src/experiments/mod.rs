@@ -1,0 +1,17 @@
+//! One module per table/figure of the paper.
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig4;
+pub mod figs67;
+pub mod power;
+pub mod readers;
+pub mod readrate;
+pub mod sensitivity;
+pub mod spacing_advice;
+pub mod speed;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table45;
+pub mod tagdesign;

@@ -1,0 +1,114 @@
+//! Shared geometric conventions.
+//!
+//! World frame: `z` up, the portal antenna at `(0, 0, h)` with boresight
+//! along `+y`, and the lane (cart path / walking path) parallel to `x` at
+//! `y = lane_distance`. Objects move in `+x` at the experiment speed.
+
+use crate::Calibration;
+use rfid_geom::{Pose, Rotation, Vec3};
+
+/// Builds the rotation that places a tag with its dipole axis along
+/// `dipole_world` and its face normal along `normal_world`.
+///
+/// The tag's local frame has the dipole along `+x` and the face normal
+/// along `+y`. `normal_world` is orthogonalized against `dipole_world`,
+/// so approximately-perpendicular inputs are fine.
+///
+/// # Panics
+///
+/// Panics if either direction is (near-)zero or if they are parallel.
+#[must_use]
+pub fn orient_tag(dipole_world: Vec3, normal_world: Vec3) -> Rotation {
+    let dipole = dipole_world
+        .normalized()
+        .expect("dipole direction must be nonzero");
+    // Remove any component of the normal along the dipole.
+    let normal_raw = normal_world - dipole * normal_world.dot(dipole);
+    let normal = normal_raw
+        .normalized()
+        .expect("normal must not be parallel to the dipole");
+
+    let r1 = Rotation::between(Vec3::X, dipole).expect("unit vectors");
+    let n1 = r1.apply(Vec3::Y);
+    // Roll about the dipole axis to bring the rotated normal onto the
+    // requested one.
+    let cos = n1.dot(normal).clamp(-1.0, 1.0);
+    let sin = n1.cross(normal).dot(dipole);
+    let roll = sin.atan2(cos);
+    Rotation::from_axis_angle(dipole, roll).expect("dipole is unit") * r1
+}
+
+/// World poses of `count` portal antennas for the given calibration:
+/// centered on x = 0 at the antenna height, spaced `spacing_m` apart
+/// along the lane direction, boresight toward the lane (`+y`).
+#[must_use]
+pub fn antenna_poses(cal: &Calibration, count: usize, spacing_m: f64) -> Vec<Pose> {
+    (0..count)
+        .map(|i| {
+            let offset = (i as f64 - (count as f64 - 1.0) / 2.0) * spacing_m;
+            Pose::from_translation(Vec3::new(offset, 0.0, cal.antenna_height_m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn orient_tag_places_both_axes() {
+        let cases = [
+            (Vec3::X, Vec3::Y),
+            (Vec3::X, Vec3::Z),
+            (Vec3::Y, Vec3::X),
+            (Vec3::Z, -Vec3::Y),
+            (Vec3::new(1.0, 1.0, 0.0), Vec3::Z),
+        ];
+        for (dipole, normal) in cases {
+            let r = orient_tag(dipole, normal);
+            assert_close(r.apply(Vec3::X), dipole.normalized().unwrap());
+            let n =
+                normal - dipole.normalized().unwrap() * normal.dot(dipole.normalized().unwrap());
+            assert_close(r.apply(Vec3::Y), n.normalized().unwrap());
+            assert!(r.orthonormality_error() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn orient_tag_orthogonalizes_sloppy_normals() {
+        // Normal not quite perpendicular: the dipole wins.
+        let r = orient_tag(Vec3::X, Vec3::new(0.3, 1.0, 0.0));
+        assert_close(r.apply(Vec3::X), Vec3::X);
+        assert_close(r.apply(Vec3::Y), Vec3::Y);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn parallel_axes_are_rejected() {
+        let _ = orient_tag(Vec3::X, Vec3::X);
+    }
+
+    #[test]
+    fn antenna_poses_are_centered_and_spaced() {
+        let cal = Calibration::default();
+        let poses = antenna_poses(&cal, 2, 2.0);
+        assert_eq!(poses.len(), 2);
+        assert_close(
+            poses[0].translation(),
+            Vec3::new(-1.0, 0.0, cal.antenna_height_m),
+        );
+        assert_close(
+            poses[1].translation(),
+            Vec3::new(1.0, 0.0, cal.antenna_height_m),
+        );
+        let single = antenna_poses(&cal, 1, 2.0);
+        assert_close(
+            single[0].translation(),
+            Vec3::new(0.0, 0.0, cal.antenna_height_m),
+        );
+    }
+}

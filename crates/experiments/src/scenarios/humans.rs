@@ -1,0 +1,274 @@
+//! Tables 2, 4, 5 (and Figures 6/7): badge-wearing people walking past
+//! the portal.
+//!
+//! "We placed the tags at waist level, hanging from the belt or pocket...
+//! We placed a tag on one or two volunteers and they walked in front of an
+//! antenna at a distance of 1 meter. The volunteers tried to walk in
+//! parallel for the two person tests to maximize blocking."
+
+use crate::scenarios::{antenna_poses, orient_tag};
+use crate::Calibration;
+use rfid_geom::{Pose, Shape, Vec3};
+use rfid_phys::{Material, Mounting};
+use rfid_sim::{Attachment, Motion, Scenario, ScenarioBuilder, SimObject, SimTag};
+
+/// Torso cylinder radius, m.
+const BODY_RADIUS: f64 = 0.16;
+/// Torso cylinder half-height, m (1.7 m tall body).
+const BODY_HALF_HEIGHT: f64 = 0.85;
+/// Waist height offset from the body center, m.
+const WAIST_OFFSET: f64 = 0.05;
+/// Lateral separation between two abreast walkers, m.
+const ABREAST_GAP: f64 = 0.60;
+
+/// Badge locations on a person, as in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BadgeSpot {
+    /// Facing the walking direction (+x).
+    Front,
+    /// Facing backwards (-x).
+    Back,
+    /// On the hip toward the antenna (-y).
+    SideCloser,
+    /// On the hip away from the antenna (+y).
+    SideFarther,
+}
+
+impl BadgeSpot {
+    /// All four spots.
+    pub const ALL: [BadgeSpot; 4] = [
+        BadgeSpot::Front,
+        BadgeSpot::Back,
+        BadgeSpot::SideCloser,
+        BadgeSpot::SideFarther,
+    ];
+
+    /// Table row label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BadgeSpot::Front => "Front",
+            BadgeSpot::Back => "Back",
+            BadgeSpot::SideCloser => "Side (closer)",
+            BadgeSpot::SideFarther => "Side (farther)",
+        }
+    }
+
+    /// Outward direction from the body axis, in body-local coordinates
+    /// (local x = walking direction).
+    fn outward(&self) -> Vec3 {
+        match self {
+            BadgeSpot::Front => Vec3::X,
+            BadgeSpot::Back => -Vec3::X,
+            BadgeSpot::SideCloser => -Vec3::Y,
+            BadgeSpot::SideFarther => Vec3::Y,
+        }
+    }
+}
+
+/// Configuration of a human-pass experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HumanPassConfig {
+    /// Number of subjects (1 or 2; two walk abreast).
+    pub subjects: usize,
+    /// Badge spots applied to *each* subject.
+    pub spots: Vec<BadgeSpot>,
+    /// Portal antennas (one reader, TDMA).
+    pub antennas: usize,
+}
+
+impl HumanPassConfig {
+    /// One subject, one badge at `spot`, one antenna (Table 2's base
+    /// case).
+    #[must_use]
+    pub fn single(spot: BadgeSpot) -> Self {
+        Self {
+            subjects: 1,
+            spots: vec![spot],
+            antennas: 1,
+        }
+    }
+}
+
+/// Builds the walking-subjects pass. Returns the scenario and, per
+/// subject, the world indices of their badges. Subject 0 is the one
+/// closer to the antenna.
+///
+/// # Panics
+///
+/// Panics unless `subjects` is 1 or 2 and at least one spot is given.
+#[must_use]
+pub fn human_pass_scenario(
+    cal: &Calibration,
+    config: &HumanPassConfig,
+) -> (Scenario, Vec<Vec<usize>>) {
+    assert!(
+        (1..=2).contains(&config.subjects),
+        "the paper tests one or two subjects"
+    );
+    assert!(!config.spots.is_empty(), "at least one badge per subject");
+    assert!(config.antennas > 0, "need at least one antenna");
+
+    let duration = cal.pass_duration_s();
+    let reader = cal.reader(&antenna_poses(cal, config.antennas, 2.0));
+
+    let mut builder = ScenarioBuilder::new()
+        .frequency_hz(cal.frequency_hz)
+        .duration_s(duration)
+        .channel(cal.channel_params())
+        .reader(reader);
+
+    let mut subject_tags: Vec<Vec<usize>> = Vec::with_capacity(config.subjects);
+    let mut tag_index = 0usize;
+    let mut epc = 0x2000u128;
+    for subject in 0..config.subjects {
+        // Subject 0's near hip is at the lane distance; subject 1 walks
+        // abreast, farther from the antenna.
+        let axis_y =
+            cal.lane_distance_m + BODY_RADIUS + subject as f64 * (2.0 * BODY_RADIUS + ABREAST_GAP);
+        let center = Vec3::new(-cal.pass_half_length_m, axis_y, BODY_HALF_HEIGHT);
+        let motion = Motion::linear(
+            Pose::from_translation(center),
+            Vec3::new(cal.speed_mps, 0.0, 0.0),
+            0.0,
+            duration,
+        );
+        let object = builder.object_count();
+        builder = builder.object(SimObject {
+            name: format!("subject-{subject}"),
+            shape: Shape::cylinder(BODY_RADIUS, BODY_HALF_HEIGHT),
+            material: Material::Flesh,
+            motion,
+        });
+
+        let mut tags = Vec::with_capacity(config.spots.len());
+        for spot in &config.spots {
+            let outward = spot.outward();
+            let position =
+                outward * (BODY_RADIUS + cal.badge_standoff_m) + Vec3::new(0.0, 0.0, WAIST_OFFSET);
+            // Badge hangs in portrait orientation: the long (dipole)
+            // axis vertical — how an ID card hangs from a belt or lanyard
+            // — with the face outward. A vertical dipole stays broadside
+            // to the antenna through the whole pass.
+            let dipole = Vec3::Z;
+            builder = builder.tag(SimTag {
+                epc: rfid_gen2::Epc96::from_u128(epc),
+                attachment: Attachment::Object {
+                    object,
+                    local: Pose::new(position, orient_tag(dipole, outward)),
+                },
+                chip: cal.chip(),
+                mounting: Mounting::on(Material::Flesh, cal.badge_standoff_m),
+            });
+            tags.push(tag_index);
+            tag_index += 1;
+            epc += 1;
+        }
+        subject_tags.push(tags);
+    }
+    (builder.build(), subject_tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_subject_geometry() {
+        let cal = Calibration::default();
+        let (scenario, tags) =
+            human_pass_scenario(&cal, &HumanPassConfig::single(BadgeSpot::Front));
+        assert_eq!(scenario.world.objects.len(), 1);
+        assert_eq!(tags, vec![vec![0]]);
+        // Near hip at the lane distance.
+        let body_y = scenario.world.objects[0]
+            .motion
+            .pose_at(0.0)
+            .translation()
+            .y;
+        assert!((body_y - BODY_RADIUS - cal.lane_distance_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_subjects_walk_abreast() {
+        let cal = Calibration::default();
+        let config = HumanPassConfig {
+            subjects: 2,
+            spots: vec![BadgeSpot::Front, BadgeSpot::Back],
+            antennas: 1,
+        };
+        let (scenario, tags) = human_pass_scenario(&cal, &config);
+        assert_eq!(scenario.world.objects.len(), 2);
+        assert_eq!(tags, vec![vec![0, 1], vec![2, 3]]);
+        let y0 = scenario.world.objects[0]
+            .motion
+            .pose_at(1.0)
+            .translation()
+            .y;
+        let y1 = scenario.world.objects[1]
+            .motion
+            .pose_at(1.0)
+            .translation()
+            .y;
+        assert!(y1 > y0, "subject 1 is farther from the antenna");
+        let x0 = scenario.world.objects[0]
+            .motion
+            .pose_at(1.0)
+            .translation()
+            .x;
+        let x1 = scenario.world.objects[1]
+            .motion
+            .pose_at(1.0)
+            .translation()
+            .x;
+        assert!((x0 - x1).abs() < 1e-9, "abreast: same x at all times");
+    }
+
+    #[test]
+    fn badges_sit_at_the_waist_off_the_body() {
+        let cal = Calibration::default();
+        let (scenario, _) =
+            human_pass_scenario(&cal, &HumanPassConfig::single(BadgeSpot::SideCloser));
+        let tag_pos = scenario.world.tag_pose_at(0, 0.0).translation();
+        let body_axis = scenario.world.objects[0].motion.pose_at(0.0).translation();
+        let radial = ((tag_pos.x - body_axis.x).powi(2) + (tag_pos.y - body_axis.y).powi(2)).sqrt();
+        assert!((radial - BODY_RADIUS - cal.badge_standoff_m).abs() < 1e-9);
+        assert!((tag_pos.z - (BODY_HALF_HEIGHT + WAIST_OFFSET)).abs() < 1e-9);
+        assert!(
+            !scenario
+                .world
+                .obstructions(0, 0, 0, 2.5)
+                .iter()
+                .any(|o| o.thickness_m > 0.25),
+            "the closer-side badge should not see the full body thickness at mid-pass"
+        );
+    }
+
+    #[test]
+    fn farther_side_badge_is_body_blocked_at_mid_pass() {
+        let cal = Calibration::default();
+        let (scenario, _) =
+            human_pass_scenario(&cal, &HumanPassConfig::single(BadgeSpot::SideFarther));
+        // Mid-pass: subject centered on the antenna.
+        let t = cal.pass_duration_s() / 2.0;
+        let obs = scenario.world.obstructions(0, 0, 0, t);
+        let flesh: f64 = obs
+            .iter()
+            .filter(|o| o.material == Material::Flesh)
+            .map(|o| o.thickness_m)
+            .sum();
+        assert!(flesh > 0.2, "body chord = {flesh} m");
+    }
+
+    #[test]
+    #[should_panic(expected = "one or two subjects")]
+    fn subject_count_is_validated() {
+        let cal = Calibration::default();
+        let config = HumanPassConfig {
+            subjects: 3,
+            spots: vec![BadgeSpot::Front],
+            antennas: 1,
+        };
+        let _ = human_pass_scenario(&cal, &config);
+    }
+}

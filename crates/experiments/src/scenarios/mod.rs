@@ -1,0 +1,13 @@
+//! Scenario constructors for every experimental setup in the paper.
+
+mod geometry;
+mod humans;
+mod objects;
+mod read_range;
+mod spacing;
+
+pub use geometry::{antenna_poses, orient_tag};
+pub use humans::{human_pass_scenario, BadgeSpot, HumanPassConfig};
+pub use objects::{object_pass_scenario, BoxFace, ObjectPassConfig, BOX_COUNT};
+pub use read_range::{read_range_scenario, read_range_scenario_with_chip};
+pub use spacing::{spacing_scenario, spacing_scenario_with_chip, OrientationCase, TAG_COUNT};

@@ -1,0 +1,308 @@
+//! Tables 1 and 3 (and Figure 5): tagged boxes with routers inside.
+//!
+//! "We individually tagged 12 identical boxes, each containing a network
+//! router and accessories in original packaging. The metal casing and
+//! relatively large size of the routers compared to their packaging
+//! material would make them a challenging scenario... We placed the boxes
+//! on a cart as three rows of 2x2 boxes, and passed the cart in front of
+//! the antenna with a speed of 1 m/s at a distance of 1 m."
+
+use crate::scenarios::{antenna_poses, orient_tag};
+use crate::Calibration;
+use rfid_geom::{Pose, Shape, Vec3};
+use rfid_phys::{Material, Mounting};
+use rfid_sim::{Attachment, Motion, Scenario, ScenarioBuilder, SimObject, SimTag};
+
+/// Number of boxes on the cart (3 rows of 2x2).
+pub const BOX_COUNT: usize = 12;
+
+/// Half-extent of each cardboard box (0.35 m cube).
+const BOX_HALF: f64 = 0.175;
+
+/// Half-extents of the metal router chassis inside each box (a typical
+/// rack-mount router is far smaller than its retail box).
+const ROUTER_HALF: Vec3 = Vec3::new(0.12, 0.12, 0.06);
+
+/// Vertical offset of the router inside the box (it sits on the bottom
+/// packaging insert, with accessories above it). The chassis spans the
+/// box's mid-height, so face-center lines of sight must cross it.
+const ROUTER_Z_OFFSET: f64 = -0.04;
+
+/// Tag locations on a box, as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoxFace {
+    /// Leading face (+x, direction of motion).
+    Front,
+    /// Face toward the antenna (-y).
+    SideCloser,
+    /// Face away from the antenna (+y).
+    SideFarther,
+    /// Top face (+z).
+    Top,
+}
+
+impl BoxFace {
+    /// All four measured locations, in Table 1 order.
+    pub const ALL: [BoxFace; 4] = [
+        BoxFace::Front,
+        BoxFace::SideCloser,
+        BoxFace::SideFarther,
+        BoxFace::Top,
+    ];
+
+    /// Table row label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoxFace::Front => "Front",
+            BoxFace::SideCloser => "Side (closer)",
+            BoxFace::SideFarther => "Side (farther)",
+            BoxFace::Top => "Top",
+        }
+    }
+
+    /// (position on box surface, dipole, outward normal) in box-local
+    /// coordinates.
+    fn placement(&self) -> (Vec3, Vec3, Vec3) {
+        let eps = 0.002;
+        match self {
+            BoxFace::Front => (Vec3::new(BOX_HALF + eps, 0.0, 0.0), Vec3::Z, Vec3::X),
+            BoxFace::SideCloser => (Vec3::new(0.0, -(BOX_HALF + eps), 0.0), Vec3::X, -Vec3::Y),
+            BoxFace::SideFarther => (Vec3::new(0.0, BOX_HALF + eps, 0.0), Vec3::X, Vec3::Y),
+            BoxFace::Top => (Vec3::new(0.0, 0.0, BOX_HALF + eps), Vec3::X, Vec3::Z),
+        }
+    }
+
+    /// Standoff from the tag to the router metal for this face.
+    fn standoff_m(&self, cal: &Calibration) -> f64 {
+        match self {
+            BoxFace::Top => cal.box_top_standoff_m,
+            _ => cal.box_side_standoff_m,
+        }
+    }
+}
+
+/// Configuration of an object-pass experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectPassConfig {
+    /// Tag locations applied to *every* box (one tag per listed face).
+    pub faces: Vec<BoxFace>,
+    /// Portal antennas (one reader, TDMA).
+    pub antennas: usize,
+    /// Readers per portal (each with one antenna when > 1).
+    pub readers: usize,
+    /// Whether readers support dense-reader mode.
+    pub dense_mode: bool,
+}
+
+impl ObjectPassConfig {
+    /// The paper's Table 1 baseline: one tag at `face`, one antenna.
+    #[must_use]
+    pub fn single(face: BoxFace) -> Self {
+        Self {
+            faces: vec![face],
+            antennas: 1,
+            readers: 1,
+            dense_mode: false,
+        }
+    }
+}
+
+/// Builds the 12-box cart pass. Returns the scenario and, per box, the
+/// world indices of its tags (for tracking-outcome evaluation).
+///
+/// # Panics
+///
+/// Panics on an empty face list or zero antennas/readers.
+#[must_use]
+pub fn object_pass_scenario(
+    cal: &Calibration,
+    config: &ObjectPassConfig,
+) -> (Scenario, Vec<Vec<usize>>) {
+    assert!(!config.faces.is_empty(), "at least one tag per box");
+    assert!(
+        config.antennas > 0 && config.readers > 0,
+        "need at least one antenna and reader"
+    );
+    let duration = cal.pass_duration_s();
+    let mut builder = ScenarioBuilder::new()
+        .frequency_hz(cal.frequency_hz)
+        .duration_s(duration)
+        .channel(cal.channel_params());
+
+    // Readers: one reader with `antennas` ports, or `readers` single-
+    // antenna readers for the reader-redundancy experiment.
+    if config.readers == 1 {
+        let mut reader = cal.reader(&antenna_poses(cal, config.antennas, 2.0));
+        if config.dense_mode {
+            reader.rf = rfid_gen2::ReaderRf::dense(3);
+        }
+        builder = builder.reader(reader);
+    } else {
+        let poses = antenna_poses(cal, config.readers, 2.0);
+        for (i, pose) in poses.into_iter().enumerate() {
+            let mut reader = cal.reader(&[pose]);
+            reader.rf = if config.dense_mode {
+                rfid_gen2::ReaderRf::dense((3 + 7 * i as u8) % 50)
+            } else {
+                rfid_gen2::ReaderRf::legacy()
+            };
+            builder = builder.reader(reader);
+        }
+    }
+
+    // Box grid: 3 columns along motion (x), 2 rows deep (y), 2 high (z).
+    // The closer row's near face sits at the lane distance.
+    let cart_bed_z = cal.antenna_height_m - 0.5;
+    let mut box_tags: Vec<Vec<usize>> = Vec::with_capacity(BOX_COUNT);
+    let mut tag_index = 0usize;
+    let mut epc = 0x1000u128;
+    for col in 0..3 {
+        for depth in 0..2 {
+            for height in 0..2 {
+                let center = Vec3::new(
+                    -cal.pass_half_length_m + (col as f64 - 1.0) * (2.0 * BOX_HALF + 0.02),
+                    cal.lane_distance_m + BOX_HALF + depth as f64 * (2.0 * BOX_HALF + 0.01),
+                    cart_bed_z + BOX_HALF + height as f64 * (2.0 * BOX_HALF + 0.005),
+                );
+                let motion = Motion::linear(
+                    Pose::from_translation(center),
+                    Vec3::new(cal.speed_mps, 0.0, 0.0),
+                    0.0,
+                    duration,
+                );
+                let router_motion = Motion::linear(
+                    Pose::from_translation(center + Vec3::new(0.0, 0.0, ROUTER_Z_OFFSET)),
+                    Vec3::new(cal.speed_mps, 0.0, 0.0),
+                    0.0,
+                    duration,
+                );
+                let object = builder.object_count();
+                builder = builder
+                    .object(SimObject {
+                        name: format!("box-{object}"),
+                        shape: Shape::aabb(Vec3::new(BOX_HALF, BOX_HALF, BOX_HALF)),
+                        material: Material::Cardboard,
+                        motion,
+                    })
+                    .object(SimObject {
+                        name: format!("router-{object}"),
+                        shape: Shape::Aabb {
+                            half_extents: ROUTER_HALF,
+                        },
+                        material: Material::Metal,
+                        motion: router_motion,
+                    });
+
+                let mut tags = Vec::with_capacity(config.faces.len());
+                for face in &config.faces {
+                    let (pos, dipole, normal) = face.placement();
+                    builder = builder.tag(SimTag {
+                        epc: rfid_gen2::Epc96::from_u128(epc),
+                        attachment: Attachment::Object {
+                            object,
+                            local: Pose::new(pos, orient_tag(dipole, normal)),
+                        },
+                        chip: cal.chip(),
+                        mounting: Mounting::on(Material::Metal, face.standoff_m(cal)),
+                    });
+                    tags.push(tag_index);
+                    tag_index += 1;
+                    epc += 1;
+                }
+                box_tags.push(tags);
+            }
+        }
+    }
+    (builder.build(), box_tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_boxes_with_routers() {
+        let cal = Calibration::default();
+        let (scenario, box_tags) =
+            object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::Front));
+        assert_eq!(box_tags.len(), BOX_COUNT);
+        assert_eq!(scenario.world.objects.len(), 2 * BOX_COUNT);
+        assert_eq!(scenario.world.tags.len(), BOX_COUNT);
+        // Every box has a cardboard shell and a metal router.
+        let metals = scenario
+            .world
+            .objects
+            .iter()
+            .filter(|o| o.material == Material::Metal)
+            .count();
+        assert_eq!(metals, BOX_COUNT);
+    }
+
+    #[test]
+    fn two_tags_per_box_doubles_the_tag_count() {
+        let cal = Calibration::default();
+        let config = ObjectPassConfig {
+            faces: vec![BoxFace::Front, BoxFace::SideCloser],
+            antennas: 1,
+            readers: 1,
+            dense_mode: false,
+        };
+        let (scenario, box_tags) = object_pass_scenario(&cal, &config);
+        assert_eq!(scenario.world.tags.len(), 2 * BOX_COUNT);
+        assert!(box_tags.iter().all(|tags| tags.len() == 2));
+        // Tag indices partition 0..24.
+        let mut all: Vec<usize> = box_tags.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closer_row_sits_at_the_lane_distance() {
+        let cal = Calibration::default();
+        let (scenario, _) =
+            object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::SideCloser));
+        let min_y = scenario
+            .world
+            .objects
+            .iter()
+            .map(|o| o.motion.pose_at(0.0).translation().y - BOX_HALF)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (min_y - cal.lane_distance_m).abs() < 1e-6,
+            "min_y = {min_y}"
+        );
+    }
+
+    #[test]
+    fn reader_redundancy_builds_separate_readers() {
+        let cal = Calibration::default();
+        let config = ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 1,
+            readers: 2,
+            dense_mode: false,
+        };
+        let (scenario, _) = object_pass_scenario(&cal, &config);
+        assert_eq!(scenario.world.readers.len(), 2);
+        let config_dense = ObjectPassConfig {
+            dense_mode: true,
+            ..config
+        };
+        let (dense, _) = object_pass_scenario(&cal, &config_dense);
+        assert_ne!(
+            dense.world.readers[0].rf.channel,
+            dense.world.readers[1].rf.channel
+        );
+    }
+
+    #[test]
+    fn top_tags_have_the_tight_standoff() {
+        let cal = Calibration::default();
+        let (scenario, _) = object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::Top));
+        for tag in &scenario.world.tags {
+            assert_eq!(tag.mounting.standoff_m, cal.box_top_standoff_m);
+            assert_eq!(tag.mounting.backing, Material::Metal);
+        }
+    }
+}

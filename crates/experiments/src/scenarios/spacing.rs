@@ -1,0 +1,205 @@
+//! Figure 4: inter-tag distance x tag orientation.
+//!
+//! "We performed multiple experiments using 10 tags in parallel to each
+//! other. We mounted the tags on a cardboard box, and used a cart to pass
+//! them in front of a single antenna with a speed of about 1 m/s and
+//! antenna-tag distance of 1 m... five different inter-tag distances:
+//! 0.3 mm, 4 mm, 10 mm, 20 mm, and 40 mm, and six different tag
+//! orientations."
+
+use crate::scenarios::{antenna_poses, orient_tag};
+use crate::Calibration;
+use rfid_geom::{Pose, Shape, Vec3};
+use rfid_phys::{Material, Mounting};
+use rfid_sim::{Attachment, Motion, Scenario, ScenarioBuilder, SimObject, SimTag};
+
+/// Number of tags in the stack.
+pub const TAG_COUNT: usize = 10;
+
+/// The six tag orientations of the paper's Figure 3, expressed as the
+/// world directions of the dipole axis and the stack axis (tags are
+/// parallel planes stacked face-to-face along their common normal).
+///
+/// The world frame here: `x` is the movement direction, `y` points from
+/// the cart toward the antenna... (the antenna is at `-y` relative to the
+/// cart lane, so "toward the antenna" is `-y`), `z` is up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrientationCase {
+    /// Case 1: dipole pointing at the antenna, stacked along motion.
+    /// End-on to the antenna — the paper's worst case.
+    Case1,
+    /// Case 2: dipole vertical, stacked along motion.
+    Case2,
+    /// Case 3: dipole along motion, stacked vertically (faces up).
+    Case3,
+    /// Case 4: dipole along motion, faces toward the antenna.
+    Case4,
+    /// Case 5: dipole pointing at the antenna, stacked vertically.
+    /// Also end-on — the paper's other worst case.
+    Case5,
+    /// Case 6: dipole vertical, faces toward the antenna.
+    Case6,
+}
+
+impl OrientationCase {
+    /// All six cases in paper order.
+    pub const ALL: [OrientationCase; 6] = [
+        OrientationCase::Case1,
+        OrientationCase::Case2,
+        OrientationCase::Case3,
+        OrientationCase::Case4,
+        OrientationCase::Case5,
+        OrientationCase::Case6,
+    ];
+
+    /// Display label matching the paper's numbering.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrientationCase::Case1 => "1 (end-on, stacked along motion)",
+            OrientationCase::Case2 => "2 (vertical, stacked along motion)",
+            OrientationCase::Case3 => "3 (along motion, stacked vertically)",
+            OrientationCase::Case4 => "4 (along motion, facing antenna)",
+            OrientationCase::Case5 => "5 (end-on, stacked vertically)",
+            OrientationCase::Case6 => "6 (vertical, facing antenna)",
+        }
+    }
+
+    /// Whether the paper found this orientation unreliable (dipole end-on
+    /// to the antenna).
+    #[must_use]
+    pub fn is_end_on(&self) -> bool {
+        matches!(self, OrientationCase::Case1 | OrientationCase::Case5)
+    }
+
+    /// (dipole, stack axis) in world coordinates.
+    #[must_use]
+    pub fn axes(&self) -> (Vec3, Vec3) {
+        match self {
+            OrientationCase::Case1 => (-Vec3::Y, Vec3::X),
+            OrientationCase::Case2 => (Vec3::Z, Vec3::X),
+            OrientationCase::Case3 => (Vec3::X, Vec3::Z),
+            OrientationCase::Case4 => (Vec3::X, -Vec3::Y),
+            OrientationCase::Case5 => (-Vec3::Y, Vec3::Z),
+            OrientationCase::Case6 => (Vec3::Z, -Vec3::Y),
+        }
+    }
+}
+
+/// Builds the 10-tag spacing/orientation pass.
+///
+/// The tag stack rides on a cardboard box on a cart; the stack center sits
+/// at antenna height, `lane_distance` from the antenna plane.
+#[must_use]
+pub fn spacing_scenario(
+    cal: &Calibration,
+    spacing_m: f64,
+    orientation: OrientationCase,
+) -> Scenario {
+    spacing_scenario_with_chip(cal, spacing_m, orientation, cal.chip())
+}
+
+/// [`spacing_scenario`] with an explicit tag build — used by the
+/// tag-design extension experiments (dual-dipole, battery-assisted).
+#[must_use]
+pub fn spacing_scenario_with_chip(
+    cal: &Calibration,
+    spacing_m: f64,
+    orientation: OrientationCase,
+    chip: rfid_phys::TagChip,
+) -> Scenario {
+    assert!(spacing_m > 0.0, "spacing must be positive");
+    let duration = cal.pass_duration_s();
+
+    let start = Pose::from_translation(Vec3::new(
+        -cal.pass_half_length_m,
+        cal.lane_distance_m + 0.12,
+        cal.antenna_height_m - 0.22,
+    ));
+    let motion = Motion::linear(start, Vec3::new(cal.speed_mps, 0.0, 0.0), 0.0, duration);
+
+    let mut builder = ScenarioBuilder::new()
+        .frequency_hz(cal.frequency_hz)
+        .duration_s(duration)
+        .channel(cal.channel_params())
+        .reader(cal.reader(&antenna_poses(cal, 1, 2.0)))
+        .object(SimObject {
+            name: "cardboard box".into(),
+            shape: Shape::aabb(Vec3::new(0.15, 0.1, 0.1)),
+            material: Material::Cardboard,
+            motion,
+        });
+
+    let (dipole, stack) = orientation.axes();
+    let rotation = orient_tag(dipole, stack);
+    for i in 0..TAG_COUNT {
+        let offset = stack * ((i as f64 - (TAG_COUNT as f64 - 1.0) / 2.0) * spacing_m);
+        // Stack center 22 cm above the box so the box never occludes.
+        let local = Pose::new(Vec3::new(0.0, -0.12, 0.22) + offset, rotation);
+        builder = builder.tag(SimTag {
+            epc: rfid_gen2::Epc96::from_u128(0x100 + i as u128),
+            attachment: Attachment::Object { object: 0, local },
+            chip,
+            mounting: Mounting::free_space(),
+        });
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::run_scenario;
+
+    #[test]
+    fn stack_geometry_matches_spacing() {
+        let cal = Calibration::default();
+        let scenario = spacing_scenario(&cal, 0.02, OrientationCase::Case4);
+        assert_eq!(scenario.world.tags.len(), TAG_COUNT);
+        let a = scenario.world.tag_pose_at(0, 0.0).translation();
+        let b = scenario.world.tag_pose_at(1, 0.0).translation();
+        assert!((a.distance(b) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_spacing_beats_tight_spacing() {
+        let cal = Calibration::default();
+        let reads = |spacing: f64| -> usize {
+            let scenario = spacing_scenario(&cal, spacing, OrientationCase::Case6);
+            (0..4)
+                .map(|seed| run_scenario(&scenario, seed).tags_read().len())
+                .sum()
+        };
+        let tight = reads(0.0003);
+        let wide = reads(0.040);
+        assert!(wide > tight + 5, "40 mm: {wide}/40 vs 0.3 mm: {tight}/40");
+    }
+
+    #[test]
+    fn end_on_orientations_are_worst() {
+        let cal = Calibration::default();
+        let reads = |case: OrientationCase| -> usize {
+            let scenario = spacing_scenario(&cal, 0.040, case);
+            (0..4)
+                .map(|seed| run_scenario(&scenario, seed).tags_read().len())
+                .sum()
+        };
+        let end_on = reads(OrientationCase::Case1);
+        let broadside = reads(OrientationCase::Case6);
+        assert!(
+            broadside > end_on,
+            "case 6: {broadside}/40 vs case 1: {end_on}/40"
+        );
+    }
+
+    #[test]
+    fn orientation_axes_are_orthogonal() {
+        for case in OrientationCase::ALL {
+            let (dipole, stack) = case.axes();
+            assert!(dipole.dot(stack).abs() < 1e-9, "{case:?}");
+        }
+        assert!(OrientationCase::Case1.is_end_on());
+        assert!(OrientationCase::Case5.is_end_on());
+        assert!(!OrientationCase::Case4.is_end_on());
+    }
+}

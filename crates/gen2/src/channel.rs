@@ -1,0 +1,113 @@
+//! The RF-truth abstraction between protocol and physics.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Answers the two questions the protocol engine asks of the physical
+/// world: can tag `i` hear the reader right now, and can the reader decode
+/// tag `i`'s backscatter right now.
+///
+/// `rfid-sim` implements this with the full link budget (geometry,
+/// materials, fading, interference); the in-crate implementations are for
+/// tests and protocol-only studies.
+pub trait AirChannel {
+    /// Whether tag `tag` successfully receives a reader command sent at
+    /// `time_s`. For a passive tag this also implies it is energized.
+    fn reader_to_tag_ok(&mut self, tag: usize, time_s: f64) -> bool;
+
+    /// Whether the reader successfully decodes a (collision-free)
+    /// backscatter reply from tag `tag` at `time_s`.
+    fn tag_to_reader_ok(&mut self, tag: usize, time_s: f64) -> bool;
+}
+
+/// A lossless channel: every command and reply gets through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfectChannel;
+
+impl AirChannel for PerfectChannel {
+    fn reader_to_tag_ok(&mut self, _tag: usize, _time_s: f64) -> bool {
+        true
+    }
+
+    fn tag_to_reader_ok(&mut self, _tag: usize, _time_s: f64) -> bool {
+        true
+    }
+}
+
+/// An i.i.d. erasure channel with independent forward/reverse delivery
+/// probabilities — handy for protocol tests and analytic cross-checks.
+#[derive(Debug, Clone)]
+pub struct ErasureChannel {
+    /// Probability a reader command reaches a tag.
+    pub p_forward: f64,
+    /// Probability a tag reply is decodable.
+    pub p_reverse: f64,
+    rng: SmallRng,
+}
+
+impl ErasureChannel {
+    /// Creates an erasure channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p_forward: f64, p_reverse: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_forward) && (0.0..=1.0).contains(&p_reverse),
+            "probabilities must be in [0, 1]"
+        );
+        Self {
+            p_forward,
+            p_reverse,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl AirChannel for ErasureChannel {
+    fn reader_to_tag_ok(&mut self, _tag: usize, _time_s: f64) -> bool {
+        self.rng.gen::<f64>() < self.p_forward
+    }
+
+    fn tag_to_reader_ok(&mut self, _tag: usize, _time_s: f64) -> bool {
+        self.rng.gen::<f64>() < self.p_reverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_always_delivers() {
+        let mut ch = PerfectChannel;
+        assert!(ch.reader_to_tag_ok(0, 0.0));
+        assert!(ch.tag_to_reader_ok(5, 100.0));
+    }
+
+    #[test]
+    fn erasure_channel_matches_its_probability() {
+        let mut ch = ErasureChannel::new(0.25, 0.75, 9);
+        let n = 20_000;
+        let fwd = (0..n).filter(|_| ch.reader_to_tag_ok(0, 0.0)).count() as f64 / n as f64;
+        let rev = (0..n).filter(|_| ch.tag_to_reader_ok(0, 0.0)).count() as f64 / n as f64;
+        assert!((fwd - 0.25).abs() < 0.02, "forward = {fwd}");
+        assert!((rev - 0.75).abs() < 0.02, "reverse = {rev}");
+    }
+
+    #[test]
+    fn erasure_channel_is_deterministic_per_seed() {
+        let mut a = ErasureChannel::new(0.5, 0.5, 123);
+        let mut b = ErasureChannel::new(0.5, 0.5, 123);
+        let seq_a: Vec<bool> = (0..50).map(|_| a.reader_to_tag_ok(0, 0.0)).collect();
+        let seq_b: Vec<bool> = (0..50).map(|_| b.reader_to_tag_ok(0, 0.0)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must be in [0, 1]")]
+    fn probabilities_are_validated() {
+        let _ = ErasureChannel::new(1.5, 0.5, 0);
+    }
+}

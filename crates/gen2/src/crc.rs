@@ -1,0 +1,169 @@
+//! Gen-2 cyclic redundancy checks.
+//!
+//! The air protocol protects Query commands with a CRC-5 and everything
+//! longer (including the PC + EPC backscatter) with a CRC-16
+//! (ISO/IEC 13239: polynomial 0x1021, preset 0xFFFF, ones-complemented on
+//! transmit).
+
+/// Computes the Gen-2 CRC-5 over a bit sequence (MSB first).
+///
+/// Polynomial `x^5 + x^3 + 1`, preset `0b01001`, transmitted uninverted.
+/// A receiver recomputing the CRC over *message + CRC bits* obtains zero.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::crc5;
+///
+/// let msg = [true, false, false, true, false, true, true, false];
+/// let crc = crc5(&msg);
+/// // Append the 5 CRC bits and verify the residue is zero.
+/// let mut framed: Vec<bool> = msg.to_vec();
+/// for i in (0..5).rev() {
+///     framed.push((crc >> i) & 1 == 1);
+/// }
+/// assert_eq!(crc5(&framed), 0);
+/// ```
+#[must_use]
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        reg = (reg << 1) & 0b1_1111;
+        if msb != bit {
+            // Feedback taps for x^5 + x^3 + 1 (the x^5 term is the shift-out).
+            reg ^= 0b0_1001;
+        }
+    }
+    reg
+}
+
+/// Computes the Gen-2 CRC-16 over bytes.
+///
+/// ISO/IEC 13239: polynomial 0x1021, preset 0xFFFF, result ones-complemented
+/// for transmission. A receiver recomputing over *message + CRC bytes*
+/// (uncomplemented accumulate) obtains the constant residue `0x1D0F`.
+///
+/// # Examples
+///
+/// ```
+/// // Standard check value for "123456789" (CRC-16/GENIBUS).
+/// assert_eq!(rfid_gen2::crc16(b"123456789"), 0xD64E);
+/// ```
+#[must_use]
+pub fn crc16(bytes: &[u8]) -> u16 {
+    !crc16_raw(bytes)
+}
+
+/// CRC-16 register value without the final complement.
+fn crc16_raw(bytes: &[u8]) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &byte in bytes {
+        reg ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if reg & 0x8000 != 0 {
+                reg = (reg << 1) ^ 0x1021;
+            } else {
+                reg <<= 1;
+            }
+        }
+    }
+    reg
+}
+
+/// Verifies a framed message whose last two bytes are the transmitted
+/// (complemented) CRC-16.
+#[must_use]
+pub fn crc16_verify(framed: &[u8]) -> bool {
+    framed.len() >= 2 && crc16_raw(framed) == 0x1D0F
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc16_check_value() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1; Gen-2 complements it.
+        assert_eq!(crc16_raw(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b"123456789"), 0xD64E);
+    }
+
+    #[test]
+    fn crc16_framed_residue() {
+        let msg = b"hello gen2";
+        let crc = crc16(msg);
+        let mut framed = msg.to_vec();
+        framed.extend_from_slice(&crc.to_be_bytes());
+        assert!(crc16_verify(&framed));
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips() {
+        let msg = b"EPC-96-PAYLOAD";
+        let crc = crc16(msg);
+        let mut framed = msg.to_vec();
+        framed.extend_from_slice(&crc.to_be_bytes());
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!crc16_verify(&corrupted), "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_verify_rejects_short_input() {
+        assert!(!crc16_verify(&[]));
+        assert!(!crc16_verify(&[0xFF]));
+    }
+
+    #[test]
+    fn crc5_is_five_bits() {
+        let bits: Vec<bool> = (0..22).map(|i| i % 3 == 0).collect();
+        assert!(crc5(&bits) < 32);
+    }
+
+    #[test]
+    fn crc5_framed_residue_is_zero() {
+        let bits: Vec<bool> = (0..17).map(|i| i % 2 == 0).collect();
+        let crc = crc5(&bits);
+        let mut framed = bits.clone();
+        for i in (0..5).rev() {
+            framed.push((crc >> i) & 1 == 1);
+        }
+        assert_eq!(crc5(&framed), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn crc5_residue_property(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let crc = crc5(&bits);
+            let mut framed = bits.clone();
+            for i in (0..5).rev() {
+                framed.push((crc >> i) & 1 == 1);
+            }
+            prop_assert_eq!(crc5(&framed), 0);
+        }
+
+        #[test]
+        fn crc5_detects_single_bit_flips(bits in proptest::collection::vec(any::<bool>(), 1..40),
+                                         flip in 0usize..40) {
+            prop_assume!(flip < bits.len());
+            let crc = crc5(&bits);
+            let mut corrupted = bits.clone();
+            corrupted[flip] = !corrupted[flip];
+            prop_assert_ne!(crc5(&corrupted), crc);
+        }
+
+        #[test]
+        fn crc16_round_trip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let crc = crc16(&data);
+            let mut framed = data.clone();
+            framed.extend_from_slice(&crc.to_be_bytes());
+            prop_assert!(crc16_verify(&framed));
+        }
+    }
+}

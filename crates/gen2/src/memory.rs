@@ -1,0 +1,355 @@
+//! Tag memory banks (EPC C1G2 section 6.3.2).
+//!
+//! Gen-2 tags carry four banks: Reserved (kill + access passwords), EPC
+//! (CRC + PC + EPC), TID (chip identity), and User. The paper's tags
+//! carry "a unique 96 bit identification code and some asset related
+//! data" — the asset data lives in User memory.
+
+use crate::{crc16, Epc96};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The four Gen-2 memory banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryBank {
+    /// Bank 00: kill password (words 0-1) and access password (words 2-3).
+    Reserved,
+    /// Bank 01: stored CRC (word 0), PC (word 1), EPC (words 2+).
+    Epc,
+    /// Bank 10: tag/chip identity, factory-locked.
+    Tid,
+    /// Bank 11: user data.
+    User,
+}
+
+/// Error from a memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// The address range falls outside the bank.
+    OutOfRange {
+        /// The bank accessed.
+        bank: MemoryBank,
+        /// First word requested.
+        word_ptr: u32,
+        /// Words requested.
+        words: u32,
+    },
+    /// The bank is locked against this operation.
+    Locked {
+        /// The bank accessed.
+        bank: MemoryBank,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfRange {
+                bank,
+                word_ptr,
+                words,
+            } => write!(
+                f,
+                "words {word_ptr}..{} exceed {bank:?} memory",
+                word_ptr + words
+            ),
+            MemoryError::Locked { bank } => write!(f, "{bank:?} memory is write-locked"),
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+/// A tag's four memory banks, word (16-bit) addressed.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::{Epc96, MemoryBank, TagMemory};
+///
+/// let mut memory = TagMemory::new(Epc96::from_u128(0xABCD), 8);
+/// memory.write(MemoryBank::User, 0, &[0x12, 0x34]).unwrap();
+/// assert_eq!(memory.read(MemoryBank::User, 0, 1).unwrap(), vec![0x12, 0x34]);
+/// assert_eq!(memory.epc(), Epc96::from_u128(0xABCD));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagMemory {
+    reserved: [u8; 8],
+    epc_bank: Vec<u8>,
+    tid: Vec<u8>,
+    user: Vec<u8>,
+    epc_locked: bool,
+    user_locked: bool,
+}
+
+impl TagMemory {
+    /// Builds memory for a 96-bit EPC with `user_words` words of user
+    /// memory. The TID is derived from the EPC (unique per tag, as a real
+    /// chip's factory TID would be), and the EPC bank's stored CRC is
+    /// computed per the spec.
+    #[must_use]
+    pub fn new(epc: Epc96, user_words: u32) -> Self {
+        // PC word: EPC length in words (6) in the top 5 bits.
+        let pc: u16 = 6 << 11;
+        let mut pc_epc = Vec::with_capacity(14);
+        pc_epc.extend_from_slice(&pc.to_be_bytes());
+        pc_epc.extend_from_slice(epc.as_bytes());
+        let stored_crc = crc16(&pc_epc);
+
+        let mut epc_bank = Vec::with_capacity(16);
+        epc_bank.extend_from_slice(&stored_crc.to_be_bytes());
+        epc_bank.extend_from_slice(&pc_epc);
+
+        // A plausible 4-word TID: class identifier + serial from the EPC.
+        let mut tid = vec![0xE2, 0x00, 0x34, 0x12];
+        tid.extend_from_slice(&epc.as_bytes()[8..12]);
+
+        Self {
+            reserved: [0; 8],
+            epc_bank,
+            tid,
+            user: vec![0; (user_words * 2) as usize],
+            epc_locked: false,
+            user_locked: false,
+        }
+    }
+
+    /// The EPC stored in the EPC bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the EPC bank has been corrupted to fewer than 16 bytes
+    /// (construction guarantees the layout; writes cannot shrink it).
+    #[must_use]
+    pub fn epc(&self) -> Epc96 {
+        let mut bytes = [0u8; 12];
+        bytes.copy_from_slice(&self.epc_bank[4..16]);
+        Epc96::from_bytes(bytes)
+    }
+
+    /// Whether the stored CRC matches the PC + EPC content.
+    #[must_use]
+    pub fn epc_crc_valid(&self) -> bool {
+        let stored = u16::from_be_bytes([self.epc_bank[0], self.epc_bank[1]]);
+        crc16(&self.epc_bank[2..16]) == stored
+    }
+
+    fn bank(&self, bank: MemoryBank) -> &[u8] {
+        match bank {
+            MemoryBank::Reserved => &self.reserved,
+            MemoryBank::Epc => &self.epc_bank,
+            MemoryBank::Tid => &self.tid,
+            MemoryBank::User => &self.user,
+        }
+    }
+
+    /// Reads `words` 16-bit words starting at `word_ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of the bank.
+    pub fn read(
+        &self,
+        bank: MemoryBank,
+        word_ptr: u32,
+        words: u32,
+    ) -> Result<Vec<u8>, MemoryError> {
+        let data = self.bank(bank);
+        let start = word_ptr as usize * 2;
+        let end = start + words as usize * 2;
+        if end > data.len() {
+            return Err(MemoryError::OutOfRange {
+                bank,
+                word_ptr,
+                words,
+            });
+        }
+        Ok(data[start..end].to_vec())
+    }
+
+    /// Writes whole words starting at `word_ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfRange`] past the end of the bank,
+    /// [`MemoryError::Locked`] for a locked bank, and rejects TID writes
+    /// (factory-locked) and odd-length data as out-of-range.
+    pub fn write(
+        &mut self,
+        bank: MemoryBank,
+        word_ptr: u32,
+        data: &[u8],
+    ) -> Result<(), MemoryError> {
+        if !data.len().is_multiple_of(2) {
+            return Err(MemoryError::OutOfRange {
+                bank,
+                word_ptr,
+                words: (data.len() as u32).div_ceil(2),
+            });
+        }
+        let locked = match bank {
+            MemoryBank::Tid => true,
+            MemoryBank::Epc => self.epc_locked,
+            MemoryBank::User => self.user_locked,
+            MemoryBank::Reserved => false,
+        };
+        if locked {
+            return Err(MemoryError::Locked { bank });
+        }
+        let target = match bank {
+            MemoryBank::Reserved => &mut self.reserved[..],
+            MemoryBank::Epc => &mut self.epc_bank[..],
+            MemoryBank::Tid => unreachable!("TID writes rejected above"),
+            MemoryBank::User => &mut self.user[..],
+        };
+        let start = word_ptr as usize * 2;
+        let end = start + data.len();
+        if end > target.len() {
+            return Err(MemoryError::OutOfRange {
+                bank,
+                word_ptr,
+                words: data.len() as u32 / 2,
+            });
+        }
+        target[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Locks a bank against further writes (Lock command semantics,
+    /// simplified to permalock).
+    pub fn lock(&mut self, bank: MemoryBank) {
+        match bank {
+            MemoryBank::Epc => self.epc_locked = true,
+            MemoryBank::User => self.user_locked = true,
+            MemoryBank::Tid | MemoryBank::Reserved => {}
+        }
+    }
+
+    /// The access password (Reserved words 2-3).
+    #[must_use]
+    pub fn access_password(&self) -> u32 {
+        u32::from_be_bytes([
+            self.reserved[4],
+            self.reserved[5],
+            self.reserved[6],
+            self.reserved[7],
+        ])
+    }
+
+    /// Sets the access password.
+    pub fn set_access_password(&mut self, password: u32) {
+        self.reserved[4..8].copy_from_slice(&password.to_be_bytes());
+    }
+
+    /// Returns the bit at absolute position `bit` of a bank (MSB-first
+    /// within bytes), if in range — the addressing Select masks use.
+    #[must_use]
+    pub fn bit(&self, bank: MemoryBank, bit: u32) -> Option<bool> {
+        let data = self.bank(bank);
+        let byte = (bit / 8) as usize;
+        if byte >= data.len() {
+            return None;
+        }
+        Some(data[byte] & (0x80 >> (bit % 8)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> TagMemory {
+        TagMemory::new(Epc96::from_u128(0x0011_2233_4455_6677_8899), 8)
+    }
+
+    #[test]
+    fn epc_bank_layout_and_crc() {
+        let m = memory();
+        assert_eq!(m.epc(), Epc96::from_u128(0x0011_2233_4455_6677_8899));
+        assert!(m.epc_crc_valid());
+        // CRC word + PC word + 6 EPC words = 8 words = 16 bytes.
+        assert_eq!(m.read(MemoryBank::Epc, 0, 8).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn rewriting_the_epc_invalidates_the_stored_crc() {
+        let mut m = memory();
+        m.write(MemoryBank::Epc, 2, &[0xFF, 0xFF]).unwrap();
+        assert!(!m.epc_crc_valid(), "stale CRC must be detectable");
+    }
+
+    #[test]
+    fn user_memory_round_trips() {
+        let mut m = memory();
+        m.write(MemoryBank::User, 3, &[0xAA, 0xBB, 0xCC, 0xDD])
+            .unwrap();
+        assert_eq!(
+            m.read(MemoryBank::User, 3, 2).unwrap(),
+            vec![0xAA, 0xBB, 0xCC, 0xDD]
+        );
+        // Untouched words stay zero.
+        assert_eq!(m.read(MemoryBank::User, 0, 1).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_rejected() {
+        let m = memory();
+        assert!(matches!(
+            m.read(MemoryBank::User, 7, 2),
+            Err(MemoryError::OutOfRange { .. })
+        ));
+        let mut m = memory();
+        assert!(m.write(MemoryBank::User, 8, &[0, 0]).is_err());
+        assert!(m.write(MemoryBank::User, 0, &[1]).is_err(), "odd length");
+    }
+
+    #[test]
+    fn tid_is_factory_locked_but_readable() {
+        let mut m = memory();
+        assert!(matches!(
+            m.write(MemoryBank::Tid, 0, &[0, 0]),
+            Err(MemoryError::Locked { .. })
+        ));
+        let tid = m.read(MemoryBank::Tid, 0, 4).unwrap();
+        assert_eq!(tid[0], 0xE2, "class identifier");
+    }
+
+    #[test]
+    fn tids_differ_per_tag() {
+        let a = TagMemory::new(Epc96::from_u128(1), 0);
+        let b = TagMemory::new(Epc96::from_u128(2), 0);
+        assert_ne!(a.tid, b.tid);
+    }
+
+    #[test]
+    fn locking_blocks_writes() {
+        let mut m = memory();
+        m.lock(MemoryBank::User);
+        assert!(matches!(
+            m.write(MemoryBank::User, 0, &[1, 2]),
+            Err(MemoryError::Locked { .. })
+        ));
+        // Reads still work.
+        assert!(m.read(MemoryBank::User, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn access_password_round_trips() {
+        let mut m = memory();
+        assert_eq!(m.access_password(), 0);
+        m.set_access_password(0xDEAD_BEEF);
+        assert_eq!(m.access_password(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn bit_addressing_is_msb_first() {
+        let mut m = memory();
+        m.write(MemoryBank::User, 0, &[0b1000_0001, 0x00]).unwrap();
+        assert_eq!(m.bit(MemoryBank::User, 0), Some(true));
+        assert_eq!(m.bit(MemoryBank::User, 1), Some(false));
+        assert_eq!(m.bit(MemoryBank::User, 7), Some(true));
+        assert_eq!(m.bit(MemoryBank::User, 16 * 8), None);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Select command (EPC C1G2 section 6.3.2.11).
+//!
+//! Select partitions the tag population before inventory by matching a
+//! bit mask against a memory bank and asserting/deasserting the SL flag
+//! or a session's inventoried flag. Portals use it to inventory only the
+//! tags of interest (e.g. one pallet's EPC prefix) — directly relevant
+//! to the paper's multi-object portals, where confining a round to the
+//! expected population reduces collisions.
+
+use crate::memory::{MemoryBank, TagMemory};
+use crate::tag::{InventoriedFlag, Session};
+use serde::{Deserialize, Serialize};
+
+/// What a Select command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectTarget {
+    /// The inventoried flag of a session.
+    Inventoried(Session),
+    /// The SL flag.
+    Sl,
+}
+
+/// What to do with matching / non-matching tags (the spec's action
+/// table, condensed to its three used rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectAction {
+    /// Matching tags assert (SL=1 / flag->A); others deassert.
+    AssertMatching,
+    /// Matching tags deassert (SL=0 / flag->B); others assert.
+    DeassertMatching,
+    /// Matching tags toggle; others unchanged.
+    ToggleMatching,
+}
+
+/// A Select command: match `mask` against `bank` starting at `bit_ptr`.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::{Epc96, MemoryBank, SelectAction, SelectCommand, SelectTarget, TagMemory};
+///
+/// let memory = TagMemory::new(Epc96::from_u128(0xAB00), 0);
+/// // Match the first 16 EPC bits (bank bit 32 = first EPC bit: after
+/// // CRC and PC words).
+/// let select = SelectCommand::matching_epc_prefix(&Epc96::from_u128(0xAB00), 16);
+/// assert!(select.matches(&memory));
+/// let other = TagMemory::new(Epc96::from_u128(0xCD00), 0);
+/// assert!(select.matches(&other) == (0xAB00u128 >> 80 == 0xCD00u128 >> 80));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectCommand {
+    /// Flag the command manipulates.
+    pub target: SelectTarget,
+    /// Action applied to matching/non-matching tags.
+    pub action: SelectAction,
+    /// Bank the mask is compared against.
+    pub bank: MemoryBank,
+    /// Starting bit address within the bank.
+    pub bit_ptr: u32,
+    /// The mask bits (MSB-first).
+    pub mask: Vec<bool>,
+}
+
+impl SelectCommand {
+    /// A Select asserting SL on tags whose EPC starts with the first
+    /// `prefix_bits` bits of `epc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_bits > 96`.
+    #[must_use]
+    pub fn matching_epc_prefix(epc: &crate::Epc96, prefix_bits: u32) -> SelectCommand {
+        assert!(prefix_bits <= 96, "an EPC has 96 bits");
+        let bytes = epc.as_bytes();
+        let mask = (0..prefix_bits)
+            .map(|bit| bytes[(bit / 8) as usize] & (0x80 >> (bit % 8)) != 0)
+            .collect();
+        SelectCommand {
+            target: SelectTarget::Sl,
+            action: SelectAction::AssertMatching,
+            bank: MemoryBank::Epc,
+            // EPC bank layout: CRC (16 bits) + PC (16 bits) + EPC.
+            bit_ptr: 32,
+            mask,
+        }
+    }
+
+    /// Whether the mask matches the tag's memory. A mask running past
+    /// the end of the bank does not match (per spec).
+    #[must_use]
+    pub fn matches(&self, memory: &TagMemory) -> bool {
+        self.mask
+            .iter()
+            .enumerate()
+            .all(|(i, &want)| memory.bit(self.bank, self.bit_ptr + i as u32) == Some(want))
+    }
+}
+
+/// The SL filter of a Query command: which tags may join the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SelFilter {
+    /// Any tag (the spec's SL = All).
+    #[default]
+    All,
+    /// Only tags with SL asserted.
+    Selected,
+    /// Only tags with SL deasserted.
+    NotSelected,
+}
+
+impl SelFilter {
+    /// Whether a tag with the given SL state passes the filter.
+    #[must_use]
+    pub fn admits(&self, sl: bool) -> bool {
+        match self {
+            SelFilter::All => true,
+            SelFilter::Selected => sl,
+            SelFilter::NotSelected => !sl,
+        }
+    }
+}
+
+/// Applies a Select to a tag's flags; returns the new SL value and an
+/// optional inventoried-flag override for the targeted session.
+#[must_use]
+pub fn apply_select(
+    command: &SelectCommand,
+    memory: &TagMemory,
+    current_sl: bool,
+    current_flag: InventoriedFlag,
+) -> (bool, Option<(Session, InventoriedFlag)>) {
+    let matched = command.matches(memory);
+    match command.target {
+        SelectTarget::Sl => {
+            let sl = match (command.action, matched) {
+                (SelectAction::AssertMatching, true) => true,
+                (SelectAction::AssertMatching, false) => false,
+                (SelectAction::DeassertMatching, true) => false,
+                (SelectAction::DeassertMatching, false) => true,
+                (SelectAction::ToggleMatching, true) => !current_sl,
+                (SelectAction::ToggleMatching, false) => current_sl,
+            };
+            (sl, None)
+        }
+        SelectTarget::Inventoried(session) => {
+            let flag = match (command.action, matched) {
+                (SelectAction::AssertMatching, true) => Some(InventoriedFlag::A),
+                (SelectAction::AssertMatching, false) => Some(InventoriedFlag::B),
+                (SelectAction::DeassertMatching, true) => Some(InventoriedFlag::B),
+                (SelectAction::DeassertMatching, false) => Some(InventoriedFlag::A),
+                (SelectAction::ToggleMatching, true) => Some(current_flag.toggled()),
+                (SelectAction::ToggleMatching, false) => None,
+            };
+            (current_sl, flag.map(|f| (session, f)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Epc96;
+
+    fn memory(epc: u128) -> TagMemory {
+        TagMemory::new(Epc96::from_u128(epc), 4)
+    }
+
+    #[test]
+    fn epc_prefix_select_discriminates() {
+        // Two EPCs differing in the first byte.
+        let a = Epc96::from_bytes([0xAB, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        let b = Epc96::from_bytes([0xCD, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2]);
+        let select = SelectCommand::matching_epc_prefix(&a, 8);
+        assert!(select.matches(&TagMemory::new(a, 0)));
+        assert!(!select.matches(&TagMemory::new(b, 0)));
+    }
+
+    #[test]
+    fn zero_length_mask_matches_everything() {
+        let select = SelectCommand {
+            target: SelectTarget::Sl,
+            action: SelectAction::AssertMatching,
+            bank: MemoryBank::Epc,
+            bit_ptr: 32,
+            mask: Vec::new(),
+        };
+        assert!(select.matches(&memory(1)));
+        assert!(select.matches(&memory(2)));
+    }
+
+    #[test]
+    fn mask_past_bank_end_never_matches() {
+        let select = SelectCommand {
+            target: SelectTarget::Sl,
+            action: SelectAction::AssertMatching,
+            bank: MemoryBank::User,
+            bit_ptr: 4 * 16 - 2,
+            mask: vec![false, false, false, false],
+        };
+        assert!(!select.matches(&memory(1)));
+    }
+
+    #[test]
+    fn sl_actions_follow_the_table() {
+        let m = memory(0xAB);
+        let matching = SelectCommand {
+            target: SelectTarget::Sl,
+            action: SelectAction::AssertMatching,
+            bank: MemoryBank::Epc,
+            bit_ptr: 32,
+            mask: Vec::new(), // matches all
+        };
+        let (sl, flag) = apply_select(&matching, &m, false, InventoriedFlag::A);
+        assert!(sl);
+        assert!(flag.is_none());
+
+        let deassert = SelectCommand {
+            action: SelectAction::DeassertMatching,
+            ..matching.clone()
+        };
+        assert!(!apply_select(&deassert, &m, true, InventoriedFlag::A).0);
+
+        let toggle = SelectCommand {
+            action: SelectAction::ToggleMatching,
+            ..matching
+        };
+        assert!(apply_select(&toggle, &m, false, InventoriedFlag::A).0);
+        assert!(!apply_select(&toggle, &m, true, InventoriedFlag::A).0);
+    }
+
+    #[test]
+    fn inventoried_flag_actions() {
+        let m = memory(0xAB);
+        let cmd = SelectCommand {
+            target: SelectTarget::Inventoried(Session::S2),
+            action: SelectAction::AssertMatching,
+            bank: MemoryBank::Epc,
+            bit_ptr: 32,
+            mask: Vec::new(),
+        };
+        let (_, flag) = apply_select(&cmd, &m, false, InventoriedFlag::B);
+        assert_eq!(flag, Some((Session::S2, InventoriedFlag::A)));
+
+        // Non-matching tags get the opposite assertion.
+        let nomatch = SelectCommand {
+            mask: vec![true; 97], // longer than the bank: never matches
+            ..cmd
+        };
+        let (_, flag) = apply_select(&nomatch, &m, false, InventoriedFlag::A);
+        assert_eq!(flag, Some((Session::S2, InventoriedFlag::B)));
+    }
+
+    #[test]
+    fn sel_filter_admits_correctly() {
+        assert!(SelFilter::All.admits(true) && SelFilter::All.admits(false));
+        assert!(SelFilter::Selected.admits(true) && !SelFilter::Selected.admits(false));
+        assert!(!SelFilter::NotSelected.admits(true) && SelFilter::NotSelected.admits(false));
+    }
+}

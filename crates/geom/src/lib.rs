@@ -1,0 +1,43 @@
+//! Minimal 3-D geometry for RFID portal simulation.
+//!
+//! The simulator needs just enough geometry to answer the questions the
+//! DSN 2007 measurements depend on:
+//!
+//! * where is a tag relative to an antenna at time `t` (vectors, [`Pose`]s),
+//! * at what angle does the antenna see the tag (rotations, direction math),
+//! * how much *material* lies on the line of sight between them
+//!   ([`Solid::chord`] — the thickness of each box, router, or human body a
+//!   ray passes through, which drives RF attenuation).
+//!
+//! Everything is `f64`, right-handed, and dependency-light by design.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfid_geom::{Vec3, Pose, Ray, Shape, Solid};
+//!
+//! // A cardboard box 40 cm on each side, 1 m in front of the origin.
+//! let solid = Solid::new(
+//!     Shape::aabb(Vec3::new(0.2, 0.2, 0.2)),
+//!     Pose::from_translation(Vec3::new(0.0, 1.0, 0.0)),
+//! );
+//! // A ray from the origin straight through the box.
+//! let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)).unwrap();
+//! let thickness = solid.chord(&ray, f64::INFINITY);
+//! assert!((thickness - 0.4).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pose;
+mod ray;
+mod rotation;
+mod shapes;
+mod vec3;
+
+pub use pose::Pose;
+pub use ray::Ray;
+pub use rotation::Rotation;
+pub use shapes::{Shape, Solid};
+pub use vec3::Vec3;

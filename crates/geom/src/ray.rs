@@ -1,0 +1,124 @@
+//! Rays for line-of-sight queries.
+
+use crate::{Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A half-line with a unit direction.
+///
+/// Rays model the line of sight from an antenna to a tag; intersecting them
+/// with world solids yields the material thicknesses that attenuate the RF
+/// link.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_geom::{Ray, Vec3};
+///
+/// let ray = Ray::between(Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0)).unwrap();
+/// assert!((ray.point_at(1.0) - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    origin: Vec3,
+    direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray from an origin and a direction.
+    ///
+    /// The direction is normalized; returns `None` for a (near-)zero
+    /// direction.
+    #[must_use]
+    pub fn new(origin: Vec3, direction: Vec3) -> Option<Ray> {
+        Some(Ray {
+            origin,
+            direction: direction.normalized()?,
+        })
+    }
+
+    /// Creates the ray from `from` towards `to`.
+    ///
+    /// Returns `None` if the points coincide.
+    #[must_use]
+    pub fn between(from: Vec3, to: Vec3) -> Option<Ray> {
+        Ray::new(from, to - from)
+    }
+
+    /// Ray origin.
+    #[must_use]
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+
+    /// Unit direction.
+    #[must_use]
+    pub fn direction(&self) -> Vec3 {
+        self.direction
+    }
+
+    /// The point `origin + t * direction`.
+    #[must_use]
+    pub fn point_at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Expresses this world-frame ray in the local frame of `pose`.
+    ///
+    /// Because rotations preserve length, parameter values `t` measured on
+    /// the local ray are valid on the world ray.
+    #[must_use]
+    pub fn to_local(&self, pose: &Pose) -> Ray {
+        Ray {
+            origin: pose.inverse_transform_point(self.origin),
+            direction: pose.inverse_transform_dir(self.direction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rotation;
+    use proptest::prelude::*;
+
+    #[test]
+    fn direction_is_normalized() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 5.0, 0.0)).unwrap();
+        assert!((ray.direction().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rays_are_rejected() {
+        assert!(Ray::new(Vec3::ZERO, Vec3::ZERO).is_none());
+        assert!(Ray::between(Vec3::X, Vec3::X).is_none());
+    }
+
+    #[test]
+    fn between_passes_through_both_points() {
+        let from = Vec3::new(1.0, 2.0, 3.0);
+        let to = Vec3::new(4.0, 6.0, 3.0);
+        let ray = Ray::between(from, to).unwrap();
+        assert!((ray.point_at(0.0) - from).norm() < 1e-12);
+        assert!((ray.point_at(from.distance(to)) - to).norm() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn local_ray_parameterization_matches_world(
+            ox in -5.0f64..5.0, oy in -5.0f64..5.0,
+            dx in -1.0f64..1.0, dy in -1.0f64..1.0,
+            t in 0.0f64..10.0, yaw in -3.0f64..3.0, trx in -5.0f64..5.0,
+        ) {
+            let dir = Vec3::new(dx, dy, 0.3);
+            prop_assume!(dir.norm() > 1e-6);
+            let ray = Ray::new(Vec3::new(ox, oy, 0.0), dir).unwrap();
+            let pose = Pose::new(Vec3::new(trx, 1.0, -2.0),
+                                 Rotation::from_yaw_pitch_roll(yaw, 0.5, 0.0));
+            let local = ray.to_local(&pose);
+            // The same t on the local ray corresponds to the transformed point.
+            let world_point = ray.point_at(t);
+            let local_point = local.point_at(t);
+            prop_assert!((pose.transform_point(local_point) - world_point).norm() < 1e-8);
+        }
+    }
+}

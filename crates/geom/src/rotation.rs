@@ -1,0 +1,253 @@
+//! 3-D rotations as orthonormal matrices.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A rotation, stored as a row-major 3x3 orthonormal matrix.
+///
+/// Rotations model tag and antenna orientation — the paper's Figure 3 tests
+/// six tag orientations against the antenna, and orientation is one of the
+/// dominant reliability factors it identifies.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_geom::{Rotation, Vec3};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// // Rotate 90 degrees about z: x becomes y.
+/// let r = Rotation::from_axis_angle(Vec3::Z, FRAC_PI_2).unwrap();
+/// let v = r.apply(Vec3::X);
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rotation {
+    m: [[f64; 3]; 3],
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub const IDENTITY: Rotation = Rotation {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Rotation of `angle` radians about the given axis (Rodrigues formula).
+    ///
+    /// Returns `None` if `axis` is (near-)zero.
+    #[must_use]
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Option<Rotation> {
+        let u = axis.normalized()?;
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (u.x, u.y, u.z);
+        Some(Rotation {
+            m: [
+                [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+                [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+                [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+            ],
+        })
+    }
+
+    /// The rotation that takes unit vector `from` onto unit vector `to` by
+    /// the shortest arc.
+    ///
+    /// Returns `None` if either input is (near-)zero. Anti-parallel inputs
+    /// rotate about an arbitrary perpendicular axis.
+    #[must_use]
+    pub fn between(from: Vec3, to: Vec3) -> Option<Rotation> {
+        let f = from.normalized()?;
+        let t = to.normalized()?;
+        let dot = f.dot(t);
+        if dot > 1.0 - 1e-12 {
+            return Some(Rotation::IDENTITY);
+        }
+        if dot < -1.0 + 1e-12 {
+            // Anti-parallel: rotate pi about any axis perpendicular to f.
+            let axis = if f.x.abs() < 0.9 {
+                f.cross(Vec3::X)
+            } else {
+                f.cross(Vec3::Y)
+            };
+            return Rotation::from_axis_angle(axis, std::f64::consts::PI);
+        }
+        Rotation::from_axis_angle(f.cross(t), dot.clamp(-1.0, 1.0).acos())
+    }
+
+    /// Intrinsic yaw (about z), then pitch (about y), then roll (about x).
+    #[must_use]
+    pub fn from_yaw_pitch_roll(yaw: f64, pitch: f64, roll: f64) -> Rotation {
+        let rz = Rotation::from_axis_angle(Vec3::Z, yaw).expect("z axis is nonzero");
+        let ry = Rotation::from_axis_angle(Vec3::Y, pitch).expect("y axis is nonzero");
+        let rx = Rotation::from_axis_angle(Vec3::X, roll).expect("x axis is nonzero");
+        rz * ry * rx
+    }
+
+    /// Applies the rotation to a vector.
+    #[must_use]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// The inverse rotation (transpose, since the matrix is orthonormal).
+    #[must_use]
+    pub fn inverse(&self) -> Rotation {
+        let m = &self.m;
+        Rotation {
+            m: [
+                [m[0][0], m[1][0], m[2][0]],
+                [m[0][1], m[1][1], m[2][1]],
+                [m[0][2], m[1][2], m[2][2]],
+            ],
+        }
+    }
+
+    /// Maximum absolute deviation of `R * R^T` from the identity — a health
+    /// check for accumulated numeric drift.
+    #[must_use]
+    pub fn orthonormality_error(&self) -> f64 {
+        let rt = self.inverse();
+        let prod = *self * rt;
+        let mut err: f64 = 0.0;
+        for (i, row) in prod.m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                err = err.max((v - expect).abs());
+            }
+        }
+        err
+    }
+}
+
+impl Default for Rotation {
+    fn default() -> Self {
+        Rotation::IDENTITY
+    }
+}
+
+impl Mul for Rotation {
+    type Output = Rotation;
+
+    /// Composition: `(a * b).apply(v) == a.apply(b.apply(v))`.
+    fn mul(self, rhs: Rotation) -> Rotation {
+        let mut m = [[0.0; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * rhs.m[k][j]).sum();
+            }
+        }
+        Rotation { m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_close(Rotation::IDENTITY.apply(v), v);
+    }
+
+    #[test]
+    fn quarter_turns_about_each_axis() {
+        let rz = Rotation::from_axis_angle(Vec3::Z, FRAC_PI_2).unwrap();
+        assert_close(rz.apply(Vec3::X), Vec3::Y);
+        let rx = Rotation::from_axis_angle(Vec3::X, FRAC_PI_2).unwrap();
+        assert_close(rx.apply(Vec3::Y), Vec3::Z);
+        let ry = Rotation::from_axis_angle(Vec3::Y, FRAC_PI_2).unwrap();
+        assert_close(ry.apply(Vec3::Z), Vec3::X);
+    }
+
+    #[test]
+    fn zero_axis_is_rejected() {
+        assert!(Rotation::from_axis_angle(Vec3::ZERO, 1.0).is_none());
+    }
+
+    #[test]
+    fn between_parallel_and_antiparallel() {
+        let id = Rotation::between(Vec3::X, Vec3::X).unwrap();
+        assert_close(id.apply(Vec3::Y), Vec3::Y);
+
+        let flip = Rotation::between(Vec3::X, -Vec3::X).unwrap();
+        assert_close(flip.apply(Vec3::X), -Vec3::X);
+        assert!(flip.orthonormality_error() < 1e-9);
+    }
+
+    #[test]
+    fn between_maps_from_to_to() {
+        let from = Vec3::new(1.0, 2.0, -0.5);
+        let to = Vec3::new(-3.0, 0.1, 1.0);
+        let r = Rotation::between(from, to).unwrap();
+        let mapped = r.apply(from.normalized().unwrap());
+        assert_close(mapped, to.normalized().unwrap());
+    }
+
+    #[test]
+    fn yaw_pitch_roll_composition_order() {
+        // Pure yaw of pi/2 sends x to y.
+        let r = Rotation::from_yaw_pitch_roll(FRAC_PI_2, 0.0, 0.0);
+        assert_close(r.apply(Vec3::X), Vec3::Y);
+        // Pure pitch of pi/2 sends z to x (rotation about y).
+        let r = Rotation::from_yaw_pitch_roll(0.0, FRAC_PI_2, 0.0);
+        assert_close(r.apply(Vec3::Z), Vec3::X);
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let r = Rotation::from_axis_angle(Vec3::new(1.0, 1.0, 1.0), 2.0 * PI).unwrap();
+        assert!(r.orthonormality_error() < 1e-9);
+        assert_close(r.apply(Vec3::X), Vec3::X);
+    }
+
+    proptest! {
+        #[test]
+        fn rotation_preserves_length(axis_x in -1.0f64..1.0, axis_y in -1.0f64..1.0,
+                                     axis_z in -1.0f64..1.0, angle in -10.0f64..10.0,
+                                     vx in -10.0f64..10.0, vy in -10.0f64..10.0, vz in -10.0f64..10.0) {
+            let axis = Vec3::new(axis_x, axis_y, axis_z);
+            prop_assume!(axis.norm() > 1e-6);
+            let r = Rotation::from_axis_angle(axis, angle).unwrap();
+            let v = Vec3::new(vx, vy, vz);
+            prop_assert!((r.apply(v).norm() - v.norm()).abs() < 1e-8);
+        }
+
+        #[test]
+        fn inverse_undoes_rotation(angle in -10.0f64..10.0,
+                                   vx in -10.0f64..10.0, vy in -10.0f64..10.0, vz in -10.0f64..10.0) {
+            let r = Rotation::from_axis_angle(Vec3::new(1.0, -2.0, 0.5), angle).unwrap();
+            let v = Vec3::new(vx, vy, vz);
+            let back = r.inverse().apply(r.apply(v));
+            prop_assert!((back - v).norm() < 1e-8);
+        }
+
+        #[test]
+        fn composition_matches_sequential_application(a1 in -3.0f64..3.0, a2 in -3.0f64..3.0,
+                                                      vx in -5.0f64..5.0, vy in -5.0f64..5.0) {
+            let r1 = Rotation::from_axis_angle(Vec3::Z, a1).unwrap();
+            let r2 = Rotation::from_axis_angle(Vec3::X, a2).unwrap();
+            let v = Vec3::new(vx, vy, 1.0);
+            let composed = (r1 * r2).apply(v);
+            let sequential = r1.apply(r2.apply(v));
+            prop_assert!((composed - sequential).norm() < 1e-9);
+        }
+
+        #[test]
+        fn rotations_stay_orthonormal(yaw in -7.0f64..7.0, pitch in -7.0f64..7.0, roll in -7.0f64..7.0) {
+            let r = Rotation::from_yaw_pitch_roll(yaw, pitch, roll);
+            prop_assert!(r.orthonormality_error() < 1e-9);
+        }
+    }
+}

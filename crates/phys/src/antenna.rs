@@ -1,0 +1,328 @@
+//! Antenna radiation patterns and polarization.
+//!
+//! Frame conventions used throughout the simulator:
+//!
+//! * **Reader antenna** local frame: boresight along `+y`, "up" along `+z`.
+//! * **Tag** local frame: the dipole axis along `+x` (the long dimension of
+//!   the paper's 2.5 cm x 10 cm Symbol tag), face normal along `+y`.
+//!
+//! The paper's Figure 3 orientations are rotations of the tag frame; cases 1
+//! and 5 put the dipole axis *along* the line of sight (end-on), which lands
+//! in the dipole's pattern null — exactly the orientations the paper finds
+//! least reliable.
+
+use crate::Db;
+use rfid_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Floor applied to deep pattern nulls; physical tags keep a little
+/// response from scattering and feed-line pickup.
+const NULL_FLOOR_DB: f64 = -30.0;
+
+/// Gain behind a patch antenna relative to boresight (front-to-back ratio).
+const FRONT_TO_BACK_DB: f64 = -20.0;
+
+/// A far-field radiation pattern in the antenna's local frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Uniform gain in all directions (0 dBi); useful in tests.
+    Isotropic,
+    /// A half-wave dipole along the local `x` axis (2.15 dBi broadside,
+    /// nulls end-on). This is the tag-side pattern.
+    HalfWaveDipole,
+    /// A directional patch/area antenna with boresight along local `+y`.
+    ///
+    /// Gain falls off as `cos^n` of the angle from boresight, where `n` is
+    /// derived from the boresight gain so that pattern and peak gain stay
+    /// consistent.
+    Patch {
+        /// Boresight gain in dBi.
+        boresight_gain_dbi: f64,
+    },
+    /// Two orthogonal half-wave dipoles along local `x` and `z`, combined
+    /// — the "dual-dipole" tag design sold for orientation-insensitive
+    /// applications (the paper's future work mentions evaluating
+    /// different tag designs). The pattern is the power sum of the two
+    /// dipoles, which removes the end-on null of a single dipole: the
+    /// deepest direction loses only ~3 dB relative to a lone dipole's
+    /// broadside peak instead of falling into a null.
+    DualDipole,
+}
+
+impl Pattern {
+    /// Convenience constructor for a patch with the given boresight gain.
+    #[must_use]
+    pub fn patch(boresight_gain_dbi: f64) -> Pattern {
+        Pattern::Patch { boresight_gain_dbi }
+    }
+
+    /// Gain toward a direction expressed in the *antenna's local frame*.
+    ///
+    /// The direction need not be normalized. A zero direction yields the
+    /// null-floor gain.
+    #[must_use]
+    pub fn gain(&self, local_dir: Vec3) -> Db {
+        let Some(dir) = local_dir.normalized() else {
+            return Db::new(NULL_FLOOR_DB);
+        };
+        match *self {
+            Pattern::Isotropic => Db::ZERO,
+            Pattern::HalfWaveDipole => {
+                // Angle from the dipole axis (local x).
+                let cos_theta = dir.x.clamp(-1.0, 1.0);
+                let sin_theta = (1.0 - cos_theta * cos_theta).sqrt();
+                if sin_theta < 1e-6 {
+                    return Db::new(NULL_FLOOR_DB);
+                }
+                // Half-wave dipole pattern factor, peak 2.15 dBi broadside.
+                let factor = ((std::f64::consts::FRAC_PI_2 * cos_theta).cos() / sin_theta).powi(2);
+                let gain_db = 2.15 + 10.0 * factor.max(1e-9).log10();
+                Db::new(gain_db.max(NULL_FLOOR_DB))
+            }
+            Pattern::Patch { boresight_gain_dbi } => {
+                let cos_bore = dir.y;
+                if cos_bore <= 0.0 {
+                    return Db::new(boresight_gain_dbi + FRONT_TO_BACK_DB);
+                }
+                // Directivity ~ 2(n+1) for cos^n patterns; invert for n.
+                let n = (2.0 * 10f64.powf(boresight_gain_dbi / 10.0) / 2.0 - 1.0).max(1.0);
+                let gain_db = boresight_gain_dbi + 10.0 * n * cos_bore.max(1e-9).log10();
+                Db::new(gain_db.max(boresight_gain_dbi + FRONT_TO_BACK_DB))
+            }
+            Pattern::DualDipole => {
+                // Power sum of dipoles along x and z, each at half the
+                // input power (the chip splits between the two ports).
+                let x_dipole = dipole_pattern_linear(dir.x);
+                let z_dipole = dipole_pattern_linear(dir.z);
+                let combined = 0.5 * (x_dipole + z_dipole);
+                Db::new((10.0 * combined.max(1e-9).log10()).max(NULL_FLOOR_DB))
+            }
+        }
+    }
+}
+
+/// Half-wave dipole pattern as a linear power gain (relative to
+/// isotropic) for the given cosine of the angle from the dipole axis.
+fn dipole_pattern_linear(cos_theta: f64) -> f64 {
+    let cos_theta = cos_theta.clamp(-1.0, 1.0);
+    let sin_theta = (1.0 - cos_theta * cos_theta).sqrt();
+    if sin_theta < 1e-6 {
+        return 0.0;
+    }
+    let factor = ((std::f64::consts::FRAC_PI_2 * cos_theta).cos() / sin_theta).powi(2);
+    1.64 * factor
+}
+
+/// Antenna polarization.
+///
+/// Commercial portal antennas (like the paper's area antenna) are circularly
+/// polarized so that linear tags read in any roll orientation at a fixed
+/// 3 dB penalty; a linear reader antenna trades that penalty for strong
+/// orientation sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Polarization {
+    /// Circular polarization (either handedness; tags are linear so only
+    /// the 3 dB split matters).
+    Circular,
+    /// Linear polarization along the given axis in the antenna local frame.
+    Linear {
+        /// Electric-field axis in the antenna's local frame.
+        axis: Vec3,
+    },
+}
+
+impl Polarization {
+    /// Vertical linear polarization (local `z`).
+    #[must_use]
+    pub fn linear_vertical() -> Polarization {
+        Polarization::Linear { axis: Vec3::Z }
+    }
+
+    /// Polarization mismatch loss between this (reader) polarization and a
+    /// linear tag, both expressed in the *world* frame.
+    ///
+    /// `los` is the propagation direction (unit vector from reader to tag),
+    /// `reader_axis_world` the reader's E-field axis for linear readers (any
+    /// value for circular), and `tag_axis_world` the tag dipole axis. Axes
+    /// are projected onto the plane transverse to propagation; the loss is
+    /// `-20 log10 |cos angle|`, floored at the cross-polarization isolation
+    /// of practical antennas (25 dB), plus the constant 3 dB circular-to-
+    /// linear split for circular readers.
+    #[must_use]
+    pub fn mismatch_loss(&self, los: Vec3, reader_axis_world: Vec3, tag_axis_world: Vec3) -> Db {
+        const CROSS_POL_FLOOR_DB: f64 = 25.0;
+        let Some(k) = los.normalized() else {
+            return Db::ZERO;
+        };
+        let project = |v: Vec3| v - k * v.dot(k);
+        let tag_t = project(tag_axis_world);
+        match self {
+            Polarization::Circular => {
+                // A linear tag always captures half the circular power as
+                // long as its transverse projection is significant; a tag
+                // axis nearly parallel to propagation is handled by the
+                // pattern null, but we still keep the projection term so the
+                // loss degrades smoothly.
+                let tag_norm = tag_t.norm();
+                if tag_norm < 1e-9 {
+                    return Db::new(CROSS_POL_FLOOR_DB);
+                }
+                Db::new(3.0)
+            }
+            Polarization::Linear { .. } => {
+                let reader_t = project(reader_axis_world);
+                match (reader_t.normalized(), tag_t.normalized()) {
+                    (Some(r), Some(t)) => {
+                        let cos = r.dot(t).abs();
+                        if cos < 1e-9 {
+                            Db::new(CROSS_POL_FLOOR_DB)
+                        } else {
+                            Db::new((-20.0 * cos.log10()).min(CROSS_POL_FLOOR_DB))
+                        }
+                    }
+                    _ => Db::new(CROSS_POL_FLOOR_DB),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn isotropic_gain_is_flat() {
+        for dir in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, -2.0, 0.5)] {
+            assert_eq!(Pattern::Isotropic.gain(dir), Db::ZERO);
+        }
+    }
+
+    #[test]
+    fn dipole_broadside_and_null() {
+        let p = Pattern::HalfWaveDipole;
+        // Broadside (perpendicular to the x axis): peak 2.15 dBi.
+        assert!((p.gain(Vec3::Y).value() - 2.15).abs() < 1e-9);
+        assert!((p.gain(Vec3::Z).value() - 2.15).abs() < 1e-9);
+        // End-on: the null floor.
+        assert_eq!(p.gain(Vec3::X).value(), NULL_FLOOR_DB);
+        assert_eq!(p.gain(-Vec3::X).value(), NULL_FLOOR_DB);
+    }
+
+    #[test]
+    fn dipole_pattern_is_monotone_from_broadside_to_null() {
+        let p = Pattern::HalfWaveDipole;
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            // Sweep from broadside (angle 0 from y) toward the x axis.
+            let theta = i as f64 / 10.0 * std::f64::consts::FRAC_PI_2;
+            let dir = Vec3::new(theta.sin(), theta.cos(), 0.0);
+            let g = p.gain(dir).value();
+            assert!(g <= last + 1e-9, "gain should fall toward the null");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn patch_boresight_and_back() {
+        let p = Pattern::patch(6.0);
+        assert!((p.gain(Vec3::Y).value() - 6.0).abs() < 1e-9);
+        // Behind the antenna: front-to-back ratio applies.
+        assert!((p.gain(-Vec3::Y).value() - (6.0 + FRONT_TO_BACK_DB)).abs() < 1e-9);
+        // At 60 degrees off boresight, gain is below boresight but above the back lobe.
+        let off = p.gain(Vec3::new(0.866, 0.5, 0.0)).value();
+        assert!(off < 6.0 && off > 6.0 + FRONT_TO_BACK_DB);
+    }
+
+    #[test]
+    fn circular_reader_costs_three_db() {
+        let loss = Polarization::Circular.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::Z);
+        assert!((loss.value() - 3.0).abs() < 1e-9);
+        // Roll orientation of the tag does not matter for a circular reader.
+        let rolled = Polarization::Circular.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::X);
+        assert!((rolled.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_reader_copolar_and_crosspolar() {
+        let pol = Polarization::linear_vertical();
+        // Co-polarized: no loss.
+        let co = pol.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::Z);
+        assert!(co.value().abs() < 1e-9);
+        // Cross-polarized: floor.
+        let cross = pol.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::X);
+        assert!((cross.value() - 25.0).abs() < 1e-9);
+        // 45 degrees: 3 dB.
+        let diag = pol.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::new(1.0, 0.0, 1.0));
+        assert!((diag.value() - 3.01).abs() < 0.05);
+    }
+
+    #[test]
+    fn dual_dipole_has_no_null() {
+        let p = Pattern::DualDipole;
+        // Sample many directions: the worst case stays far above the
+        // single dipole's -30 dB null floor.
+        let mut worst = f64::INFINITY;
+        for i in 0..200 {
+            let theta = std::f64::consts::PI * (i as f64 + 0.5) / 200.0;
+            for j in 0..40 {
+                let phi = 2.0 * std::f64::consts::PI * j as f64 / 40.0;
+                let dir = Vec3::new(
+                    theta.sin() * phi.cos(),
+                    theta.sin() * phi.sin(),
+                    theta.cos(),
+                );
+                worst = worst.min(p.gain(dir).value());
+            }
+        }
+        assert!(worst > -5.0, "dual-dipole worst-case gain = {worst} dB");
+        // End-on to one dipole, the other carries the link.
+        assert!(p.gain(Vec3::X).value() > -2.0);
+        assert!(p.gain(Vec3::Z).value() > -2.0);
+        // But it never beats a single dipole's broadside peak.
+        assert!(p.gain(Vec3::Y).value() <= 2.15 + 1e-9);
+    }
+
+    #[test]
+    fn tag_axis_along_los_hits_cross_pol_floor() {
+        let loss = Polarization::Circular.mismatch_loss(Vec3::Y, Vec3::Z, Vec3::Y);
+        assert!((loss.value() - 25.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn gains_never_exceed_peak(dx in -1.0f64..1.0, dy in -1.0f64..1.0, dz in -1.0f64..1.0) {
+            let dir = Vec3::new(dx, dy, dz);
+            prop_assume!(dir.norm() > 1e-6);
+            prop_assert!(Pattern::HalfWaveDipole.gain(dir).value() <= 2.15 + 1e-9);
+            prop_assert!(Pattern::patch(6.0).gain(dir).value() <= 6.0 + 1e-9);
+            prop_assert!(Pattern::HalfWaveDipole.gain(dir).value() >= NULL_FLOOR_DB);
+            prop_assert!(Pattern::patch(6.0).gain(dir).value() >= 6.0 + FRONT_TO_BACK_DB - 1e-9);
+        }
+
+        #[test]
+        fn mismatch_loss_is_never_negative(dx in -1.0f64..1.0, dy in -1.0f64..1.0,
+                                           ax in -1.0f64..1.0, az in -1.0f64..1.0) {
+            let los = Vec3::new(dx, dy, 0.2);
+            prop_assume!(los.norm() > 1e-6);
+            let tag_axis = Vec3::new(ax, 0.3, az);
+            prop_assume!(tag_axis.norm() > 1e-6);
+            for pol in [Polarization::Circular, Polarization::linear_vertical()] {
+                let loss = pol.mismatch_loss(los, Vec3::Z, tag_axis);
+                prop_assert!(loss.value() >= -1e-9);
+                prop_assert!(loss.value() <= 25.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn dipole_pattern_is_symmetric_about_axis(angle in 0.0f64..std::f64::consts::TAU) {
+            // Any direction at fixed angle from x has the same gain.
+            let p = Pattern::HalfWaveDipole;
+            let theta: f64 = 1.0; // fixed polar angle from the dipole axis
+            let d1 = Vec3::new(theta.cos(), theta.sin() * angle.cos(), theta.sin() * angle.sin());
+            let d2 = Vec3::new(theta.cos(), theta.sin(), 0.0);
+            prop_assert!((p.gain(d1).value() - p.gain(d2).value()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Tag chip (IC) parameters.
+
+use crate::{Db, Dbm, Pattern};
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a passive tag IC.
+///
+/// Defaults model a 2006-era EPC Gen 2 chip like those in the paper's Symbol
+/// tags: roughly -13 dBm power-up sensitivity and a ~6 dB backscatter
+/// modulation loss. Forward-link powering is the binding constraint for
+/// passive tags, exactly as in the paper's read-range measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagChip {
+    /// Minimum incident power required to energize the chip.
+    pub sensitivity: Dbm,
+    /// Loss between absorbed power and re-radiated backscatter power.
+    pub backscatter_loss: Db,
+    /// The tag's antenna pattern (single dipole for the paper's Symbol
+    /// tags; [`Pattern::DualDipole`] for orientation-insensitive designs).
+    pub antenna_pattern: Pattern,
+}
+
+impl TagChip {
+    /// A chip with the given sensitivity and the default backscatter loss.
+    #[must_use]
+    pub fn with_sensitivity(sensitivity: Dbm) -> Self {
+        Self {
+            sensitivity,
+            ..Self::default()
+        }
+    }
+
+    /// A battery-assisted (semi-active) tag: the battery powers the chip
+    /// logic, so the forward-link power-up threshold drops dramatically
+    /// (about -35 dBm for 2000s-era BAP chips) while backscatter physics
+    /// stay the same — the reverse link becomes the binding constraint.
+    /// This is the closest passive-protocol stand-in for the paper's
+    /// "experimenting with active tags" future work.
+    #[must_use]
+    pub fn battery_assisted() -> Self {
+        Self {
+            sensitivity: Dbm::new(-35.0),
+            ..Self::default()
+        }
+    }
+
+    /// A tag built on orthogonal dual dipoles: no orientation null, at
+    /// the cost of splitting power between the two elements.
+    #[must_use]
+    pub fn dual_dipole() -> Self {
+        Self {
+            antenna_pattern: Pattern::DualDipole,
+            ..Self::default()
+        }
+    }
+
+    /// Applies a manufacturing-spread offset to the sensitivity (positive
+    /// offsets make the chip *less* sensitive). Used for failure-injection
+    /// experiments with weak tag populations.
+    #[must_use]
+    pub fn detuned_by(self, offset: Db) -> Self {
+        Self {
+            sensitivity: self.sensitivity + offset,
+            ..self
+        }
+    }
+}
+
+impl Default for TagChip {
+    fn default() -> Self {
+        Self {
+            sensitivity: Dbm::new(-13.0),
+            backscatter_loss: Db::new(6.0),
+            antenna_pattern: Pattern::HalfWaveDipole,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a_2006_era_chip() {
+        let chip = TagChip::default();
+        assert!((chip.sensitivity.value() + 13.0).abs() < 1e-12);
+        assert!(chip.backscatter_loss.value() > 0.0);
+    }
+
+    #[test]
+    fn detuning_reduces_sensitivity() {
+        let weak = TagChip::default().detuned_by(Db::new(3.0));
+        assert!(weak.sensitivity > TagChip::default().sensitivity);
+        assert_eq!(weak.backscatter_loss, TagChip::default().backscatter_loss);
+    }
+
+    #[test]
+    fn with_sensitivity_overrides_only_sensitivity() {
+        let chip = TagChip::with_sensitivity(Dbm::new(-18.0));
+        assert_eq!(chip.sensitivity, Dbm::new(-18.0));
+        assert_eq!(chip.backscatter_loss, TagChip::default().backscatter_loss);
+        assert_eq!(chip.antenna_pattern, Pattern::HalfWaveDipole);
+    }
+
+    #[test]
+    fn battery_assist_lowers_the_powerup_threshold() {
+        let bap = TagChip::battery_assisted();
+        assert!(bap.sensitivity < TagChip::default().sensitivity);
+        assert_eq!(bap.backscatter_loss, TagChip::default().backscatter_loss);
+    }
+
+    #[test]
+    fn dual_dipole_changes_only_the_pattern() {
+        let dual = TagChip::dual_dipole();
+        assert_eq!(dual.antenna_pattern, Pattern::DualDipole);
+        assert_eq!(dual.sensitivity, TagChip::default().sensitivity);
+    }
+}

@@ -1,0 +1,67 @@
+//! Physical-layer models for passive UHF RFID links.
+//!
+//! This crate reproduces, in simulation, every physical factor the DSN 2007
+//! measurement study identifies as driving read reliability:
+//!
+//! * **tag-antenna distance** — Friis free-space path loss ([`path_loss`]),
+//! * **tag orientation** — dipole radiation pattern and polarization
+//!   mismatch ([`Pattern`], [`Polarization`]),
+//! * **inter-tag distance** — near-field mutual-coupling detuning
+//!   ([`coupling_loss`]),
+//! * **materials around the tag** — through-material attenuation
+//!   ([`Material`]) and metal/body *backing* (grounding-plate) loss
+//!   ([`mounting_loss`]),
+//! * **multipath** — log-normal shadowing and Rician fast fading with a
+//!   motion-derived coherence time ([`Shadowing`], [`FadingProcess`]).
+//!
+//! The [`LinkBudget`] combines all of these into forward (reader-to-tag
+//! powering) and reverse (backscatter decode) margins; a passive tag
+//! responds only when both are non-negative.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfid_geom::{Pose, Vec3};
+//! use rfid_phys::{
+//!     Dbm, LinkBudget, Pattern, Polarization, ReaderAntenna, TagAntenna, TagChip,
+//! };
+//!
+//! let reader = ReaderAntenna {
+//!     pose: Pose::IDENTITY, // boresight along +y
+//!     pattern: Pattern::patch(6.0),
+//!     polarization: Polarization::Circular,
+//!     tx_power: Dbm::new(30.0),
+//!     cable_loss: rfid_phys::Db::new(1.0),
+//!     sensitivity: Dbm::new(-80.0),
+//! };
+//! let tag = TagAntenna {
+//!     pose: Pose::from_translation(Vec3::new(0.0, 1.0, 0.0)),
+//!     chip: TagChip::default(),
+//! };
+//! let budget = LinkBudget::new(915.0e6);
+//! let report = budget.evaluate(&reader, &tag, &[], rfid_phys::Db::ZERO);
+//! assert!(report.responds(), "a tag 1 m away on boresight should respond");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod antenna;
+mod chip;
+mod coupling;
+mod fading;
+mod link;
+mod materials;
+mod mounting;
+mod pathloss;
+mod units;
+
+pub use antenna::{Pattern, Polarization};
+pub use chip::TagChip;
+pub use coupling::{coupling_loss, CouplingParams, TagCoupling};
+pub use fading::{FadingProcess, Shadowing};
+pub use link::{LinkBudget, LinkReport, Obstruction, ReaderAntenna, TagAntenna};
+pub use materials::Material;
+pub use mounting::{mounting_loss, Mounting};
+pub use pathloss::{path_loss, wavelength};
+pub use units::{Db, Dbm};

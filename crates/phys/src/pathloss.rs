@@ -1,0 +1,98 @@
+//! Free-space propagation.
+
+use crate::Db;
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Wavelength in meters at the given frequency.
+///
+/// # Panics
+///
+/// Panics if `frequency_hz` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// let lambda = rfid_phys::wavelength(915.0e6);
+/// assert!((lambda - 0.3276).abs() < 1e-3); // about 33 cm in the US UHF band
+/// ```
+#[must_use]
+pub fn wavelength(frequency_hz: f64) -> f64 {
+    assert!(frequency_hz > 0.0, "frequency must be positive");
+    SPEED_OF_LIGHT / frequency_hz
+}
+
+/// One-way free-space path loss (Friis) as a positive decibel quantity.
+///
+/// `20 log10(4 pi d / lambda)`. Distances below a centimeter are clamped to
+/// avoid the near-field singularity; the far-field formula is not meaningful
+/// there anyway.
+///
+/// # Panics
+///
+/// Panics if `frequency_hz` is not strictly positive or `distance_m` is
+/// negative.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_phys::path_loss;
+///
+/// let at_1m = path_loss(915.0e6, 1.0);
+/// let at_2m = path_loss(915.0e6, 2.0);
+/// // Doubling the distance costs 6 dB.
+/// assert!((at_2m.value() - at_1m.value() - 6.02).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn path_loss(frequency_hz: f64, distance_m: f64) -> Db {
+    assert!(distance_m >= 0.0, "distance must be non-negative");
+    let lambda = wavelength(frequency_hz);
+    let d = distance_m.max(0.01);
+    Db::new(20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_loss_at_uhf() {
+        // FSPL at 915 MHz, 1 m is about 31.7 dB.
+        let loss = path_loss(915.0e6, 1.0);
+        assert!((loss.value() - 31.7).abs() < 0.1, "loss = {loss}");
+    }
+
+    #[test]
+    fn near_field_is_clamped() {
+        assert_eq!(path_loss(915.0e6, 0.0), path_loss(915.0e6, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn wavelength_validates() {
+        let _ = wavelength(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn loss_is_monotone_in_distance(d1 in 0.02f64..100.0, d2 in 0.02f64..100.0) {
+            let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(path_loss(915.0e6, near) <= path_loss(915.0e6, far));
+        }
+
+        #[test]
+        fn loss_is_monotone_in_frequency(f1 in 100.0e6f64..10.0e9, f2 in 100.0e6f64..10.0e9) {
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(path_loss(lo, 5.0) <= path_loss(hi, 5.0));
+        }
+
+        #[test]
+        fn inverse_square_law(d in 0.1f64..50.0) {
+            let one = path_loss(915.0e6, d);
+            let ten = path_loss(915.0e6, d * 10.0);
+            prop_assert!((ten.value() - one.value() - 20.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A TCP carrier for the reader wire format.
+//!
+//! The paper's software spoke to the AR400 over its network interface;
+//! this module provides the equivalent: newline-delimited XML documents
+//! over a TCP stream (our compact XML writer never emits newlines, so
+//! line framing is unambiguous).
+
+use crate::client::Transport;
+use crate::server::ReaderEmulator;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// A [`Transport`] over a TCP connection to a reader endpoint.
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a reader at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any connection error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn exchange(&mut self, request_xml: &str) -> String {
+        // I/O failures surface as an empty response document, which the
+        // client reports as a wire error; a request/response carrier has
+        // no richer in-band signal.
+        let mut line = String::new();
+        let sent = self
+            .writer
+            .write_all(request_xml.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        if sent.is_ok() {
+            let _ = self.reader.read_line(&mut line);
+        }
+        line.trim_end().to_owned()
+    }
+}
+
+/// Serves one client connection: reads newline-framed XML requests and
+/// writes XML responses until the peer disconnects.
+///
+/// # Errors
+///
+/// Returns I/O errors other than a clean disconnect.
+pub fn serve_connection(stream: TcpStream, emulator: &mut ReaderEmulator) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let request = line?;
+        if request.trim().is_empty() {
+            continue;
+        }
+        let response = emulator.handle_xml(&request);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accepts exactly one connection on `listener` and serves it to
+/// completion — enough for tests and single-client deployments; loop it
+/// for more.
+///
+/// # Errors
+///
+/// Returns accept/serve I/O errors.
+pub fn serve_once(listener: &TcpListener, emulator: &mut ReaderEmulator) -> io::Result<()> {
+    let (stream, _peer) = listener.accept()?;
+    serve_connection(stream, emulator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ReaderClient;
+    use crate::protocol::{ReaderMode, TagRecord};
+
+    fn spawn_reader() -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<ReaderEmulator>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            let mut emulator = ReaderEmulator::new();
+            emulator.feed(TagRecord {
+                epc: "AA00000000000000000000BB".into(),
+                antenna: 1,
+                time_s: 0.25,
+            }); // dropped: still polled mode
+            serve_once(&listener, &mut emulator).expect("serve");
+            emulator
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn full_session_over_tcp() {
+        let (addr, server) = spawn_reader();
+        let transport = TcpTransport::connect(addr).expect("connect");
+        let mut client = ReaderClient::new(transport);
+
+        client.start_buffered().expect("start buffered");
+        let status = client.status().expect("status");
+        assert_eq!(status.mode, ReaderMode::Buffered);
+        assert_eq!(status.buffered, 0, "pre-buffering feed was dropped");
+        client.set_power(27.0).expect("set power");
+        assert_eq!(client.status().expect("status").power_dbm, 27.0);
+        assert!(client.get_tags().expect("tags").is_empty());
+        drop(client);
+
+        let emulator = server.join().expect("server thread");
+        assert_eq!(emulator.power_dbm(), 27.0, "state persisted server-side");
+    }
+
+    #[test]
+    fn reader_errors_cross_the_wire() {
+        let (addr, server) = spawn_reader();
+        let mut client = ReaderClient::new(TcpTransport::connect(addr).expect("connect"));
+        let err = client.set_power(99.0).expect_err("99 dBm is rejected");
+        assert!(err.to_string().contains("99"));
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn disconnect_yields_wire_errors_not_panics() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Server accepts and immediately closes.
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            drop(stream);
+        });
+        let mut client = ReaderClient::new(TcpTransport::connect(addr).expect("connect"));
+        server.join().expect("server thread");
+        assert!(client.get_tags().is_err());
+    }
+}

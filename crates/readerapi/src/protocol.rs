@@ -1,0 +1,292 @@
+//! The reader command set and its XML encoding.
+
+use crate::wire::{WireError, XmlNode};
+
+/// One tag report served by the reader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagRecord {
+    /// EPC as 24 hex digits.
+    pub epc: String,
+    /// Antenna port that read the tag (1-based, reader convention).
+    pub antenna: u8,
+    /// Reader timestamp in seconds.
+    pub time_s: f64,
+}
+
+/// Reader operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReaderMode {
+    /// Reads are served only from the moment of the request (single
+    /// inventory), like the paper's read-range experiment.
+    #[default]
+    Polled,
+    /// Continuous inventory with buffering, the paper's default mode.
+    Buffered,
+}
+
+/// A reader status snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReport {
+    /// Current mode.
+    pub mode: ReaderMode,
+    /// Transmit power in dBm.
+    pub power_dbm: f64,
+    /// Reads currently buffered.
+    pub buffered: usize,
+}
+
+/// A command from the client to the reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Return (and drain) the tag list.
+    GetTags,
+    /// Enter buffered (continuous) read mode.
+    StartBuffered,
+    /// Leave buffered mode.
+    StopBuffered,
+    /// Discard buffered reads.
+    ClearBuffer,
+    /// Report status.
+    Status,
+    /// Set transmit power in dBm.
+    SetPower(f64),
+}
+
+impl Request {
+    /// Encodes to the XML wire format.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        let body = match self {
+            Request::GetTags => XmlNode::branch("get-tags", Vec::new()),
+            Request::StartBuffered => XmlNode::branch("start-buffered", Vec::new()),
+            Request::StopBuffered => XmlNode::branch("stop-buffered", Vec::new()),
+            Request::ClearBuffer => XmlNode::branch("clear-buffer", Vec::new()),
+            Request::Status => XmlNode::branch("status", Vec::new()),
+            Request::SetPower(dbm) => XmlNode::leaf("set-power", format!("{dbm}")),
+        };
+        XmlNode::branch("request", vec![body]).to_xml()
+    }
+
+    /// Decodes from the XML wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for malformed XML or unknown commands.
+    pub fn from_xml(xml: &str) -> Result<Request, WireError> {
+        let root = XmlNode::parse(xml)?;
+        if root.name != "request" || root.children.len() != 1 {
+            return Err(WireError::new("expected a <request> with one command"));
+        }
+        let cmd = &root.children[0];
+        match cmd.name.as_str() {
+            "get-tags" => Ok(Request::GetTags),
+            "start-buffered" => Ok(Request::StartBuffered),
+            "stop-buffered" => Ok(Request::StopBuffered),
+            "clear-buffer" => Ok(Request::ClearBuffer),
+            "status" => Ok(Request::Status),
+            "set-power" => cmd
+                .text
+                .parse()
+                .map(Request::SetPower)
+                .map_err(|_| WireError::new("set-power requires a number")),
+            other => Err(WireError::new(format!("unknown command <{other}>"))),
+        }
+    }
+}
+
+/// A reader reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Command accepted.
+    Ok,
+    /// The requested tag list.
+    Tags(Vec<TagRecord>),
+    /// Status snapshot.
+    Status(StatusReport),
+    /// Command failed.
+    Error(String),
+}
+
+impl Response {
+    /// Encodes to the XML wire format.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        let body = match self {
+            Response::Ok => XmlNode::branch("ok", Vec::new()),
+            Response::Error(message) => XmlNode::leaf("error", message.clone()),
+            Response::Tags(tags) => XmlNode::branch(
+                "tags",
+                tags.iter()
+                    .map(|t| {
+                        XmlNode::branch(
+                            "tag",
+                            vec![
+                                XmlNode::leaf("epc", t.epc.clone()),
+                                XmlNode::leaf("antenna", t.antenna.to_string()),
+                                XmlNode::leaf("time", format!("{:.6}", t.time_s)),
+                            ],
+                        )
+                    })
+                    .collect(),
+            ),
+            Response::Status(status) => XmlNode::branch(
+                "status",
+                vec![
+                    XmlNode::leaf(
+                        "mode",
+                        match status.mode {
+                            ReaderMode::Polled => "polled",
+                            ReaderMode::Buffered => "buffered",
+                        },
+                    ),
+                    XmlNode::leaf("power", format!("{}", status.power_dbm)),
+                    XmlNode::leaf("buffered", status.buffered.to_string()),
+                ],
+            ),
+        };
+        XmlNode::branch("response", vec![body]).to_xml()
+    }
+
+    /// Decodes from the XML wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for malformed XML or unknown reply shapes.
+    pub fn from_xml(xml: &str) -> Result<Response, WireError> {
+        let root = XmlNode::parse(xml)?;
+        if root.name != "response" || root.children.len() != 1 {
+            return Err(WireError::new("expected a <response> with one body"));
+        }
+        let body = &root.children[0];
+        match body.name.as_str() {
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error(body.text.clone())),
+            "tags" => {
+                let mut tags = Vec::new();
+                for tag in &body.children {
+                    if tag.name != "tag" {
+                        return Err(WireError::new("expected <tag> entries"));
+                    }
+                    let field = |name: &str| -> Result<&str, WireError> {
+                        tag.child(name)
+                            .map(|n| n.text.as_str())
+                            .ok_or_else(|| WireError::new(format!("missing <{name}>")))
+                    };
+                    tags.push(TagRecord {
+                        epc: field("epc")?.to_owned(),
+                        antenna: field("antenna")?
+                            .parse()
+                            .map_err(|_| WireError::new("bad antenna number"))?,
+                        time_s: field("time")?
+                            .parse()
+                            .map_err(|_| WireError::new("bad timestamp"))?,
+                    });
+                }
+                Ok(Response::Tags(tags))
+            }
+            "status" => {
+                let field = |name: &str| -> Result<&str, WireError> {
+                    body.child(name)
+                        .map(|n| n.text.as_str())
+                        .ok_or_else(|| WireError::new(format!("missing <{name}>")))
+                };
+                let mode = match field("mode")? {
+                    "polled" => ReaderMode::Polled,
+                    "buffered" => ReaderMode::Buffered,
+                    other => return Err(WireError::new(format!("unknown mode {other:?}"))),
+                };
+                Ok(Response::Status(StatusReport {
+                    mode,
+                    power_dbm: field("power")?
+                        .parse()
+                        .map_err(|_| WireError::new("bad power"))?,
+                    buffered: field("buffered")?
+                        .parse()
+                        .map_err(|_| WireError::new("bad buffer count"))?,
+                }))
+            }
+            other => Err(WireError::new(format!("unknown response <{other}>"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            Request::GetTags,
+            Request::StartBuffered,
+            Request::StopBuffered,
+            Request::ClearBuffer,
+            Request::Status,
+            Request::SetPower(27.5),
+        ] {
+            let xml = request.to_xml();
+            assert_eq!(Request::from_xml(&xml).unwrap(), request, "{xml}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Ok,
+            Response::Error("antenna fault".into()),
+            Response::Tags(vec![
+                TagRecord {
+                    epc: "AA00000000000000000000BB".into(),
+                    antenna: 1,
+                    time_s: 1.25,
+                },
+                TagRecord {
+                    epc: "AA00000000000000000000CC".into(),
+                    antenna: 2,
+                    time_s: 2.5,
+                },
+            ]),
+            Response::Status(StatusReport {
+                mode: ReaderMode::Buffered,
+                power_dbm: 30.0,
+                buffered: 17,
+            }),
+        ];
+        for response in responses {
+            let xml = response.to_xml();
+            assert_eq!(Response::from_xml(&xml).unwrap(), response, "{xml}");
+        }
+    }
+
+    #[test]
+    fn empty_tag_list_round_trips() {
+        let xml = Response::Tags(Vec::new()).to_xml();
+        assert_eq!(
+            Response::from_xml(&xml).unwrap(),
+            Response::Tags(Vec::new())
+        );
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected() {
+        assert!(Request::from_xml("<request><reboot/></request>").is_err());
+        assert!(Request::from_xml("<request/>").is_err());
+        assert!(Response::from_xml("<response><maybe/></response>").is_err());
+    }
+
+    #[test]
+    fn set_power_requires_a_number() {
+        assert!(Request::from_xml("<request><set-power>loud</set-power></request>").is_err());
+        assert_eq!(
+            Request::from_xml("<request><set-power>12.5</set-power></request>").unwrap(),
+            Request::SetPower(12.5)
+        );
+    }
+
+    #[test]
+    fn wire_format_is_stable() {
+        // Downstream parsers depend on these exact shapes.
+        assert_eq!(Request::GetTags.to_xml(), "<request><get-tags/></request>");
+        assert_eq!(Response::Ok.to_xml(), "<response><ok/></response>");
+    }
+}

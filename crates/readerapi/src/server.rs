@@ -1,0 +1,207 @@
+//! The reader emulator.
+
+use crate::protocol::{ReaderMode, Request, Response, StatusReport, TagRecord};
+use rfid_sim::SimOutput;
+
+/// An AR400-style reader emulator.
+///
+/// The emulator sits between an RF truth source and a client speaking the
+/// XML command set. Reads are *fed* to it (from a simulation run, a trace,
+/// or a test) and served according to the mode:
+///
+/// * **Buffered** — fed reads accumulate and `get-tags` drains the buffer,
+/// * **Polled** — fed reads are dropped unless a `get-tags` is in flight;
+///   clients use [`ReaderEmulator::poll_window`] to run a single
+///   inventory's worth of truth through the reader.
+#[derive(Debug, Clone, Default)]
+pub struct ReaderEmulator {
+    mode: ReaderMode,
+    power_dbm: f64,
+    buffer: Vec<TagRecord>,
+}
+
+impl ReaderEmulator {
+    /// Creates a reader in polled mode at 30 dBm (the paper's default
+    /// power).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            mode: ReaderMode::Polled,
+            power_dbm: 30.0,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> ReaderMode {
+        self.mode
+    }
+
+    /// Current transmit power.
+    #[must_use]
+    pub fn power_dbm(&self) -> f64 {
+        self.power_dbm
+    }
+
+    /// Number of buffered reads.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds one read from the RF front end. Buffered mode accumulates;
+    /// polled mode drops it (the read happened while nobody asked).
+    pub fn feed(&mut self, record: TagRecord) {
+        if self.mode == ReaderMode::Buffered {
+            self.buffer.push(record);
+        }
+    }
+
+    /// Feeds every read of a simulation output, mapping the simulator's
+    /// 0-based antenna ports to the reader's 1-based convention.
+    pub fn feed_simulation(&mut self, output: &SimOutput) {
+        for read in &output.reads {
+            self.feed(TagRecord {
+                epc: read.epc.to_string(),
+                antenna: (read.antenna + 1) as u8,
+                time_s: read.time_s,
+            });
+        }
+    }
+
+    /// Runs one polled inventory: serves exactly the given reads as the
+    /// response to the *next* `get-tags`, regardless of mode.
+    pub fn poll_window(&mut self, records: Vec<TagRecord>) {
+        self.buffer = records;
+    }
+
+    /// Handles a decoded request.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::GetTags => Response::Tags(std::mem::take(&mut self.buffer)),
+            Request::StartBuffered => {
+                self.mode = ReaderMode::Buffered;
+                Response::Ok
+            }
+            Request::StopBuffered => {
+                self.mode = ReaderMode::Polled;
+                Response::Ok
+            }
+            Request::ClearBuffer => {
+                self.buffer.clear();
+                Response::Ok
+            }
+            Request::Status => Response::Status(StatusReport {
+                mode: self.mode,
+                power_dbm: self.power_dbm,
+                buffered: self.buffer.len(),
+            }),
+            Request::SetPower(dbm) => {
+                if (10.0..=33.0).contains(dbm) {
+                    self.power_dbm = *dbm;
+                    Response::Ok
+                } else {
+                    Response::Error(format!("power {dbm} dBm outside 10-33 dBm"))
+                }
+            }
+        }
+    }
+
+    /// Handles a raw XML request, returning raw XML — the full wire path.
+    #[must_use]
+    pub fn handle_xml(&mut self, request_xml: &str) -> String {
+        match Request::from_xml(request_xml) {
+            Ok(request) => self.handle(&request).to_xml(),
+            Err(err) => Response::Error(err.to_string()).to_xml(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epc: &str, time_s: f64) -> TagRecord {
+        TagRecord {
+            epc: epc.to_owned(),
+            antenna: 1,
+            time_s,
+        }
+    }
+
+    #[test]
+    fn polled_mode_drops_unsolicited_reads() {
+        let mut reader = ReaderEmulator::new();
+        reader.feed(record("AA", 1.0));
+        assert_eq!(reader.handle(&Request::GetTags), Response::Tags(Vec::new()));
+    }
+
+    #[test]
+    fn buffered_mode_accumulates_and_drains() {
+        let mut reader = ReaderEmulator::new();
+        assert_eq!(reader.handle(&Request::StartBuffered), Response::Ok);
+        reader.feed(record("AA", 1.0));
+        reader.feed(record("BB", 2.0));
+        match reader.handle(&Request::GetTags) {
+            Response::Tags(tags) => assert_eq!(tags.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Drained.
+        assert_eq!(reader.handle(&Request::GetTags), Response::Tags(Vec::new()));
+    }
+
+    #[test]
+    fn clear_buffer_discards() {
+        let mut reader = ReaderEmulator::new();
+        reader.handle(&Request::StartBuffered);
+        reader.feed(record("AA", 1.0));
+        reader.handle(&Request::ClearBuffer);
+        assert_eq!(reader.handle(&Request::GetTags), Response::Tags(Vec::new()));
+    }
+
+    #[test]
+    fn status_reflects_state() {
+        let mut reader = ReaderEmulator::new();
+        reader.handle(&Request::StartBuffered);
+        reader.feed(record("AA", 1.0));
+        match reader.handle(&Request::Status) {
+            Response::Status(status) => {
+                assert_eq!(status.mode, ReaderMode::Buffered);
+                assert_eq!(status.buffered, 1);
+                assert_eq!(status.power_dbm, 30.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_validated() {
+        let mut reader = ReaderEmulator::new();
+        assert_eq!(reader.handle(&Request::SetPower(27.0)), Response::Ok);
+        assert_eq!(reader.power_dbm(), 27.0);
+        assert!(matches!(
+            reader.handle(&Request::SetPower(99.0)),
+            Response::Error(_)
+        ));
+        assert_eq!(reader.power_dbm(), 27.0);
+    }
+
+    #[test]
+    fn xml_path_serves_errors_for_garbage() {
+        let mut reader = ReaderEmulator::new();
+        let response = reader.handle_xml("not xml at all");
+        assert!(response.contains("<error>"));
+    }
+
+    #[test]
+    fn poll_window_serves_once() {
+        let mut reader = ReaderEmulator::new();
+        reader.poll_window(vec![record("AA", 0.1)]);
+        match reader.handle(&Request::GetTags) {
+            Response::Tags(tags) => assert_eq!(tags.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(reader.handle(&Request::GetTags), Response::Tags(Vec::new()));
+    }
+}

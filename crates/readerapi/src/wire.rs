@@ -1,0 +1,270 @@
+//! A minimal XML subset for the reader wire format.
+//!
+//! The format uses elements and text only — no attributes, comments,
+//! processing instructions, or namespaces — mirroring the flat tag-list
+//! XML that first-generation readers actually emitted. The parser is a
+//! small recursive-descent matcher over that subset, written here to keep
+//! the reproduction dependency-free.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed XML element: a name plus children and/or text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Child elements, in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content (children's text excluded), trimmed.
+    pub text: String,
+}
+
+impl XmlNode {
+    /// Creates a text-only element.
+    #[must_use]
+    pub fn leaf(name: &str, text: impl Into<String>) -> XmlNode {
+        XmlNode {
+            name: name.to_owned(),
+            children: Vec::new(),
+            text: text.into(),
+        }
+    }
+
+    /// Creates an element with children.
+    #[must_use]
+    pub fn branch(name: &str, children: Vec<XmlNode>) -> XmlNode {
+        XmlNode {
+            name: name.to_owned(),
+            children,
+            text: String::new(),
+        }
+    }
+
+    /// First child with the given name.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Serializes to compact XML.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push('<');
+            out.push_str(&self.name);
+            out.push_str("/>");
+            return;
+        }
+        out.push('<');
+        out.push_str(&self.name);
+        out.push('>');
+        out.push_str(&escape(&self.text));
+        for child in &self.children {
+            child.write(out);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Parses a document containing exactly one root element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed input or trailing content.
+    pub fn parse(input: &str) -> Result<XmlNode, WireError> {
+        let mut parser = Parser {
+            input: input.trim(),
+            pos: 0,
+        };
+        let node = parser.element()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.input.len() {
+            return Err(WireError::new("trailing content after root element"));
+        }
+        Ok(node)
+    }
+}
+
+/// Error parsing the XML wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire data: {}", self.message)
+    }
+}
+
+impl Error for WireError {}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn unescape(text: &str) -> String {
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_whitespace(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn element(&mut self) -> Result<XmlNode, WireError> {
+        self.skip_whitespace();
+        if !self.rest().starts_with('<') {
+            return Err(WireError::new("expected '<'"));
+        }
+        self.pos += 1;
+        let name_end = self
+            .rest()
+            .find(|c: char| c == '>' || c == '/' || c.is_whitespace())
+            .ok_or_else(|| WireError::new("unterminated tag"))?;
+        let name = self.rest()[..name_end].to_owned();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return Err(WireError::new(format!("invalid element name {name:?}")));
+        }
+        self.pos += name_end;
+        self.skip_whitespace();
+
+        // Self-closing element.
+        if self.rest().starts_with("/>") {
+            self.pos += 2;
+            return Ok(XmlNode::branch(&name, Vec::new()));
+        }
+        if !self.rest().starts_with('>') {
+            return Err(WireError::new("expected '>'"));
+        }
+        self.pos += 1;
+
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            let close = format!("</{name}>");
+            if self.rest().starts_with(&close) {
+                self.pos += close.len();
+                return Ok(XmlNode {
+                    name,
+                    children,
+                    text: unescape(text.trim()),
+                });
+            }
+            if self.rest().starts_with("</") {
+                return Err(WireError::new(format!("mismatched close for <{name}>")));
+            }
+            if self.rest().starts_with('<') {
+                children.push(self.element()?);
+            } else {
+                let next_tag = self
+                    .rest()
+                    .find('<')
+                    .ok_or_else(|| WireError::new(format!("unclosed element <{name}>")))?;
+                text.push_str(&self.rest()[..next_tag]);
+                self.pos += next_tag;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_a_tag_list() {
+        let doc = XmlNode::branch(
+            "response",
+            vec![XmlNode::branch(
+                "tags",
+                vec![
+                    XmlNode::branch(
+                        "tag",
+                        vec![XmlNode::leaf("epc", "AABB"), XmlNode::leaf("antenna", "1")],
+                    ),
+                    XmlNode::branch("tag", vec![XmlNode::leaf("epc", "CCDD")]),
+                ],
+            )],
+        );
+        let xml = doc.to_xml();
+        assert_eq!(XmlNode::parse(&xml).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_self_closing_and_whitespace() {
+        let node = XmlNode::parse("  <request>\n  <get-tags/>\n</request> ").unwrap();
+        assert_eq!(node.name, "request");
+        assert!(node.child("get-tags").is_some());
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let doc = XmlNode::leaf("error", "power < 10 & > 0");
+        let xml = doc.to_xml();
+        assert!(!xml.contains("< 10"));
+        assert_eq!(XmlNode::parse(&xml).unwrap().text, "power < 10 & > 0");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "plain text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a b='1'/>",
+        ] {
+            assert!(XmlNode::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn child_lookup_finds_first_match() {
+        let doc = XmlNode::parse("<r><x>1</x><x>2</x></r>").unwrap();
+        assert_eq!(doc.child("x").unwrap().text, "1");
+        assert!(doc.child("y").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn leaf_text_round_trips(text in "[ -~]{0,64}") {
+            let doc = XmlNode::leaf("v", text.trim().to_owned());
+            let parsed = XmlNode::parse(&doc.to_xml()).unwrap();
+            prop_assert_eq!(parsed.text, text.trim());
+        }
+    }
+}

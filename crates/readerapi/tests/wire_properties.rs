@@ -1,0 +1,99 @@
+//! Property tests over the XML wire format: the parser never panics on
+//! arbitrary input, and every generated document round-trips.
+
+use proptest::prelude::*;
+use rfid_readerapi::{Request, Response, StatusReport, TagRecord, XmlNode};
+
+fn arb_leaf() -> impl Strategy<Value = XmlNode> {
+    ("[a-z][a-z0-9-]{0,8}", "[ -~&&[^<>&]]{0,24}")
+        .prop_map(|(name, text)| XmlNode::leaf(&name, text.trim().to_owned()))
+}
+
+fn arb_tree() -> impl Strategy<Value = XmlNode> {
+    arb_leaf().prop_recursive(3, 24, 4, |inner| {
+        (
+            "[a-z][a-z0-9-]{0,8}",
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, children)| XmlNode::branch(&name, children))
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes: parsing returns a Result, never panics.
+    #[test]
+    fn parser_never_panics(input in ".{0,256}") {
+        let _ = XmlNode::parse(&input);
+    }
+
+    /// Arbitrary angle-bracket soup: still no panics.
+    #[test]
+    fn parser_survives_tag_soup(input in "[<>/a-z \\-]{0,128}") {
+        let _ = XmlNode::parse(&input);
+    }
+
+    /// Every tree our writer can produce parses back identically.
+    #[test]
+    fn trees_round_trip(tree in arb_tree()) {
+        let xml = tree.to_xml();
+        let parsed = XmlNode::parse(&xml).expect("own output must parse");
+        prop_assert_eq!(parsed, tree);
+    }
+
+    /// Every tag list round-trips through the full protocol layer.
+    #[test]
+    fn tag_lists_round_trip(
+        records in proptest::collection::vec(
+            ("[0-9A-F]{24}", 1u8..5, 0.0f64..100.0),
+            0..16,
+        )
+    ) {
+        let tags: Vec<TagRecord> = records
+            .into_iter()
+            .map(|(epc, antenna, time_s)| TagRecord { epc, antenna, time_s })
+            .collect();
+        let response = Response::Tags(tags.clone());
+        let parsed = Response::from_xml(&response.to_xml()).expect("round trip");
+        match parsed {
+            Response::Tags(out) => {
+                prop_assert_eq!(out.len(), tags.len());
+                for (a, b) in out.iter().zip(&tags) {
+                    prop_assert_eq!(&a.epc, &b.epc);
+                    prop_assert_eq!(a.antenna, b.antenna);
+                    prop_assert!((a.time_s - b.time_s).abs() < 1e-6);
+                }
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// Power levels round-trip through requests.
+    #[test]
+    fn set_power_round_trips(dbm in 10.0f64..33.0) {
+        let request = Request::SetPower(dbm);
+        match Request::from_xml(&request.to_xml()).expect("round trip") {
+            Request::SetPower(out) => prop_assert!((out - dbm).abs() < 1e-9),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// Status reports round-trip.
+    #[test]
+    fn status_round_trips(power in 10.0f64..33.0, buffered in 0usize..10_000) {
+        for mode in [rfid_readerapi::ReaderMode::Polled, rfid_readerapi::ReaderMode::Buffered] {
+            let response = Response::Status(StatusReport {
+                mode,
+                power_dbm: power,
+                buffered,
+            });
+            let parsed = Response::from_xml(&response.to_xml()).expect("round trip");
+            match parsed {
+                Response::Status(status) => {
+                    prop_assert_eq!(status.mode, mode);
+                    prop_assert_eq!(status.buffered, buffered);
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+}

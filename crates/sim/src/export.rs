@@ -1,0 +1,148 @@
+//! Trace export: simulation output as CSV for external analysis.
+//!
+//! Deployment engineers live in spreadsheets and notebooks; these helpers
+//! dump a run's read events and per-round statistics in a stable, header-
+//! first CSV schema.
+
+use crate::runner::SimOutput;
+use std::io::{self, Write};
+
+/// Writes the read events as CSV (`time_s,reader,antenna,tag,epc`).
+///
+/// Accepts any writer; pass `&mut Vec<u8>` or a `&mut File` (generic
+/// writers can be passed as mutable references).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_reads_csv<W: Write>(mut writer: W, output: &SimOutput) -> io::Result<()> {
+    writeln!(writer, "time_s,reader,antenna,tag,epc")?;
+    for read in &output.reads {
+        writeln!(
+            writer,
+            "{:.6},{},{},{},{}",
+            read.time_s, read.reader, read.antenna, read.tag, read.epc
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the per-round statistics as CSV
+/// (`reader,antenna,start_s,duration_s,slots,collisions,empties,reads`).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_rounds_csv<W: Write>(mut writer: W, output: &SimOutput) -> io::Result<()> {
+    writeln!(
+        writer,
+        "reader,antenna,start_s,duration_s,slots,collisions,empties,reads"
+    )?;
+    for round in &output.rounds {
+        writeln!(
+            writer,
+            "{},{},{:.6},{:.6},{},{},{},{}",
+            round.reader,
+            round.antenna,
+            round.start_s,
+            round.duration_s,
+            round.slots,
+            round.collisions,
+            round.empties,
+            round.reads
+        )?;
+    }
+    Ok(())
+}
+
+/// The read events as a CSV string.
+#[must_use]
+pub fn reads_to_csv(output: &SimOutput) -> String {
+    let mut bytes = Vec::new();
+    write_reads_csv(&mut bytes, output).expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("CSV output is ASCII")
+}
+
+/// The round statistics as a CSV string.
+#[must_use]
+pub fn rounds_to_csv(output: &SimOutput) -> String {
+    let mut bytes = Vec::new();
+    write_rounds_csv(&mut bytes, output).expect("writing to a Vec cannot fail");
+    String::from_utf8(bytes).expect("CSV output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{ReadEvent, RoundSummary};
+    use rfid_gen2::Epc96;
+
+    fn sample_output() -> SimOutput {
+        SimOutput {
+            reads: vec![
+                ReadEvent {
+                    time_s: 1.25,
+                    reader: 0,
+                    antenna: 1,
+                    tag: 3,
+                    epc: Epc96::from_u128(0xAB),
+                },
+                ReadEvent {
+                    time_s: 2.5,
+                    reader: 1,
+                    antenna: 0,
+                    tag: 4,
+                    epc: Epc96::from_u128(0xCD),
+                },
+            ],
+            rounds: vec![RoundSummary {
+                reader: 0,
+                antenna: 1,
+                start_s: 1.0,
+                duration_s: 0.05,
+                slots: 17,
+                collisions: 2,
+                empties: 13,
+                reads: 2,
+            }],
+            duration_s: 5.0,
+        }
+    }
+
+    #[test]
+    fn reads_csv_has_header_and_rows() {
+        let csv = reads_to_csv(&sample_output());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time_s,reader,antenna,tag,epc");
+        assert!(lines[1].starts_with("1.250000,0,1,3,"));
+        assert!(lines[1].ends_with("AB"));
+    }
+
+    #[test]
+    fn rounds_csv_has_header_and_rows() {
+        let csv = rounds_to_csv(&sample_output());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("reader,antenna,start_s"));
+        assert_eq!(lines[1], "0,1,1.000000,0.050000,17,2,13,2");
+    }
+
+    #[test]
+    fn empty_output_is_just_headers() {
+        let output = SimOutput::default();
+        assert_eq!(reads_to_csv(&output).lines().count(), 1);
+        assert_eq!(rounds_to_csv(&output).lines().count(), 1);
+    }
+
+    #[test]
+    fn column_counts_are_stable() {
+        let output = sample_output();
+        for line in reads_to_csv(&output).lines() {
+            assert_eq!(line.split(',').count(), 5);
+        }
+        for line in rounds_to_csv(&output).lines() {
+            assert_eq!(line.split(',').count(), 8);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Analytic motion paths.
+
+use rfid_geom::{Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The motion of an object (or free tag) as an analytic function of time.
+///
+/// Paths are clamped outside their active window, so an object "parks" at
+/// its start pose before motion begins and at its end pose afterwards —
+/// exactly how the paper's cart and walking-subject trials work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Motion {
+    /// No motion.
+    Static(Pose),
+    /// Constant-velocity translation with fixed orientation.
+    Linear {
+        /// Pose at `t_start`.
+        start: Pose,
+        /// Velocity in meters per second (world frame).
+        velocity: Vec3,
+        /// Time at which motion starts.
+        t_start: f64,
+        /// Time at which motion ends.
+        t_end: f64,
+    },
+    /// Piecewise-linear interpolation through timestamped poses
+    /// (orientations switch at waypoints; positions interpolate).
+    Waypoints {
+        /// Timestamped poses, strictly increasing in time.
+        points: Vec<(f64, Pose)>,
+    },
+}
+
+impl Motion {
+    /// Convenience constructor for linear motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end < t_start`.
+    #[must_use]
+    pub fn linear(start: Pose, velocity: Vec3, t_start: f64, t_end: f64) -> Motion {
+        assert!(t_end >= t_start, "motion must not end before it starts");
+        Motion::Linear {
+            start,
+            velocity,
+            t_start,
+            t_end,
+        }
+    }
+
+    /// Convenience constructor for waypoint motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not strictly increasing in time.
+    #[must_use]
+    pub fn waypoints(points: Vec<(f64, Pose)>) -> Motion {
+        assert!(
+            !points.is_empty(),
+            "waypoint motion needs at least one point"
+        );
+        for pair in points.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "waypoint times must be strictly increasing"
+            );
+        }
+        Motion::Waypoints { points }
+    }
+
+    /// The pose at time `t`.
+    #[must_use]
+    pub fn pose_at(&self, t: f64) -> Pose {
+        match self {
+            Motion::Static(pose) => *pose,
+            Motion::Linear {
+                start,
+                velocity,
+                t_start,
+                t_end,
+            } => {
+                let dt = t.clamp(*t_start, *t_end) - t_start;
+                Pose::new(start.translation() + *velocity * dt, start.rotation())
+            }
+            Motion::Waypoints { points } => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if let Some(last) = points.last() {
+                    if t >= last.0 {
+                        return last.1;
+                    }
+                }
+                let idx = points.partition_point(|(pt, _)| *pt <= t);
+                let (t0, p0) = points[idx - 1];
+                let (t1, p1) = points[idx];
+                let frac = (t - t0) / (t1 - t0);
+                Pose::new(p0.translation().lerp(p1.translation(), frac), p0.rotation())
+            }
+        }
+    }
+
+    /// Instantaneous speed at time `t` (central difference), m/s.
+    #[must_use]
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let dt = 1e-3;
+        let a = self.pose_at(t - dt).translation();
+        let b = self.pose_at(t + dt).translation();
+        a.distance(b) / (2.0 * dt)
+    }
+
+    /// The largest speed attained over `[t0, t1]`, sampled at `steps`
+    /// points — used to derive fading coherence times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `t1 < t0`.
+    #[must_use]
+    pub fn max_speed(&self, t0: f64, t1: f64, steps: usize) -> f64 {
+        assert!(steps > 0 && t1 >= t0, "invalid sampling window");
+        (0..=steps)
+            .map(|i| self.speed_at(t0 + (t1 - t0) * i as f64 / steps as f64))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for Motion {
+    fn default() -> Self {
+        Motion::Static(Pose::IDENTITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_motion_never_moves() {
+        let pose = Pose::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        let m = Motion::Static(pose);
+        assert_eq!(m.pose_at(-5.0), pose);
+        assert_eq!(m.pose_at(100.0), pose);
+        assert!(m.speed_at(1.0) < 1e-9);
+    }
+
+    #[test]
+    fn linear_motion_tracks_velocity() {
+        let m = Motion::linear(
+            Pose::from_translation(Vec3::new(-2.0, 1.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            4.0,
+        );
+        assert_eq!(m.pose_at(0.0).translation(), Vec3::new(-2.0, 1.0, 0.0));
+        assert_eq!(m.pose_at(2.0).translation(), Vec3::new(0.0, 1.0, 0.0));
+        // Clamped outside the window.
+        assert_eq!(m.pose_at(-1.0).translation(), Vec3::new(-2.0, 1.0, 0.0));
+        assert_eq!(m.pose_at(9.0).translation(), Vec3::new(2.0, 1.0, 0.0));
+        assert!((m.speed_at(2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waypoints_interpolate_positions() {
+        let m = Motion::waypoints(vec![
+            (0.0, Pose::from_translation(Vec3::ZERO)),
+            (2.0, Pose::from_translation(Vec3::new(4.0, 0.0, 0.0))),
+            (3.0, Pose::from_translation(Vec3::new(4.0, 2.0, 0.0))),
+        ]);
+        assert_eq!(m.pose_at(1.0).translation(), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(m.pose_at(2.5).translation(), Vec3::new(4.0, 1.0, 0.0));
+        assert_eq!(m.pose_at(-1.0).translation(), Vec3::ZERO);
+        assert_eq!(m.pose_at(10.0).translation(), Vec3::new(4.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn max_speed_finds_the_fast_segment() {
+        let m = Motion::waypoints(vec![
+            (0.0, Pose::from_translation(Vec3::ZERO)),
+            (1.0, Pose::from_translation(Vec3::new(1.0, 0.0, 0.0))), // 1 m/s
+            (2.0, Pose::from_translation(Vec3::new(4.0, 0.0, 0.0))), // 3 m/s
+        ]);
+        let v = m.max_speed(0.0, 2.0, 100);
+        assert!((v - 3.0).abs() < 0.1, "max speed = {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn waypoints_validate_ordering() {
+        let _ = Motion::waypoints(vec![(1.0, Pose::IDENTITY), (1.0, Pose::IDENTITY)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end before it starts")]
+    fn linear_validates_window() {
+        let _ = Motion::linear(Pose::IDENTITY, Vec3::X, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The simulation loop: readers cycling inventory rounds over a moving
+//! world.
+
+use crate::channel::PortalChannel;
+use crate::events::EventQueue;
+use crate::rng::RngStream;
+use crate::scenario::Scenario;
+use rfid_gen2::{Epc96, RoundLog, TagFsm};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One successful tag read, attributed to its reader and antenna.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadEvent {
+    /// Simulation time of the read.
+    pub time_s: f64,
+    /// Reader index.
+    pub reader: usize,
+    /// Antenna port index on that reader.
+    pub antenna: usize,
+    /// Tag index in the world.
+    pub tag: usize,
+    /// The EPC read.
+    pub epc: Epc96,
+}
+
+/// Statistics of one inventory round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundSummary {
+    /// Reader index.
+    pub reader: usize,
+    /// Antenna port used for this round.
+    pub antenna: usize,
+    /// Round start time.
+    pub start_s: f64,
+    /// Round duration.
+    pub duration_s: f64,
+    /// Slots executed.
+    pub slots: u32,
+    /// Collided slots.
+    pub collisions: u32,
+    /// Empty slots.
+    pub empties: u32,
+    /// Successful reads this round.
+    pub reads: u32,
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimOutput {
+    /// All reads in time order.
+    pub reads: Vec<ReadEvent>,
+    /// Per-round statistics in time order.
+    pub rounds: Vec<RoundSummary>,
+    /// The simulated duration.
+    pub duration_s: f64,
+}
+
+impl SimOutput {
+    /// Whether tag `tag` was read at least once by any reader/antenna.
+    #[must_use]
+    pub fn tag_was_read(&self, tag: usize) -> bool {
+        self.reads.iter().any(|r| r.tag == tag)
+    }
+
+    /// Whether tag `tag` was read by the given reader/antenna pair.
+    #[must_use]
+    pub fn tag_was_read_by(&self, tag: usize, reader: usize, antenna: usize) -> bool {
+        self.reads
+            .iter()
+            .any(|r| r.tag == tag && r.reader == reader && r.antenna == antenna)
+    }
+
+    /// The set of distinct tags read.
+    #[must_use]
+    pub fn tags_read(&self) -> HashSet<usize> {
+        self.reads.iter().map(|r| r.tag).collect()
+    }
+
+    /// Number of reads of tag `tag`.
+    #[must_use]
+    pub fn reads_of(&self, tag: usize) -> usize {
+        self.reads.iter().filter(|r| r.tag == tag).count()
+    }
+}
+
+/// A scheduled reader round.
+#[derive(Debug, Clone, Copy)]
+struct RoundEvent {
+    reader: usize,
+    port: usize,
+    round_no: u64,
+}
+
+/// Idle delay before re-checking an antenna that is in an outage window.
+const OUTAGE_RETRY_S: f64 = 0.05;
+
+/// Runs a scenario to completion.
+///
+/// Each reader cycles inventory rounds back to back, rotating through its
+/// antenna ports (TDMA, as the paper's readers do); multiple readers run
+/// concurrently and interfere per the channel's interference model. All
+/// randomness derives from `seed`.
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimOutput {
+    scenario
+        .world
+        .validate()
+        .expect("scenario world must be valid");
+    let trial = RngStream::new(seed);
+    let world = &scenario.world;
+
+    let mut fsms: Vec<TagFsm> = world.tags.iter().map(|t| TagFsm::new(t.epc)).collect();
+    let mut queue: EventQueue<RoundEvent> = EventQueue::new();
+    for reader in 0..world.readers.len() {
+        // Tiny stagger so co-portal readers do not start in lockstep.
+        queue.schedule(
+            reader as f64 * 0.003,
+            RoundEvent {
+                reader,
+                port: 0,
+                round_no: 0,
+            },
+        );
+    }
+
+    let mut output = SimOutput {
+        duration_s: scenario.duration_s,
+        ..SimOutput::default()
+    };
+
+    while let Some((t, ev)) = queue.pop() {
+        if t >= scenario.duration_s {
+            continue;
+        }
+        let ports = world.readers[ev.reader].antennas.len();
+        let next_port = (ev.port + 1) % ports;
+
+        if world.readers[ev.reader].antennas[ev.port].is_out(t) {
+            queue.schedule(
+                t + OUTAGE_RETRY_S,
+                RoundEvent {
+                    reader: ev.reader,
+                    port: next_port,
+                    round_no: ev.round_no + 1,
+                },
+            );
+            continue;
+        }
+
+        let mut channel = PortalChannel::new(world, ev.reader, ev.port, &scenario.channel, trial);
+        let mut engine = scenario.engine.clone();
+        let round_seed = trial.value(&[0x0F0F, ev.reader as u64, ev.round_no]);
+        let log = engine.run_round(&mut fsms, &mut channel, scenario.session, t, round_seed);
+        record_round(&mut output, &log, ev.reader, ev.port, t);
+
+        queue.schedule(
+            t + log.duration_s.max(1e-4),
+            RoundEvent {
+                reader: ev.reader,
+                port: next_port,
+                round_no: ev.round_no + 1,
+            },
+        );
+    }
+
+    output.reads.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("read times are finite")
+    });
+    output
+}
+
+/// Runs exactly one inventory round on one antenna at time `t` — the
+/// paper's Figure 2 methodology ("a single read was performed each time").
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation or the indices are out
+/// of range.
+#[must_use]
+pub fn run_single_round(
+    scenario: &Scenario,
+    reader: usize,
+    port: usize,
+    t: f64,
+    seed: u64,
+) -> RoundLog {
+    scenario
+        .world
+        .validate()
+        .expect("scenario world must be valid");
+    let trial = RngStream::new(seed);
+    let mut fsms: Vec<TagFsm> = scenario
+        .world
+        .tags
+        .iter()
+        .map(|tag| TagFsm::new(tag.epc))
+        .collect();
+    let mut channel = PortalChannel::new(&scenario.world, reader, port, &scenario.channel, trial);
+    let mut engine = scenario.engine.clone();
+    engine.run_round(
+        &mut fsms,
+        &mut channel,
+        scenario.session,
+        t,
+        trial.value(&[0x51, reader as u64, port as u64]),
+    )
+}
+
+fn record_round(output: &mut SimOutput, log: &RoundLog, reader: usize, port: usize, start: f64) {
+    for read in &log.reads {
+        output.reads.push(ReadEvent {
+            time_s: read.time_s,
+            reader,
+            antenna: port,
+            tag: read.tag_index,
+            epc: read.epc,
+        });
+    }
+    output.rounds.push(RoundSummary {
+        reader,
+        antenna: port,
+        start_s: start,
+        duration_s: log.duration_s,
+        slots: log.slots,
+        collisions: log.collisions,
+        empties: log.empties,
+        reads: log.reads.len() as u32,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use crate::world::{SimObject, SimReader};
+    use crate::{ChannelParams, Motion};
+    use rfid_geom::{Pose, Rotation, Shape, Vec3};
+    use rfid_phys::Material;
+
+    /// A pass-by at 1 m/s, 1 m from a single portal antenna at z = 1 m.
+    fn pass_by() -> ScenarioBuilder {
+        let toward = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+        ScenarioBuilder::new()
+            .duration_s(4.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+            .free_tag(Motion::linear(
+                Pose::new(Vec3::new(-2.0, 1.0, 1.0), toward),
+                Vec3::new(1.0, 0.0, 0.0),
+                0.0,
+                4.0,
+            ))
+    }
+
+    #[test]
+    fn unobstructed_pass_is_read() {
+        let output = run_scenario(&pass_by().build(), 11);
+        assert!(output.tag_was_read(0));
+        assert!(!output.rounds.is_empty());
+        assert!(output.reads.iter().all(|r| r.time_s <= 4.0 + 0.5));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let scenario = pass_by().build();
+        let a = run_scenario(&scenario, 42);
+        let b = run_scenario(&scenario, 42);
+        assert_eq!(a, b);
+        let c = run_scenario(&scenario, 43);
+        // Different seed: at minimum the round boundaries differ.
+        assert!(a.rounds != c.rounds || a.reads != c.reads || a == c);
+    }
+
+    #[test]
+    fn metal_wall_blocks_the_pass() {
+        let scenario = pass_by()
+            .object(SimObject {
+                name: "steel wall".into(),
+                shape: Shape::aabb(Vec3::new(3.0, 0.01, 2.0)),
+                material: Material::Metal,
+                motion: Motion::Static(Pose::from_translation(Vec3::new(0.0, 0.5, 1.0))),
+            })
+            .build();
+        let output = run_scenario(&scenario, 11);
+        assert!(!output.tag_was_read(0), "a metal wall must block all reads");
+    }
+
+    #[test]
+    fn tdma_rotates_antenna_ports() {
+        let scenario = ScenarioBuilder::new()
+            .duration_s(2.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+            .free_tag(Motion::Static(Pose::from_translation(Vec3::new(
+                0.0, 1.0, 1.0,
+            ))))
+            .build();
+        let output = run_scenario(&scenario, 3);
+        let ports: HashSet<usize> = output.rounds.iter().map(|r| r.antenna).collect();
+        assert_eq!(ports, HashSet::from([0, 1]));
+        // Strict alternation.
+        for pair in output.rounds.windows(2) {
+            assert_ne!(pair[0].antenna, pair[1].antenna);
+        }
+    }
+
+    #[test]
+    fn outage_skips_rounds_on_the_dead_antenna() {
+        let mut scenario = pass_by().build();
+        scenario.world.readers[0].antennas[0]
+            .outages
+            .push((0.0, 10.0));
+        let output = run_scenario(&scenario, 5);
+        assert!(output.rounds.is_empty());
+        assert!(!output.tag_was_read(0));
+    }
+
+    #[test]
+    fn single_round_reads_a_static_boresight_tag() {
+        let toward = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+        let scenario = ScenarioBuilder::new()
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+            .free_tag(Motion::Static(Pose::new(Vec3::new(0.0, 1.0, 1.0), toward)))
+            .channel(ChannelParams {
+                sigma_tag_db: 0.0,
+                sigma_link_db: 0.0,
+                rician_k_db: 60.0,
+                ..ChannelParams::default()
+            })
+            .build();
+        let log = run_single_round(&scenario, 0, 0, 0.0, 1);
+        assert_eq!(log.reads.len(), 1);
+    }
+
+    #[test]
+    fn two_legacy_readers_hurt_a_marginal_pass() {
+        // One reader reads the pass fine; adding a second legacy reader on
+        // the portal jams it (the paper's reader-redundancy result).
+        let single = pass_by().build();
+        let with_second = pass_by()
+            .reader(SimReader::ar400(vec![crate::world::Antenna::portal(
+                Pose::from_translation(Vec3::new(2.0, 0.0, 1.0)),
+            )]))
+            .build();
+        let reads_single: usize = (0..8)
+            .map(|s| usize::from(run_scenario(&single, s).tag_was_read(0)))
+            .sum();
+        let reads_double: usize = (0..8)
+            .map(|s| usize::from(run_scenario(&with_second, s).tag_was_read(0)))
+            .sum();
+        assert!(
+            reads_double < reads_single,
+            "two legacy readers: {reads_double}/8 vs one: {reads_single}/8"
+        );
+    }
+
+    #[test]
+    fn output_accessors_agree() {
+        let output = run_scenario(&pass_by().build(), 11);
+        assert_eq!(output.tags_read().contains(&0), output.tag_was_read(0));
+        assert_eq!(
+            output.reads_of(0),
+            output.reads.iter().filter(|r| r.tag == 0).count()
+        );
+        if output.tag_was_read(0) {
+            assert!(output.tag_was_read_by(0, 0, 0));
+        }
+    }
+}

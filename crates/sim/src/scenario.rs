@@ -1,0 +1,272 @@
+//! Scenario assembly.
+
+use crate::channel::ChannelParams;
+use crate::motion::Motion;
+use crate::world::{Antenna, Attachment, SimObject, SimReader, SimTag, World};
+use rfid_gen2::{Epc96, InventoryEngine, Session};
+use rfid_geom::{Pose, Vec3};
+use rfid_phys::{Mounting, TagChip};
+use serde::{Deserialize, Serialize};
+
+/// A complete, runnable experiment: a world plus run parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The physical world.
+    pub world: World,
+    /// How long to simulate, in seconds.
+    pub duration_s: f64,
+    /// Gen-2 session the readers inventory.
+    pub session: Session,
+    /// Stochastic channel parameters.
+    pub channel: ChannelParams,
+    /// Inventory-engine template (each reader runs its own copy).
+    pub engine: InventoryEngine,
+}
+
+/// Builder for [`Scenario`].
+///
+/// # Examples
+///
+/// ```
+/// use rfid_geom::{Pose, Vec3};
+/// use rfid_sim::{Motion, ScenarioBuilder};
+///
+/// let scenario = ScenarioBuilder::new()
+///     .duration_s(3.0)
+///     .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+///     .free_tag(Motion::Static(Pose::from_translation(Vec3::new(0.0, 1.0, 1.0))))
+///     .build();
+/// assert_eq!(scenario.world.readers[0].antennas.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    world: World,
+    duration_s: f64,
+    session: Session,
+    channel: ChannelParams,
+    engine: InventoryEngine,
+    next_epc: u128,
+}
+
+impl ScenarioBuilder {
+    /// Starts an empty scenario at 915 MHz, 5 s, session S1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            world: World::default(),
+            duration_s: 5.0,
+            session: Session::S1,
+            channel: ChannelParams::default(),
+            engine: InventoryEngine::default(),
+            next_epc: 1,
+        }
+    }
+
+    /// Sets the carrier frequency.
+    #[must_use]
+    pub fn frequency_hz(mut self, hz: f64) -> Self {
+        self.world.frequency_hz = hz;
+        self
+    }
+
+    /// Sets the simulated duration.
+    #[must_use]
+    pub fn duration_s(mut self, seconds: f64) -> Self {
+        self.duration_s = seconds;
+        self
+    }
+
+    /// Sets the inventory session.
+    #[must_use]
+    pub fn session(mut self, session: Session) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Replaces the channel parameters.
+    #[must_use]
+    pub fn channel(mut self, params: ChannelParams) -> Self {
+        self.channel = params;
+        self
+    }
+
+    /// Replaces the inventory-engine template.
+    #[must_use]
+    pub fn engine(mut self, engine: InventoryEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Adds an AR400-like reader whose `count` portal antennas are centered
+    /// on `pose` and spaced 2 m apart along the pose's local x axis (the
+    /// paper's multi-antenna arrangement).
+    #[must_use]
+    pub fn portal_reader(self, pose: Pose, count: usize) -> Self {
+        self.portal_reader_spaced(pose, count, 2.0)
+    }
+
+    /// Like [`ScenarioBuilder::portal_reader`] with explicit spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn portal_reader_spaced(mut self, pose: Pose, count: usize, spacing_m: f64) -> Self {
+        assert!(count > 0, "a reader needs at least one antenna");
+        let antennas = (0..count)
+            .map(|i| {
+                let offset = (i as f64 - (count as f64 - 1.0) / 2.0) * spacing_m;
+                let local = Pose::from_translation(Vec3::new(offset, 0.0, 0.0));
+                Antenna::portal(pose * local)
+            })
+            .collect();
+        self.world.readers.push(SimReader::ar400(antennas));
+        self
+    }
+
+    /// Adds a fully specified reader.
+    #[must_use]
+    pub fn reader(mut self, reader: SimReader) -> Self {
+        self.world.readers.push(reader);
+        self
+    }
+
+    /// Adds an object, returning the builder; the object's index is
+    /// `self.object_count() - 1` afterwards.
+    #[must_use]
+    pub fn object(mut self, object: SimObject) -> Self {
+        self.world.objects.push(object);
+        self
+    }
+
+    /// Number of objects added so far.
+    #[must_use]
+    pub fn object_count(&self) -> usize {
+        self.world.objects.len()
+    }
+
+    /// Adds a fully specified tag.
+    #[must_use]
+    pub fn tag(mut self, tag: SimTag) -> Self {
+        self.world.tags.push(tag);
+        self
+    }
+
+    /// Adds a free (unattached) tag with default chip and free-space
+    /// mounting, auto-assigning an EPC.
+    #[must_use]
+    pub fn free_tag(mut self, motion: Motion) -> Self {
+        let epc = Epc96::from_u128(self.next_epc);
+        self.next_epc += 1;
+        self.world.tags.push(SimTag {
+            epc,
+            attachment: Attachment::Free(motion),
+            chip: TagChip::default(),
+            mounting: Mounting::free_space(),
+        });
+        self
+    }
+
+    /// Adds a tag mounted on object `object` at `local` pose, auto-assigning
+    /// an EPC.
+    #[must_use]
+    pub fn tag_on(mut self, object: usize, local: Pose, mounting: Mounting) -> Self {
+        let epc = Epc96::from_u128(self.next_epc);
+        self.next_epc += 1;
+        self.world.tags.push(SimTag {
+            epc,
+            attachment: Attachment::Object { object, local },
+            chip: TagChip::default(),
+            mounting,
+        });
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled world fails validation — the builder's own
+    /// methods cannot produce an invalid world, but indices passed to
+    /// [`ScenarioBuilder::tag_on`] can.
+    #[must_use]
+    pub fn build(self) -> Scenario {
+        let scenario = Scenario {
+            world: self.world,
+            duration_s: self.duration_s,
+            session: self.session,
+            channel: self.channel,
+            engine: self.engine,
+        };
+        scenario
+            .world
+            .validate()
+            .expect("scenario world must be valid");
+        scenario
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::Shape;
+    use rfid_phys::Material;
+
+    #[test]
+    fn builder_assembles_a_valid_world() {
+        let scenario = ScenarioBuilder::new()
+            .portal_reader(Pose::IDENTITY, 2)
+            .object(SimObject {
+                name: "box".into(),
+                shape: Shape::aabb(Vec3::new(0.2, 0.2, 0.2)),
+                material: Material::Cardboard,
+                motion: Motion::Static(Pose::from_translation(Vec3::new(0.0, 1.0, 0.0))),
+            })
+            .tag_on(0, Pose::IDENTITY, Mounting::free_space())
+            .free_tag(Motion::default())
+            .build();
+        assert_eq!(scenario.world.readers.len(), 1);
+        assert_eq!(scenario.world.tags.len(), 2);
+        assert!(scenario.world.validate().is_ok());
+    }
+
+    #[test]
+    fn portal_antennas_are_spaced_along_x() {
+        let scenario = ScenarioBuilder::new()
+            .portal_reader_spaced(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2, 2.0)
+            .free_tag(Motion::default())
+            .build();
+        let a = scenario.world.readers[0].antennas[0].pose.translation();
+        let b = scenario.world.readers[0].antennas[1].pose.translation();
+        assert!((a.distance(b) - 2.0).abs() < 1e-9);
+        assert!((a.x + 1.0).abs() < 1e-9 && (b.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epcs_are_unique() {
+        let scenario = ScenarioBuilder::new()
+            .portal_reader(Pose::IDENTITY, 1)
+            .free_tag(Motion::default())
+            .free_tag(Motion::default())
+            .free_tag(Motion::default())
+            .build();
+        let mut epcs: Vec<_> = scenario.world.tags.iter().map(|t| t.epc).collect();
+        epcs.dedup();
+        assert_eq!(epcs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario world must be valid")]
+    fn dangling_tag_panics_at_build() {
+        let _ = ScenarioBuilder::new()
+            .portal_reader(Pose::IDENTITY, 1)
+            .tag_on(7, Pose::IDENTITY, Mounting::free_space())
+            .build();
+    }
+}

@@ -1,0 +1,465 @@
+//! The simulated world: objects, tags, readers.
+
+use crate::Motion;
+use rfid_gen2::ReaderRf;
+use rfid_geom::{Pose, Ray, Shape, Solid, Vec3};
+use rfid_phys::{
+    Db, Dbm, Material, Mounting, Obstruction, Pattern, Polarization, ReaderAntenna, TagAntenna,
+    TagChip,
+};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A rigid physical object: a box of goods, a router chassis, a human
+/// torso. Objects attenuate lines of sight according to their material and
+/// may carry tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimObject {
+    /// Human-readable label for reports.
+    pub name: String,
+    /// The object's solid shape in its local frame.
+    pub shape: Shape,
+    /// Bulk material (drives occlusion loss and reflectivity).
+    pub material: Material,
+    /// Motion path.
+    pub motion: Motion,
+}
+
+impl SimObject {
+    /// The object's world-space solid at time `t`.
+    #[must_use]
+    pub fn solid_at(&self, t: f64) -> Solid {
+        Solid::new(self.shape, self.motion.pose_at(t))
+    }
+}
+
+/// How a tag is carried through the world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Attachment {
+    /// Mounted on an object at a fixed local pose (the common case:
+    /// tags on boxes, badges on people).
+    Object {
+        /// Index of the host object in [`World::objects`].
+        object: usize,
+        /// Tag pose in the host's local frame (dipole along local x, face
+        /// normal along local y, pointing away from the mount surface).
+        local: Pose,
+    },
+    /// Not attached to any object; moves on its own path (bare tags on a
+    /// test fixture).
+    Free(Motion),
+}
+
+/// A passive tag in the world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimTag {
+    /// The tag's EPC identity.
+    pub epc: rfid_gen2::Epc96,
+    /// How the tag moves.
+    pub attachment: Attachment,
+    /// Chip parameters.
+    pub chip: TagChip,
+    /// Mounting (standoff and backing material) for detuning loss.
+    pub mounting: Mounting,
+}
+
+/// One antenna port of a reader.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// Fixed world pose (boresight along local +y).
+    pub pose: Pose,
+    /// Radiation pattern.
+    pub pattern: Pattern,
+    /// Polarization.
+    pub polarization: Polarization,
+    /// One-way cable loss to the reader.
+    pub cable_loss: Db,
+    /// Failure-injection windows during which the antenna is dead.
+    pub outages: Vec<(f64, f64)>,
+}
+
+impl Antenna {
+    /// A standard 6 dBi circular portal antenna at `pose`.
+    #[must_use]
+    pub fn portal(pose: Pose) -> Self {
+        Self {
+            pose,
+            pattern: Pattern::patch(6.0),
+            polarization: Polarization::Circular,
+            cable_loss: Db::new(1.0),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Whether the antenna is down at time `t`.
+    #[must_use]
+    pub fn is_out(&self, t: f64) -> bool {
+        self.outages.iter().any(|&(a, b)| (a..b).contains(&t))
+    }
+}
+
+/// A reader driving one or more antennas in TDMA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReader {
+    /// Antenna ports (the AR400 supports up to four).
+    pub antennas: Vec<Antenna>,
+    /// Conducted transmit power.
+    pub tx_power: Dbm,
+    /// Receive sensitivity.
+    pub sensitivity: Dbm,
+    /// RF channel configuration (dense-reader mode etc.).
+    pub rf: ReaderRf,
+}
+
+impl SimReader {
+    /// An AR400-like reader (30 dBm, -80 dBm sensitivity, no dense mode)
+    /// with the given antennas.
+    #[must_use]
+    pub fn ar400(antennas: Vec<Antenna>) -> Self {
+        Self {
+            antennas,
+            tx_power: Dbm::new(30.0),
+            sensitivity: Dbm::new(-80.0),
+            rf: ReaderRf::legacy(),
+        }
+    }
+}
+
+/// Errors found by [`World::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorldError {
+    /// A tag references an object index that does not exist.
+    DanglingAttachment {
+        /// Index of the offending tag.
+        tag: usize,
+        /// The missing object index.
+        object: usize,
+    },
+    /// A reader has no antennas.
+    ReaderWithoutAntennas {
+        /// Index of the offending reader.
+        reader: usize,
+    },
+    /// The carrier frequency is not positive.
+    BadFrequency,
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::DanglingAttachment { tag, object } => {
+                write!(f, "tag {tag} is attached to missing object {object}")
+            }
+            WorldError::ReaderWithoutAntennas { reader } => {
+                write!(f, "reader {reader} has no antennas")
+            }
+            WorldError::BadFrequency => write!(f, "carrier frequency must be positive"),
+        }
+    }
+}
+
+impl Error for WorldError {}
+
+/// The complete simulated world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    /// Carrier frequency in Hz (915 MHz US UHF by default).
+    pub frequency_hz: f64,
+    /// Physical objects.
+    pub objects: Vec<SimObject>,
+    /// Tags.
+    pub tags: Vec<SimTag>,
+    /// Readers.
+    pub readers: Vec<SimReader>,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self {
+            frequency_hz: 915.0e6,
+            objects: Vec::new(),
+            tags: Vec::new(),
+            readers: Vec::new(),
+        }
+    }
+}
+
+impl World {
+    /// Checks referential integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WorldError`] found.
+    pub fn validate(&self) -> Result<(), WorldError> {
+        if self.frequency_hz <= 0.0 {
+            return Err(WorldError::BadFrequency);
+        }
+        for (i, tag) in self.tags.iter().enumerate() {
+            if let Attachment::Object { object, .. } = tag.attachment {
+                if object >= self.objects.len() {
+                    return Err(WorldError::DanglingAttachment { tag: i, object });
+                }
+            }
+        }
+        for (i, reader) in self.readers.iter().enumerate() {
+            if reader.antennas.is_empty() {
+                return Err(WorldError::ReaderWithoutAntennas { reader: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// World pose of tag `tag` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag index or its attachment is out of range.
+    #[must_use]
+    pub fn tag_pose_at(&self, tag: usize, t: f64) -> Pose {
+        match &self.tags[tag].attachment {
+            Attachment::Object { object, local } => {
+                self.objects[*object].motion.pose_at(t) * *local
+            }
+            Attachment::Free(motion) => motion.pose_at(t),
+        }
+    }
+
+    /// The tag as a `rfid-phys` antenna at time `t`.
+    #[must_use]
+    pub fn tag_antenna_at(&self, tag: usize, t: f64) -> TagAntenna {
+        TagAntenna {
+            pose: self.tag_pose_at(tag, t),
+            chip: self.tags[tag].chip,
+        }
+    }
+
+    /// Index of the object a tag rides on, if any.
+    #[must_use]
+    pub fn tag_host(&self, tag: usize) -> Option<usize> {
+        match self.tags[tag].attachment {
+            Attachment::Object { object, .. } => Some(object),
+            Attachment::Free(_) => None,
+        }
+    }
+
+    /// The reader antenna at (`reader`, `port`) as a `rfid-phys` antenna.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn reader_antenna(&self, reader: usize, port: usize) -> ReaderAntenna {
+        let r = &self.readers[reader];
+        let a = &r.antennas[port];
+        ReaderAntenna {
+            pose: a.pose,
+            pattern: a.pattern,
+            polarization: a.polarization,
+            tx_power: r.tx_power,
+            cable_loss: a.cable_loss,
+            sensitivity: r.sensitivity,
+        }
+    }
+
+    /// Materials on the line of sight from an antenna to a tag at time `t`.
+    ///
+    /// Casts a ray from the antenna to a point just off the tag's face (a
+    /// 5 mm standoff along the tag normal keeps the host surface from
+    /// self-intersecting) and accumulates the chord through every object.
+    /// Sub-millimeter chords are ignored as numerical grazing.
+    #[must_use]
+    pub fn obstructions(&self, reader: usize, port: usize, tag: usize, t: f64) -> Vec<Obstruction> {
+        let antenna_pos = self.readers[reader].antennas[port].pose.translation();
+        let tag_pose = self.tag_pose_at(tag, t);
+        let tag_point = tag_pose.translation() + tag_pose.transform_dir(Vec3::Y) * 0.005;
+        let Some(ray) = Ray::between(antenna_pos, tag_point) else {
+            return Vec::new();
+        };
+        let max_t = antenna_pos.distance(tag_point) - 1e-3;
+        let mut out = Vec::new();
+        for object in &self.objects {
+            let chord = object.solid_at(t).chord(&ray, max_t);
+            if chord > 1e-3 {
+                out.push(Obstruction {
+                    material: object.material,
+                    thickness_m: chord,
+                    extent_m: object.shape.max_extent(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of *reflective* objects (other than the tag's host) whose
+    /// center lies within `radius_m` of the tag at time `t` — nearby
+    /// scatterers that brighten the local field, the paper's "signal
+    /// reflections off the farther subject".
+    #[must_use]
+    pub fn scatterers_near(&self, tag: usize, t: f64, radius_m: f64) -> usize {
+        let tag_pos = self.tag_pose_at(tag, t).translation();
+        let host = self.tag_host(tag);
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| {
+                Some(*i) != host
+                    && o.material.is_reflective()
+                    && o.motion.pose_at(t).translation().distance(tag_pos) <= radius_m
+            })
+            .count()
+    }
+
+    /// World positions and dipole axes of all tags at time `t`, for
+    /// mutual-coupling computations.
+    #[must_use]
+    pub fn coupling_geometry(&self, t: f64) -> Vec<rfid_phys::TagCoupling> {
+        (0..self.tags.len())
+            .map(|i| {
+                let pose = self.tag_pose_at(i, t);
+                rfid_phys::TagCoupling {
+                    position: pose.translation(),
+                    axis: pose.transform_dir(Vec3::X),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+
+    fn boxed_world() -> World {
+        // A cardboard box at y = 1 m with a tag on its near (front) face
+        // and another on its far face; antenna at the origin facing +y.
+        let mut world = World::default();
+        world.objects.push(SimObject {
+            name: "box".into(),
+            shape: Shape::aabb(Vec3::new(0.2, 0.15, 0.2)),
+            material: Material::Cardboard,
+            motion: Motion::Static(Pose::from_translation(Vec3::new(0.0, 1.0, 0.0))),
+        });
+        // Near-face tag: local y (face normal) points toward -y world.
+        let toward_antenna = rfid_geom::Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+        world.tags.push(SimTag {
+            epc: Epc96::from_u128(1),
+            attachment: Attachment::Object {
+                object: 0,
+                local: Pose::new(Vec3::new(0.0, -0.15, 0.0), toward_antenna),
+            },
+            chip: TagChip::default(),
+            mounting: Mounting::free_space(),
+        });
+        // Far-face tag: normal along +y world.
+        world.tags.push(SimTag {
+            epc: Epc96::from_u128(2),
+            attachment: Attachment::Object {
+                object: 0,
+                local: Pose::new(Vec3::new(0.0, 0.15, 0.0), rfid_geom::Rotation::IDENTITY),
+            },
+            chip: TagChip::default(),
+            mounting: Mounting::free_space(),
+        });
+        world
+            .readers
+            .push(SimReader::ar400(vec![Antenna::portal(Pose::IDENTITY)]));
+        world
+    }
+
+    #[test]
+    fn validation_catches_dangling_attachment() {
+        let mut world = boxed_world();
+        world.tags[0].attachment = Attachment::Object {
+            object: 9,
+            local: Pose::IDENTITY,
+        };
+        assert_eq!(
+            world.validate(),
+            Err(WorldError::DanglingAttachment { tag: 0, object: 9 })
+        );
+    }
+
+    #[test]
+    fn validation_catches_empty_reader() {
+        let mut world = boxed_world();
+        world.readers[0].antennas.clear();
+        assert_eq!(
+            world.validate(),
+            Err(WorldError::ReaderWithoutAntennas { reader: 0 })
+        );
+        assert!(boxed_world().validate().is_ok());
+    }
+
+    #[test]
+    fn near_face_tag_is_unobstructed() {
+        let world = boxed_world();
+        let obs = world.obstructions(0, 0, 0, 0.0);
+        assert!(
+            obs.is_empty(),
+            "near-face tag should have clear LoS: {obs:?}"
+        );
+    }
+
+    #[test]
+    fn far_face_tag_sees_the_box_thickness() {
+        let world = boxed_world();
+        let obs = world.obstructions(0, 0, 1, 0.0);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].material, Material::Cardboard);
+        assert!(
+            (obs[0].thickness_m - 0.30).abs() < 0.01,
+            "chord = {}",
+            obs[0].thickness_m
+        );
+    }
+
+    #[test]
+    fn attached_tags_ride_their_object() {
+        let mut world = boxed_world();
+        world.objects[0].motion = Motion::linear(
+            Pose::from_translation(Vec3::new(-1.0, 1.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            2.0,
+        );
+        let at0 = world.tag_pose_at(0, 0.0).translation();
+        let at2 = world.tag_pose_at(0, 2.0).translation();
+        assert!((at2.x - at0.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatterers_are_counted_excluding_host() {
+        let mut world = boxed_world();
+        // A nearby human body (reflective).
+        world.objects.push(SimObject {
+            name: "bystander".into(),
+            shape: Shape::cylinder(0.15, 0.85),
+            material: Material::Flesh,
+            motion: Motion::Static(Pose::from_translation(Vec3::new(0.5, 1.0, 0.0))),
+        });
+        assert_eq!(world.scatterers_near(0, 0.0, 1.0), 1);
+        // The cardboard host is not reflective and is excluded anyway.
+        assert_eq!(world.scatterers_near(0, 0.0, 0.01), 0);
+    }
+
+    #[test]
+    fn antenna_outages_are_windows() {
+        let mut antenna = Antenna::portal(Pose::IDENTITY);
+        antenna.outages.push((1.0, 2.0));
+        assert!(!antenna.is_out(0.5));
+        assert!(antenna.is_out(1.5));
+        assert!(!antenna.is_out(2.5));
+    }
+
+    #[test]
+    fn coupling_geometry_tracks_axes() {
+        let world = boxed_world();
+        let geo = world.coupling_geometry(0.0);
+        assert_eq!(geo.len(), 2);
+        // Both tags' dipole axes are along world x (rotations about y keep x).
+        assert!(geo[0].axis.x.abs() > 0.99);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests over the world model: occlusion queries are total and
+//! bounded for arbitrary (valid) worlds.
+
+use proptest::prelude::*;
+use rfid_gen2::Epc96;
+use rfid_geom::{Pose, Shape, Vec3};
+use rfid_phys::{Material, Mounting, TagChip};
+use rfid_sim::{Antenna, Attachment, Motion, SimObject, SimReader, SimTag, World};
+
+fn arb_material() -> impl Strategy<Value = Material> {
+    prop_oneof![
+        Just(Material::Cardboard),
+        Just(Material::Plastic),
+        Just(Material::Wood),
+        Just(Material::Flesh),
+        Just(Material::Metal),
+    ]
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0.05f64..0.5, 0.05f64..0.5, 0.05f64..0.5)
+            .prop_map(|(x, y, z)| Shape::aabb(Vec3::new(x, y, z))),
+        (0.05f64..0.4, 0.1f64..1.0).prop_map(|(r, h)| Shape::cylinder(r, h)),
+        (0.05f64..0.5).prop_map(Shape::sphere),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = SimObject> {
+    (
+        arb_shape(),
+        arb_material(),
+        (-3.0f64..3.0, 0.3f64..3.0, 0.0f64..2.0),
+    )
+        .prop_map(|(shape, material, (x, y, z))| SimObject {
+            name: "obstacle".into(),
+            shape,
+            material,
+            motion: Motion::Static(Pose::from_translation(Vec3::new(x, y, z))),
+        })
+}
+
+fn arb_world() -> impl Strategy<Value = World> {
+    (
+        proptest::collection::vec(arb_object(), 0..8),
+        proptest::collection::vec(((-3.0f64..3.0), (0.3f64..4.0), (0.0f64..2.0)), 1..5),
+    )
+        .prop_map(|(objects, tag_positions)| {
+            let tags = tag_positions
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, z))| SimTag {
+                    epc: Epc96::from_u128(i as u128),
+                    attachment: Attachment::Free(Motion::Static(Pose::from_translation(
+                        Vec3::new(x, y, z),
+                    ))),
+                    chip: TagChip::default(),
+                    mounting: Mounting::free_space(),
+                })
+                .collect();
+            World {
+                frequency_hz: 915.0e6,
+                objects,
+                tags,
+                readers: vec![SimReader::ar400(vec![Antenna::portal(
+                    Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)),
+                )])],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occlusion queries: total, finite, and each chord bounded by the
+    /// obstacle's own extent.
+    #[test]
+    fn obstructions_are_bounded(world in arb_world(), t in 0.0f64..10.0) {
+        prop_assert!(world.validate().is_ok());
+        for tag in 0..world.tags.len() {
+            let obstructions = world.obstructions(0, 0, tag, t);
+            for obstruction in &obstructions {
+                prop_assert!(obstruction.thickness_m.is_finite());
+                prop_assert!(obstruction.thickness_m > 0.0);
+                prop_assert!(
+                    obstruction.thickness_m <= obstruction.extent_m + 1e-9,
+                    "chord {} exceeds extent {}",
+                    obstruction.thickness_m,
+                    obstruction.extent_m
+                );
+            }
+            // No more obstruction entries than objects.
+            prop_assert!(obstructions.len() <= world.objects.len());
+        }
+    }
+
+    /// Tag poses and coupling geometry are total and consistent.
+    #[test]
+    fn tag_geometry_is_total(world in arb_world(), t in 0.0f64..10.0) {
+        let coupling = world.coupling_geometry(t);
+        prop_assert_eq!(coupling.len(), world.tags.len());
+        for (i, entry) in coupling.iter().enumerate() {
+            let pose = world.tag_pose_at(i, t);
+            prop_assert!((entry.position - pose.translation()).norm() < 1e-9);
+            prop_assert!((entry.axis.norm() - 1.0).abs() < 1e-9, "axes are unit");
+        }
+    }
+
+    /// Scatterer counts are monotone in the radius.
+    #[test]
+    fn scatterers_monotone_in_radius(world in arb_world(), r1 in 0.1f64..2.0, r2 in 0.1f64..2.0) {
+        let (small, large) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        for tag in 0..world.tags.len() {
+            prop_assert!(
+                world.scatterers_near(tag, 0.0, small) <= world.scatterers_near(tag, 0.0, large)
+            );
+        }
+    }
+
+    /// Single inventory rounds on arbitrary worlds terminate and stay
+    /// within bounds.
+    #[test]
+    fn single_rounds_terminate(world in arb_world(), seed in any::<u64>()) {
+        let scenario = rfid_sim::Scenario {
+            world,
+            duration_s: 1.0,
+            session: rfid_gen2::Session::S1,
+            channel: rfid_sim::ChannelParams::default(),
+            engine: rfid_gen2::InventoryEngine::default(),
+        };
+        let log = rfid_sim::run_single_round(&scenario, 0, 0, 0.0, seed);
+        prop_assert!(log.reads.len() <= scenario.world.tags.len());
+        prop_assert!(log.duration_s.is_finite() && log.duration_s > 0.0);
+    }
+}

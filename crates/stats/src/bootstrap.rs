@@ -1,0 +1,194 @@
+//! Bootstrap resampling for small-sample interval estimates.
+//!
+//! The paper's cells use as few as 10-12 repetitions; the percentile
+//! bootstrap gives distribution-free uncertainty bands for such samples.
+
+use crate::proportion::Interval;
+use crate::StatsError;
+
+/// Configuration for bootstrap interval estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap resamples to draw.
+    pub resamples: usize,
+    /// Two-sided confidence level in `(0, 1)`.
+    pub confidence: f64,
+    /// Seed for the deterministic resampling RNG.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            resamples: 2000,
+            confidence: 0.95,
+            seed: 0x005E_ED0F_B007,
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the sample mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty sample and
+/// [`StatsError::OutOfRange`] for a confidence level outside `(0, 1)` or a
+/// zero resample count.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_stats::{bootstrap_mean_interval, BootstrapConfig};
+///
+/// let data = [18.0, 19.0, 20.0, 20.0, 17.0, 20.0];
+/// let ci = bootstrap_mean_interval(&data, &BootstrapConfig::default())?;
+/// assert!(ci.low <= 19.0 && 19.0 <= ci.high);
+/// # Ok::<(), rfid_stats::StatsError>(())
+/// ```
+pub fn bootstrap_mean_interval(
+    samples: &[f64],
+    config: &BootstrapConfig,
+) -> Result<Interval, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0 < config.confidence && config.confidence < 1.0) {
+        return Err(StatsError::OutOfRange {
+            value: format!("{}", config.confidence),
+        });
+    }
+    if config.resamples == 0 {
+        return Err(StatsError::OutOfRange {
+            value: "0 resamples".to_owned(),
+        });
+    }
+
+    let n = samples.len();
+    let mut rng = SplitMix64::new(config.seed);
+    let mut means = Vec::with_capacity(config.resamples);
+    for _ in 0..config.resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let idx = (rng.next_u64() % n as u64) as usize;
+            sum += samples[idx];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    let alpha = (1.0 - config.confidence) / 2.0;
+    Ok(Interval {
+        low: crate::quantile::quantile_sorted(&means, alpha),
+        high: crate::quantile::quantile_sorted(&means, 1.0 - alpha),
+    })
+}
+
+/// SplitMix64: a tiny, high-quality, deterministic PRNG.
+///
+/// Kept private to this crate so the statistics layer has no dependency on
+/// the `rand` ecosystem (the simulator uses `rand` with explicit seeding).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let cfg = BootstrapConfig::default();
+        let a = bootstrap_mean_interval(&data, &cfg).unwrap();
+        let b = bootstrap_mean_interval(&data, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 0.5];
+        let a = bootstrap_mean_interval(&data, &BootstrapConfig::default()).unwrap();
+        let b = bootstrap_mean_interval(
+            &data,
+            &BootstrapConfig {
+                seed: 42,
+                ..BootstrapConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let ci = bootstrap_mean_interval(&[4.0; 10], &BootstrapConfig::default()).unwrap();
+        assert_eq!(ci.low, 4.0);
+        assert_eq!(ci.high, 4.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let cfg = BootstrapConfig::default();
+        assert_eq!(
+            bootstrap_mean_interval(&[], &cfg),
+            Err(StatsError::EmptyInput)
+        );
+        assert!(bootstrap_mean_interval(
+            &[1.0],
+            &BootstrapConfig {
+                confidence: 1.5,
+                ..cfg
+            }
+        )
+        .is_err());
+        assert!(bootstrap_mean_interval(
+            &[1.0],
+            &BootstrapConfig {
+                resamples: 0,
+                ..cfg
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn splitmix_reference_sequence_is_stable() {
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        let mut rng2 = SplitMix64::new(1234567);
+        assert_eq!(rng2.next_u64(), first);
+        assert_eq!(rng2.next_u64(), second);
+        assert_ne!(first, second);
+    }
+
+    proptest! {
+        #[test]
+        fn interval_brackets_sample_range(data in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let ci = bootstrap_mean_interval(&data, &BootstrapConfig {
+                resamples: 200,
+                ..BootstrapConfig::default()
+            }).unwrap();
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(ci.low >= min - 1e-9);
+            prop_assert!(ci.high <= max + 1e-9);
+            prop_assert!(ci.low <= ci.high);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Fixed-bin histograms for distribution inspection.
+
+use crate::StatsError;
+
+/// A histogram with uniform bins over `[low, high)`.
+///
+/// Samples below `low` are counted in the underflow bucket, samples at or
+/// above `high` in the overflow bucket, so no data is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = rfid_stats::Histogram::new(0.0, 10.0, 5)?;
+/// for x in [0.5, 1.5, 2.5, 2.6, 11.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(0), 2); // 0.5 and 1.5 fall in [0, 2)
+/// assert_eq!(h.count(1), 2); // 2.5 and 2.6 fall in [2, 4)
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// # Ok::<(), rfid_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[low, high)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadHistogramConfig`] if `bins == 0`, the range is
+    /// degenerate, or either bound is not finite.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::BadHistogramConfig {
+                reason: "bin count must be positive".to_owned(),
+            });
+        }
+        if !(low.is_finite() && high.is_finite()) || low >= high {
+            return Err(StatsError::BadHistogramConfig {
+                reason: format!("range [{low}, {high}) is not a valid finite range"),
+            });
+        }
+        Ok(Self {
+            low,
+            high,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.low) / (self.high - self.low);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Inclusive-exclusive bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    #[must_use]
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        (
+            self.low + width * i as f64,
+            self.low + width * (i + 1) as f64,
+        )
+    }
+
+    /// Samples that fell below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above the range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Iterator over `(bin_low, bin_high, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins()).map(|i| {
+            let (lo, hi) = self.bin_bounds(i);
+            (lo, hi, self.counts[i])
+        })
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn boundary_samples_route_correctly() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(0.0); // first bin (inclusive low)
+        h.record(4.0); // overflow (exclusive high)
+        h.record(-0.001); // underflow
+        h.record(3.999); // last bin
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn bin_bounds_partition_the_range() {
+        let h = Histogram::new(-1.0, 1.0, 4).unwrap();
+        assert_eq!(h.bin_bounds(0), (-1.0, -0.5));
+        assert_eq!(h.bin_bounds(3), (0.5, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_samples_recorded(data in proptest::collection::vec(-10.0f64..10.0, 0..500)) {
+            let mut h = Histogram::new(-5.0, 5.0, 10).unwrap();
+            h.extend(data.iter().copied());
+            prop_assert_eq!(h.total(), data.len() as u64);
+        }
+
+        #[test]
+        fn every_in_range_sample_lands_in_its_bin(x in 0.0f64..1.0) {
+            let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+            h.record(x);
+            let idx = (0..7).find(|&i| {
+                let (lo, hi) = h.bin_bounds(i);
+                lo <= x && x < hi
+            });
+            if let Some(i) = idx {
+                prop_assert_eq!(h.count(i), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Descriptive statistics, interval estimates, and plain-text rendering
+//! utilities used throughout the RFID reliability reproduction.
+//!
+//! The DSN 2007 paper reports its results as *means with upper and lower
+//! quartiles* (Figures 2 and 4) and as *success proportions* (Tables 1-5).
+//! This crate provides exactly those estimators, plus the supporting pieces a
+//! measurement harness needs: online accumulators, histograms, bootstrap
+//! resampling, and table/bar-chart renderers for terminal reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use rfid_stats::{Summary, Proportion};
+//!
+//! let tags_read = [20.0, 19.0, 20.0, 18.0, 20.0];
+//! let summary = Summary::from_samples(&tags_read);
+//! assert_eq!(summary.max(), 20.0);
+//! assert!(summary.mean() > 19.0);
+//!
+//! let detection = Proportion::new(58, 60).unwrap();
+//! assert!(detection.point() > 0.9);
+//! let ci = detection.wilson_interval(0.95);
+//! assert!(ci.low <= detection.point() && detection.point() <= ci.high);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod chart;
+mod error;
+mod histogram;
+mod online;
+mod proportion;
+mod quantile;
+mod summary;
+mod table;
+
+pub use bootstrap::{bootstrap_mean_interval, BootstrapConfig};
+pub use chart::BarChart;
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use proportion::{Interval, Proportion};
+pub use quantile::{median, quantile, quartiles, Quartiles};
+pub use summary::Summary;
+pub use table::{Align, Table};

@@ -1,0 +1,184 @@
+//! Single-pass (online) moment accumulation.
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Useful inside simulation loops where materializing every sample would be
+/// wasteful (e.g. per-slot SINR traces across millions of Gen-2 slots).
+///
+/// # Examples
+///
+/// ```
+/// let mut acc = rfid_stats::OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.len(), 3);
+/// assert!((acc.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples pushed so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (Bessel-corrected; 0 for fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.n = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = OnlineStats::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_batch_summary() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let online: OnlineStats = data.iter().copied().collect();
+        let batch = Summary::from_samples(&data);
+        assert!((online.mean() - batch.mean()).abs() < 1e-12);
+        assert!((online.std_dev() - batch.std_dev()).abs() < 1e-12);
+        assert_eq!(online.min(), batch.min());
+        assert_eq!(online.max(), batch.max());
+    }
+
+    #[test]
+    fn empty_accumulator_defaults() {
+        let acc = OnlineStats::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concatenation(a in proptest::collection::vec(-1e4f64..1e4, 0..100),
+                                      b in proptest::collection::vec(-1e4f64..1e4, 0..100)) {
+            let mut left: OnlineStats = a.iter().copied().collect();
+            let right: OnlineStats = b.iter().copied().collect();
+            left.merge(&right);
+
+            let combined: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(left.len(), combined.len());
+            if !a.is_empty() || !b.is_empty() {
+                prop_assert!((left.mean() - combined.mean()).abs() < 1e-6);
+                prop_assert!((left.variance() - combined.variance()).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Quantile estimation.
+//!
+//! Uses the "type 7" linear-interpolation definition (the default in R and
+//! NumPy): for a sorted sample `x[0..n]` and rank `p`, the quantile is the
+//! value at fractional index `p * (n - 1)`.
+
+use crate::StatsError;
+
+/// Lower quartile, median, and upper quartile of a sample.
+///
+/// The paper's Figures 2 and 4 report exactly these three statistics for each
+/// experimental cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub lower: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub upper: f64,
+}
+
+impl Quartiles {
+    /// Interquartile range (`upper - lower`).
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Computes the `p`-quantile of `samples` (unsorted input is fine).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty and
+/// [`StatsError::OutOfRange`] if `p` is not in `[0, 1]` or is NaN.
+///
+/// # Examples
+///
+/// ```
+/// let q = rfid_stats::quantile(&[1.0, 2.0, 3.0, 4.0], 0.5).unwrap();
+/// assert_eq!(q, 2.5);
+/// ```
+pub fn quantile(samples: &[f64], p: f64) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::OutOfRange {
+            value: format!("{p}"),
+        });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// Computes the `p`-quantile of an already-sorted, non-empty sample.
+///
+/// This is the allocation-free building block behind [`quantile`]; use it when
+/// computing many quantiles of the same data.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sorted` is empty.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let idx = p.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi || sorted[lo] == sorted[hi] {
+        // The equal-endpoints case avoids a 1-ulp interpolation wobble
+        // (v*(1-f) + v*f need not round back to exactly v).
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Computes the median of `samples`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty.
+pub fn median(samples: &[f64]) -> Result<f64, StatsError> {
+    quantile(samples, 0.5)
+}
+
+/// Computes lower quartile, median, and upper quartile in one pass.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let q = rfid_stats::quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(q.median, 3.0);
+/// assert_eq!(q.lower, 2.0);
+/// assert_eq!(q.upper, 4.0);
+/// ```
+pub fn quartiles(samples: &[f64]) -> Result<Quartiles, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    Ok(Quartiles {
+        lower: quantile_sorted(&sorted, 0.25),
+        median: quantile_sorted(&sorted, 0.5),
+        upper: quantile_sorted(&sorted, 0.75),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        for p in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile(&[7.5], p).unwrap(), 7.5);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let data = [3.0, 1.0, 2.0, 9.0, -4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), -4.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(quantile(&[], 0.5), Err(StatsError::EmptyInput));
+        assert_eq!(quartiles(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn out_of_range_rank_is_an_error() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            quantile(&[1.0], -0.1),
+            Err(StatsError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn iqr_matches_quartile_difference() {
+        let q = quartiles(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        assert!((q.iqr() - (q.upper - q.lower)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_are_ordered(mut data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let q = quartiles(&data).unwrap();
+            prop_assert!(q.lower <= q.median);
+            prop_assert!(q.median <= q.upper);
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(q.lower >= data[0]);
+            prop_assert!(q.upper <= *data.last().unwrap());
+        }
+
+        #[test]
+        fn quantile_is_monotone_in_p(data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                     p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let qlo = quantile(&data, lo).unwrap();
+            let qhi = quantile(&data, hi).unwrap();
+            prop_assert!(qlo <= qhi);
+        }
+
+        #[test]
+        fn quantile_is_within_sample_bounds(data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                                            p in 0.0f64..1.0) {
+            let q = quantile(&data, p).unwrap();
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(q >= min - 1e-9 && q <= max + 1e-9);
+        }
+    }
+}

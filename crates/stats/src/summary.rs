@@ -1,0 +1,187 @@
+//! Five-number-style summaries of experimental samples.
+
+use crate::quantile::{quartiles, Quartiles};
+use crate::StatsError;
+
+/// A summary of a numeric sample: count, mean, standard deviation, extrema,
+/// and quartiles.
+///
+/// This is the unit of reporting for the paper's per-cell measurements, e.g.
+/// "average number of tags read, and the upper and lower quartiles"
+/// (Figures 2 and 4).
+///
+/// # Examples
+///
+/// ```
+/// let s = rfid_stats::Summary::from_samples(&[18.0, 19.0, 20.0, 20.0, 20.0]);
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.max(), 20.0);
+/// assert!(s.mean() > 19.0 && s.mean() < 20.0);
+/// assert_eq!(s.quartiles().median, 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    quartiles: Quartiles,
+}
+
+impl Summary {
+    /// Builds a summary from a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN. Use [`Summary::try_from_samples`]
+    /// for fallible construction.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Self::try_from_samples(samples).expect("samples must be non-empty")
+    }
+
+    /// Builds a summary from a slice of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if `samples` is empty.
+    pub fn try_from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            quartiles: quartiles(samples)?,
+        })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the summary covers zero samples (never true for a constructed
+    /// summary, kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected; zero for `n == 1`).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Lower quartile, median, and upper quartile.
+    #[must_use]
+    pub fn quartiles(&self) -> Quartiles {
+        self.quartiles
+    }
+
+    /// Mean rescaled by a denominator, e.g. tags read out of 20 as a
+    /// fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is not strictly positive.
+    #[must_use]
+    pub fn mean_fraction(&self, denom: f64) -> f64 {
+        assert!(denom > 0.0, "denominator must be positive");
+        self.mean / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(&[4.0]);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 4.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.quartiles().median, 4.0);
+    }
+
+    #[test]
+    fn known_standard_deviation() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_an_error() {
+        assert_eq!(Summary::try_from_samples(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_fraction_rescales() {
+        let s = Summary::from_samples(&[10.0, 20.0]);
+        assert!((s.mean_fraction(20.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn mean_fraction_rejects_zero_denominator() {
+        let _ = Summary::from_samples(&[1.0]).mean_fraction(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_lies_between_extrema(data in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let s = Summary::from_samples(&data);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.std_dev() >= 0.0);
+        }
+
+        #[test]
+        fn shifting_data_shifts_mean_only(data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+                                          shift in -1e3f64..1e3) {
+            let base = Summary::from_samples(&data);
+            let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+            let moved = Summary::from_samples(&shifted);
+            prop_assert!((moved.mean() - base.mean() - shift).abs() < 1e-6);
+            prop_assert!((moved.std_dev() - base.std_dev()).abs() < 1e-6);
+        }
+    }
+}

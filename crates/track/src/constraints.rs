@@ -1,0 +1,311 @@
+//! Constraint-based missed-read correction.
+//!
+//! Inoue, Hagiwara and Yasuura (ARES 2006 — the paper's reference [6])
+//! correct RFID false negatives using real-world constraints:
+//!
+//! * the **route constraint**: objects move along known paths, so an
+//!   object seen at zone A and later at zone C must have passed every zone
+//!   on the route between them, and
+//! * the **accompany constraint**: objects known to travel as a group
+//!   (cases on one pallet) are all present when enough of the group is
+//!   seen.
+//!
+//! These are software baselines against which the paper's physical
+//! redundancy is compared in the experiment harness.
+
+use crate::registry::ObjectHandle;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// An object seen (or inferred) at a zone at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneObservation {
+    /// The object.
+    pub object: ObjectHandle,
+    /// Zone identifier.
+    pub zone: usize,
+    /// Observation time.
+    pub time_s: f64,
+    /// Whether the observation was inferred by a constraint rather than
+    /// read from a tag.
+    pub inferred: bool,
+}
+
+/// The route constraint: a linear sequence of zones every object follows
+/// (e.g. dock door, conveyor gate, storage gate).
+///
+/// # Examples
+///
+/// ```
+/// use rfid_track::{ObjectRegistry, RouteConstraint, ZoneObservation};
+///
+/// let mut registry = ObjectRegistry::new();
+/// let case = registry.register("case");
+///
+/// let route = RouteConstraint::new(vec![10, 20, 30]);
+/// // Seen at zone 10 and 30; the read at 20 was missed.
+/// let observed = vec![
+///     ZoneObservation { object: case, zone: 10, time_s: 1.0, inferred: false },
+///     ZoneObservation { object: case, zone: 30, time_s: 9.0, inferred: false },
+/// ];
+/// let corrected = route.correct(&observed);
+/// assert_eq!(corrected.len(), 3);
+/// assert!(corrected.iter().any(|o| o.zone == 20 && o.inferred));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteConstraint {
+    zones: Vec<usize>,
+}
+
+impl RouteConstraint {
+    /// Creates a route from an ordered list of zone ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or contains duplicate zones.
+    #[must_use]
+    pub fn new(zones: Vec<usize>) -> Self {
+        assert!(!zones.is_empty(), "route must have at least one zone");
+        let unique: HashSet<usize> = zones.iter().copied().collect();
+        assert_eq!(unique.len(), zones.len(), "route zones must be distinct");
+        Self { zones }
+    }
+
+    /// The ordered zones.
+    #[must_use]
+    pub fn zones(&self) -> &[usize] {
+        &self.zones
+    }
+
+    /// Inserts inferred observations for zones an object must have passed:
+    /// for each consecutive pair of real observations of the same object,
+    /// every route zone strictly between their zones is filled in at the
+    /// interpolated time.
+    ///
+    /// Observations at zones not on the route are passed through untouched.
+    #[must_use]
+    pub fn correct(&self, observed: &[ZoneObservation]) -> Vec<ZoneObservation> {
+        let index_of: HashMap<usize, usize> = self
+            .zones
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| (z, i))
+            .collect();
+
+        // Group by object, order by time.
+        let mut by_object: HashMap<usize, Vec<ZoneObservation>> = HashMap::new();
+        for obs in observed {
+            by_object.entry(obs.object.index()).or_default().push(*obs);
+        }
+
+        let mut out: Vec<ZoneObservation> = Vec::new();
+        for (_, mut sightings) in by_object {
+            sightings.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+            for i in 0..sightings.len() {
+                out.push(sightings[i]);
+                if i + 1 >= sightings.len() {
+                    continue;
+                }
+                let (a, b) = (sightings[i], sightings[i + 1]);
+                let (Some(&ia), Some(&ib)) = (index_of.get(&a.zone), index_of.get(&b.zone)) else {
+                    continue;
+                };
+                if ib <= ia + 1 {
+                    continue; // adjacent or backwards: nothing to infer
+                }
+                let missing = ib - ia - 1;
+                for (k, zone_idx) in (ia + 1..ib).enumerate() {
+                    let frac = (k + 1) as f64 / (missing + 1) as f64;
+                    out.push(ZoneObservation {
+                        object: a.object,
+                        zone: self.zones[zone_idx],
+                        time_s: a.time_s + (b.time_s - a.time_s) * frac,
+                        inferred: true,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        out
+    }
+}
+
+/// The accompany constraint: a group of objects that travel together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccompanyConstraint {
+    group: Vec<ObjectHandle>,
+    /// Fraction of the group that must be seen to infer the rest, in
+    /// `(0, 1]`.
+    quorum: f64,
+}
+
+impl AccompanyConstraint {
+    /// Creates a group with the given quorum fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or the quorum is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(group: Vec<ObjectHandle>, quorum: f64) -> Self {
+        assert!(!group.is_empty(), "group must not be empty");
+        assert!(quorum > 0.0 && quorum <= 1.0, "quorum must be in (0, 1]");
+        Self { group, quorum }
+    }
+
+    /// The group members.
+    #[must_use]
+    pub fn members(&self) -> &[ObjectHandle] {
+        &self.group
+    }
+
+    /// Infers missing group members at a zone: if at least
+    /// `ceil(quorum * |group|)` members appear among `observed` at `zone`,
+    /// the remaining members are inferred present at the mean sighting
+    /// time. Already-seen members are returned untouched.
+    #[must_use]
+    pub fn correct(&self, observed: &[ZoneObservation], zone: usize) -> Vec<ZoneObservation> {
+        let members: HashSet<usize> = self.group.iter().map(|h| h.index()).collect();
+        let at_zone: Vec<&ZoneObservation> = observed
+            .iter()
+            .filter(|o| o.zone == zone && members.contains(&o.object.index()))
+            .collect();
+        let seen: HashSet<usize> = at_zone.iter().map(|o| o.object.index()).collect();
+        let need = (self.quorum * self.group.len() as f64).ceil() as usize;
+
+        let mut out: Vec<ZoneObservation> = observed.to_vec();
+        if seen.len() >= need && !seen.is_empty() {
+            let mean_time = at_zone.iter().map(|o| o.time_s).sum::<f64>() / at_zone.len() as f64;
+            for member in &self.group {
+                if !seen.contains(&member.index()) {
+                    out.push(ZoneObservation {
+                        object: *member,
+                        zone,
+                        time_s: mean_time,
+                        inferred: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ObjectRegistry;
+
+    fn objects(n: usize) -> (ObjectRegistry, Vec<ObjectHandle>) {
+        let mut reg = ObjectRegistry::new();
+        let handles = (0..n).map(|i| reg.register(format!("o{i}"))).collect();
+        (reg, handles)
+    }
+
+    fn seen(object: ObjectHandle, zone: usize, time_s: f64) -> ZoneObservation {
+        ZoneObservation {
+            object,
+            zone,
+            time_s,
+            inferred: false,
+        }
+    }
+
+    #[test]
+    fn route_fills_in_skipped_zones() {
+        let (_, objs) = objects(1);
+        let route = RouteConstraint::new(vec![1, 2, 3, 4]);
+        let observed = vec![seen(objs[0], 1, 0.0), seen(objs[0], 4, 3.0)];
+        let corrected = route.correct(&observed);
+        assert_eq!(corrected.len(), 4);
+        let inferred: Vec<&ZoneObservation> = corrected.iter().filter(|o| o.inferred).collect();
+        assert_eq!(inferred.len(), 2);
+        assert_eq!(inferred[0].zone, 2);
+        assert!((inferred[0].time_s - 1.0).abs() < 1e-9);
+        assert_eq!(inferred[1].zone, 3);
+        assert!((inferred[1].time_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_zones_need_no_inference() {
+        let (_, objs) = objects(1);
+        let route = RouteConstraint::new(vec![1, 2, 3]);
+        let observed = vec![seen(objs[0], 1, 0.0), seen(objs[0], 2, 1.0)];
+        assert_eq!(route.correct(&observed).len(), 2);
+    }
+
+    #[test]
+    fn off_route_zones_pass_through() {
+        let (_, objs) = objects(1);
+        let route = RouteConstraint::new(vec![1, 2, 3]);
+        let observed = vec![seen(objs[0], 1, 0.0), seen(objs[0], 99, 5.0)];
+        let corrected = route.correct(&observed);
+        assert_eq!(corrected.len(), 2);
+        assert!(corrected.iter().all(|o| !o.inferred));
+    }
+
+    #[test]
+    fn route_handles_multiple_objects_independently() {
+        let (_, objs) = objects(2);
+        let route = RouteConstraint::new(vec![1, 2, 3]);
+        let observed = vec![
+            seen(objs[0], 1, 0.0),
+            seen(objs[1], 1, 0.1),
+            seen(objs[0], 3, 2.0),
+        ];
+        let corrected = route.correct(&observed);
+        // Object 0 gets zone 2 inferred; object 1 has a single sighting.
+        assert_eq!(corrected.len(), 4);
+        let inferred: Vec<_> = corrected.iter().filter(|o| o.inferred).collect();
+        assert_eq!(inferred.len(), 1);
+        assert_eq!(inferred[0].object, objs[0]);
+    }
+
+    #[test]
+    fn accompany_infers_missing_members_at_quorum() {
+        let (_, objs) = objects(4);
+        let group = AccompanyConstraint::new(objs.clone(), 0.5);
+        // Two of four seen at zone 7: quorum (2) met, two inferred.
+        let observed = vec![seen(objs[0], 7, 1.0), seen(objs[1], 7, 3.0)];
+        let corrected = group.correct(&observed, 7);
+        assert_eq!(corrected.len(), 4);
+        let inferred: Vec<_> = corrected.iter().filter(|o| o.inferred).collect();
+        assert_eq!(inferred.len(), 2);
+        for o in inferred {
+            assert!((o.time_s - 2.0).abs() < 1e-9, "mean sighting time");
+        }
+    }
+
+    #[test]
+    fn accompany_below_quorum_infers_nothing() {
+        let (_, objs) = objects(4);
+        let group = AccompanyConstraint::new(objs.clone(), 0.75);
+        let observed = vec![seen(objs[0], 7, 1.0), seen(objs[1], 7, 3.0)];
+        let corrected = group.correct(&observed, 7);
+        assert_eq!(corrected.len(), 2);
+    }
+
+    #[test]
+    fn accompany_ignores_other_zones_and_outsiders() {
+        let (_, objs) = objects(3);
+        let group = AccompanyConstraint::new(vec![objs[0], objs[1]], 0.5);
+        let observed = vec![
+            seen(objs[0], 8, 1.0), // wrong zone
+            seen(objs[2], 7, 1.0), // not in the group
+        ];
+        let corrected = group.correct(&observed, 7);
+        assert_eq!(corrected.len(), 2, "nothing inferred: {corrected:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "route zones must be distinct")]
+    fn route_rejects_duplicates() {
+        let _ = RouteConstraint::new(vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum must be in (0, 1]")]
+    fn accompany_validates_quorum() {
+        let (_, objs) = objects(2);
+        let _ = AccompanyConstraint::new(objs, 0.0);
+    }
+}

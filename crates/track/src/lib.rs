@@ -1,0 +1,38 @@
+//! The tracking application layer above the RFID read stream.
+//!
+//! The paper's system model (Section 2) puts a back-end behind the readers:
+//! "The back-end system implements the logic and actions for when a tag is
+//! identified." This crate is that back-end for tracking applications:
+//!
+//! * [`ObjectRegistry`] — the tag-to-object mapping, explicitly
+//!   many-tags-per-object ("an object may carry multiple tags"), the data
+//!   structure tag-level redundancy needs,
+//! * [`SightingPipeline`] — turns raw, bursty, duplicated [`ReadEvent`]s
+//!   into clean per-object portal sightings,
+//! * [`SmoothingWindow`] / [`AdaptiveSmoother`] — fixed and adaptive
+//!   window cleaning of tag streams (the VLDB'06 "adaptive cleaning"
+//!   baseline the paper cites as related work \[15\]),
+//! * [`RouteConstraint`] / [`AccompanyConstraint`] — the constraint-based
+//!   missed-read correction of Inoue et al. \[6\], implemented as
+//!   comparison baselines for redundancy,
+//! * [`TrackingMetrics`] — miss/false-positive accounting against ground
+//!   truth.
+//!
+//! [`ReadEvent`]: rfid_sim::ReadEvent
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraints;
+mod metrics;
+mod pipeline;
+mod registry;
+mod site;
+mod smoothing;
+
+pub use constraints::{AccompanyConstraint, RouteConstraint, ZoneObservation};
+pub use metrics::{GroundTruthPass, TrackingMetrics};
+pub use pipeline::{Sighting, SightingPipeline};
+pub use registry::{ObjectHandle, ObjectRegistry};
+pub use site::{LocationTracker, Site};
+pub use smoothing::{AdaptiveSmoother, PresenceInterval, SmoothingWindow};

@@ -1,0 +1,198 @@
+//! Tracking-quality accounting against ground truth.
+
+use crate::pipeline::Sighting;
+use crate::registry::ObjectHandle;
+use rfid_core::ReliabilityEstimate;
+use serde::{Deserialize, Serialize};
+
+/// A ground-truth pass: object `object` was really in the portal area
+/// during `[enter_s, exit_s]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthPass {
+    /// The object that passed.
+    pub object: ObjectHandle,
+    /// When it entered the area.
+    pub enter_s: f64,
+    /// When it left the area.
+    pub exit_s: f64,
+}
+
+/// Detection/miss/false-positive counts for a batch of passes.
+///
+/// A pass is **detected** if any sighting of the object overlaps the pass
+/// window (with `tolerance_s` slack); sightings matching no pass are
+/// **false positives** (e.g. reads from outside the designated area — the
+/// paper notes these "can typically be eliminated" physically, but the
+/// metric keeps systems honest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrackingMetrics {
+    /// Passes that were detected.
+    pub detected: u64,
+    /// Passes that were missed (false negatives).
+    pub missed: u64,
+    /// Sightings that matched no ground-truth pass.
+    pub false_positives: u64,
+}
+
+impl TrackingMetrics {
+    /// Scores `sightings` against `truth`.
+    #[must_use]
+    pub fn score(
+        truth: &[GroundTruthPass],
+        sightings: &[Sighting],
+        tolerance_s: f64,
+    ) -> TrackingMetrics {
+        let mut matched_sighting = vec![false; sightings.len()];
+        let mut detected = 0;
+        let mut missed = 0;
+        for pass in truth {
+            let mut hit = false;
+            for (i, s) in sightings.iter().enumerate() {
+                if s.object == pass.object
+                    && s.first_s <= pass.exit_s + tolerance_s
+                    && s.last_s >= pass.enter_s - tolerance_s
+                {
+                    matched_sighting[i] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                detected += 1;
+            } else {
+                missed += 1;
+            }
+        }
+        let false_positives = matched_sighting.iter().filter(|&&m| !m).count() as u64;
+        TrackingMetrics {
+            detected,
+            missed,
+            false_positives,
+        }
+    }
+
+    /// Tracking reliability (detected / passes), the paper's system-level
+    /// metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`rfid_stats::StatsError`] when no passes were scored.
+    pub fn reliability(&self) -> Result<ReliabilityEstimate, rfid_stats::StatsError> {
+        ReliabilityEstimate::from_counts(self.detected, self.detected + self.missed)
+    }
+
+    /// Merges counts from another batch.
+    pub fn merge(&mut self, other: &TrackingMetrics) {
+        self.detected += other.detected;
+        self.missed += other.missed;
+        self.false_positives += other.false_positives;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sighting(object: ObjectHandle, first_s: f64, last_s: f64) -> Sighting {
+        Sighting {
+            object,
+            first_s,
+            last_s,
+            reads: 1,
+            antennas: vec![(0, 0)],
+            tags: vec![0],
+        }
+    }
+
+    fn handle(i: usize) -> ObjectHandle {
+        // Handles are only comparable tokens here; build them through a
+        // registry to stay honest.
+        let mut reg = crate::ObjectRegistry::new();
+        let mut out = None;
+        for k in 0..=i {
+            let h = reg.register(format!("o{k}"));
+            if k == i {
+                out = Some(h);
+            }
+        }
+        out.unwrap()
+    }
+
+    #[test]
+    fn detected_and_missed_passes() {
+        let a = handle(0);
+        let truth = [
+            GroundTruthPass {
+                object: a,
+                enter_s: 0.0,
+                exit_s: 2.0,
+            },
+            GroundTruthPass {
+                object: a,
+                enter_s: 10.0,
+                exit_s: 12.0,
+            },
+        ];
+        let sightings = [sighting(a, 1.0, 1.5)];
+        let m = TrackingMetrics::score(&truth, &sightings, 0.5);
+        assert_eq!(m.detected, 1);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.false_positives, 0);
+        assert_eq!(m.reliability().unwrap().point().value(), 0.5);
+    }
+
+    #[test]
+    fn wrong_object_is_a_false_positive() {
+        let a = handle(0);
+        let b = handle(1);
+        let truth = [GroundTruthPass {
+            object: a,
+            enter_s: 0.0,
+            exit_s: 2.0,
+        }];
+        let sightings = [sighting(b, 1.0, 1.5)];
+        let m = TrackingMetrics::score(&truth, &sightings, 0.5);
+        assert_eq!(m.detected, 0);
+        assert_eq!(m.missed, 1);
+        assert_eq!(m.false_positives, 1);
+    }
+
+    #[test]
+    fn tolerance_rescues_boundary_sightings() {
+        let a = handle(0);
+        let truth = [GroundTruthPass {
+            object: a,
+            enter_s: 5.0,
+            exit_s: 6.0,
+        }];
+        // Sighting ends just before the pass window opens.
+        let sightings = [sighting(a, 4.0, 4.8)];
+        let strict = TrackingMetrics::score(&truth, &sightings, 0.0);
+        assert_eq!(strict.detected, 0);
+        let lenient = TrackingMetrics::score(&truth, &sightings, 0.5);
+        assert_eq!(lenient.detected, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrackingMetrics {
+            detected: 3,
+            missed: 1,
+            false_positives: 0,
+        };
+        a.merge(&TrackingMetrics {
+            detected: 2,
+            missed: 2,
+            false_positives: 1,
+        });
+        assert_eq!(a.detected, 5);
+        assert_eq!(a.missed, 3);
+        assert_eq!(a.false_positives, 1);
+        assert!((a.reliability().unwrap().point().value() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_truth_has_no_reliability() {
+        let m = TrackingMetrics::default();
+        assert!(m.reliability().is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! From raw reads to per-object portal sightings.
+
+use crate::registry::{ObjectHandle, ObjectRegistry};
+use rfid_sim::ReadEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One continuous sighting of an object at a portal: a maximal burst of
+/// reads of any of its tags with no gap larger than the pipeline's merge
+/// window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// The object seen.
+    pub object: ObjectHandle,
+    /// Time of the first contributing read.
+    pub first_s: f64,
+    /// Time of the last contributing read.
+    pub last_s: f64,
+    /// Total reads merged into this sighting.
+    pub reads: usize,
+    /// Distinct (reader, antenna) pairs that contributed.
+    pub antennas: Vec<(usize, usize)>,
+    /// Distinct tags (world indices from the read events) that contributed.
+    pub tags: Vec<usize>,
+}
+
+impl Sighting {
+    /// Sighting duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.last_s - self.first_s
+    }
+}
+
+/// Groups raw reads into deduplicated per-object sightings.
+///
+/// RFID readers in buffered mode report the same tag dozens of times per
+/// pass, across multiple tags per object and multiple antennas per portal;
+/// applications want one event per object pass. Reads of the same object
+/// separated by no more than `merge_gap_s` merge into one [`Sighting`].
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::Epc96;
+/// use rfid_sim::ReadEvent;
+/// use rfid_track::{ObjectRegistry, SightingPipeline};
+///
+/// let mut registry = ObjectRegistry::new();
+/// let case = registry.register("case-1");
+/// registry.attach_tag(case, Epc96::from_u128(5));
+///
+/// let reads = vec![
+///     ReadEvent { time_s: 1.0, reader: 0, antenna: 0, tag: 0, epc: Epc96::from_u128(5) },
+///     ReadEvent { time_s: 1.2, reader: 0, antenna: 1, tag: 0, epc: Epc96::from_u128(5) },
+///     ReadEvent { time_s: 9.0, reader: 0, antenna: 0, tag: 0, epc: Epc96::from_u128(5) },
+/// ];
+/// let pipeline = SightingPipeline::new(2.0);
+/// let sightings = pipeline.process(&registry, &reads);
+/// assert_eq!(sightings.len(), 2, "a pass at ~1 s and another at 9 s");
+/// assert_eq!(sightings[0].reads, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SightingPipeline {
+    merge_gap_s: f64,
+}
+
+impl SightingPipeline {
+    /// Creates a pipeline merging reads separated by at most `merge_gap_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `merge_gap_s` is not strictly positive.
+    #[must_use]
+    pub fn new(merge_gap_s: f64) -> Self {
+        assert!(merge_gap_s > 0.0, "merge gap must be positive");
+        Self { merge_gap_s }
+    }
+
+    /// The merge gap.
+    #[must_use]
+    pub fn merge_gap_s(&self) -> f64 {
+        self.merge_gap_s
+    }
+
+    /// Processes a read stream into sightings, ordered by start time.
+    ///
+    /// Reads whose EPC is not in the registry are ignored (foreign tags in
+    /// the field of view).
+    #[must_use]
+    pub fn process(&self, registry: &ObjectRegistry, reads: &[ReadEvent]) -> Vec<Sighting> {
+        let mut sorted: Vec<&ReadEvent> = reads.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("read times are finite")
+        });
+
+        let mut open: HashMap<usize, Sighting> = HashMap::new();
+        let mut done: Vec<Sighting> = Vec::new();
+
+        for read in sorted {
+            let Some(object) = registry.object_of(read.epc) else {
+                continue;
+            };
+            let entry = open.entry(object.index());
+            match entry {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if read.time_s - slot.get().last_s > self.merge_gap_s {
+                        done.push(slot.insert(new_sighting(object, read)));
+                    } else {
+                        extend(slot.get_mut(), read);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(new_sighting(object, read));
+                }
+            }
+        }
+        done.extend(open.into_values());
+        done.sort_by(|a, b| {
+            a.first_s
+                .partial_cmp(&b.first_s)
+                .expect("read times are finite")
+        });
+        done
+    }
+}
+
+fn new_sighting(object: ObjectHandle, read: &ReadEvent) -> Sighting {
+    Sighting {
+        object,
+        first_s: read.time_s,
+        last_s: read.time_s,
+        reads: 1,
+        antennas: vec![(read.reader, read.antenna)],
+        tags: vec![read.tag],
+    }
+}
+
+fn extend(sighting: &mut Sighting, read: &ReadEvent) {
+    sighting.last_s = read.time_s;
+    sighting.reads += 1;
+    if !sighting.antennas.contains(&(read.reader, read.antenna)) {
+        sighting.antennas.push((read.reader, read.antenna));
+    }
+    if !sighting.tags.contains(&read.tag) {
+        sighting.tags.push(read.tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+
+    fn read(time_s: f64, epc: u128, antenna: usize) -> ReadEvent {
+        ReadEvent {
+            time_s,
+            reader: 0,
+            antenna,
+            tag: epc as usize,
+            epc: Epc96::from_u128(epc),
+        }
+    }
+
+    fn registry_with_two_tag_object() -> (ObjectRegistry, ObjectHandle) {
+        let mut reg = ObjectRegistry::new();
+        let obj = reg.register("case");
+        reg.attach_tag(obj, Epc96::from_u128(1));
+        reg.attach_tag(obj, Epc96::from_u128(2));
+        (reg, obj)
+    }
+
+    #[test]
+    fn merges_multi_tag_multi_antenna_bursts() {
+        let (reg, obj) = registry_with_two_tag_object();
+        let reads = vec![
+            read(1.0, 1, 0),
+            read(1.1, 2, 1), // other tag, other antenna, same object
+            read(1.3, 1, 0),
+        ];
+        let sightings = SightingPipeline::new(1.0).process(&reg, &reads);
+        assert_eq!(sightings.len(), 1);
+        let s = &sightings[0];
+        assert_eq!(s.object, obj);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.antennas.len(), 2);
+        assert_eq!(s.tags.len(), 2);
+        assert!((s.duration_s() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_splits_sightings() {
+        let (reg, _) = registry_with_two_tag_object();
+        let reads = vec![read(1.0, 1, 0), read(5.0, 1, 0)];
+        let sightings = SightingPipeline::new(2.0).process(&reg, &reads);
+        assert_eq!(sightings.len(), 2);
+        assert_eq!(sightings[0].first_s, 1.0);
+        assert_eq!(sightings[1].first_s, 5.0);
+    }
+
+    #[test]
+    fn unknown_tags_are_ignored() {
+        let (reg, _) = registry_with_two_tag_object();
+        let reads = vec![read(1.0, 99, 0)];
+        assert!(SightingPipeline::new(1.0).process(&reg, &reads).is_empty());
+    }
+
+    #[test]
+    fn unordered_input_is_sorted() {
+        let (reg, _) = registry_with_two_tag_object();
+        let reads = vec![read(5.0, 1, 0), read(1.0, 1, 0), read(1.5, 2, 0)];
+        let sightings = SightingPipeline::new(1.0).process(&reg, &reads);
+        assert_eq!(sightings.len(), 2);
+        assert!(sightings[0].first_s < sightings[1].first_s);
+        assert_eq!(sightings[0].reads, 2);
+    }
+
+    #[test]
+    fn distinct_objects_do_not_merge() {
+        let mut reg = ObjectRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        reg.attach_tag(a, Epc96::from_u128(1));
+        reg.attach_tag(b, Epc96::from_u128(2));
+        let reads = vec![read(1.0, 1, 0), read(1.1, 2, 0)];
+        let sightings = SightingPipeline::new(5.0).process(&reg, &reads);
+        assert_eq!(sightings.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge gap must be positive")]
+    fn gap_is_validated() {
+        let _ = SightingPipeline::new(0.0);
+    }
+}

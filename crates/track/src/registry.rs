@@ -1,0 +1,185 @@
+//! Tag-to-object mapping.
+
+use rfid_gen2::Epc96;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle to a registered object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectHandle(usize);
+
+impl ObjectHandle {
+    /// The underlying index (stable for the registry's lifetime).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from an index previously obtained via
+    /// [`ObjectHandle::index`] (crate-internal: indexes are only
+    /// meaningful against the registry that minted them).
+    pub(crate) const fn from_index(index: usize) -> ObjectHandle {
+        ObjectHandle(index)
+    }
+}
+
+/// The registry of tracked objects and the tags they carry.
+///
+/// The paper's system-level definition of tracking reliability "obviates a
+/// one-to-one mapping between a tag and an object": an object may carry
+/// any number of tags, and identifying *any* of them identifies the
+/// object. The registry maintains that many-to-one relation.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::Epc96;
+/// use rfid_track::ObjectRegistry;
+///
+/// let mut registry = ObjectRegistry::new();
+/// let pallet = registry.register("pallet-7");
+/// registry.attach_tag(pallet, Epc96::from_u128(0xA1));
+/// registry.attach_tag(pallet, Epc96::from_u128(0xA2)); // redundant tag
+///
+/// assert_eq!(registry.object_of(Epc96::from_u128(0xA2)), Some(pallet));
+/// assert_eq!(registry.tags_of(pallet).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObjectRegistry {
+    names: Vec<String>,
+    tags: Vec<Vec<Epc96>>,
+    by_epc: HashMap<Epc96, usize>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new object.
+    pub fn register(&mut self, name: impl Into<String>) -> ObjectHandle {
+        self.names.push(name.into());
+        self.tags.push(Vec::new());
+        ObjectHandle(self.names.len() - 1)
+    }
+
+    /// Attaches a tag to an object. Re-attaching a tag moves it (a tag can
+    /// be on only one object).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this registry.
+    pub fn attach_tag(&mut self, object: ObjectHandle, epc: Epc96) {
+        assert!(object.0 < self.names.len(), "foreign object handle");
+        if let Some(prev) = self.by_epc.insert(epc, object.0) {
+            self.tags[prev].retain(|&e| e != epc);
+        }
+        self.tags[object.0].push(epc);
+    }
+
+    /// The object carrying `epc`, if any.
+    #[must_use]
+    pub fn object_of(&self, epc: Epc96) -> Option<ObjectHandle> {
+        self.by_epc.get(&epc).copied().map(ObjectHandle)
+    }
+
+    /// The tags attached to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this registry.
+    #[must_use]
+    pub fn tags_of(&self, object: ObjectHandle) -> &[Epc96] {
+        &self.tags[object.0]
+    }
+
+    /// The object's display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle did not come from this registry.
+    #[must_use]
+    pub fn name_of(&self, object: ObjectHandle) -> &str {
+        &self.names[object.0]
+    }
+
+    /// Number of registered objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over all object handles.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectHandle> + '_ {
+        (0..self.names.len()).map(ObjectHandle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ObjectRegistry::new();
+        let a = reg.register("box-a");
+        let b = reg.register("box-b");
+        reg.attach_tag(a, Epc96::from_u128(1));
+        reg.attach_tag(b, Epc96::from_u128(2));
+        assert_eq!(reg.object_of(Epc96::from_u128(1)), Some(a));
+        assert_eq!(reg.object_of(Epc96::from_u128(2)), Some(b));
+        assert_eq!(reg.object_of(Epc96::from_u128(3)), None);
+        assert_eq!(reg.name_of(a), "box-a");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn multi_tag_objects() {
+        let mut reg = ObjectRegistry::new();
+        let a = reg.register("pallet");
+        for i in 0..4 {
+            reg.attach_tag(a, Epc96::from_u128(i));
+        }
+        assert_eq!(reg.tags_of(a).len(), 4);
+        for i in 0..4 {
+            assert_eq!(reg.object_of(Epc96::from_u128(i)), Some(a));
+        }
+    }
+
+    #[test]
+    fn reattaching_moves_the_tag() {
+        let mut reg = ObjectRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        let epc = Epc96::from_u128(7);
+        reg.attach_tag(a, epc);
+        reg.attach_tag(b, epc);
+        assert_eq!(reg.object_of(epc), Some(b));
+        assert!(reg.tags_of(a).is_empty());
+        assert_eq!(reg.tags_of(b), &[epc]);
+    }
+
+    #[test]
+    fn objects_iterates_all() {
+        let mut reg = ObjectRegistry::new();
+        let handles: Vec<_> = (0..3).map(|i| reg.register(format!("o{i}"))).collect();
+        let iterated: Vec<_> = reg.objects().collect();
+        assert_eq!(handles, iterated);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign object handle")]
+    fn foreign_handles_panic() {
+        let mut reg = ObjectRegistry::new();
+        reg.attach_tag(ObjectHandle(3), Epc96::from_u128(1));
+    }
+}

@@ -1,0 +1,348 @@
+//! Multi-portal sites: zones, portal-to-zone mapping, and location
+//! tracking.
+//!
+//! The paper's applications — supply chains, toll gates, doorway access —
+//! are *sites* with several read points: an object's location is inferred
+//! from which portal last saw it ("human tracking with room-level
+//! accuracy"). This module maps (reader, antenna) pairs to named zones,
+//! turns raw reads into [`ZoneObservation`]s, and maintains a per-object
+//! location estimate with staleness handling.
+
+use crate::constraints::ZoneObservation;
+use crate::registry::{ObjectHandle, ObjectRegistry};
+use rfid_sim::ReadEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A site: named zones and the portals (reader/antenna pairs) that
+/// observe them.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_track::{ObjectRegistry, Site};
+/// use rfid_gen2::Epc96;
+/// use rfid_sim::ReadEvent;
+///
+/// let mut site = Site::new();
+/// let dock = site.add_zone("dock door");
+/// let aisle = site.add_zone("aisle gate");
+/// site.assign_portal(0, 0, dock);
+/// site.assign_portal(1, 0, aisle);
+///
+/// let mut registry = ObjectRegistry::new();
+/// let case = registry.register("case");
+/// registry.attach_tag(case, Epc96::from_u128(9));
+///
+/// let reads = [ReadEvent { time_s: 1.0, reader: 1, antenna: 0, tag: 0,
+///                          epc: Epc96::from_u128(9) }];
+/// let observations = site.observations(&registry, &reads);
+/// assert_eq!(observations.len(), 1);
+/// assert_eq!(observations[0].zone, aisle);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Site {
+    zone_names: Vec<String>,
+    portal_zone: HashMap<(usize, usize), usize>,
+}
+
+impl Site {
+    /// Creates an empty site.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a zone, returning its id.
+    pub fn add_zone(&mut self, name: impl Into<String>) -> usize {
+        self.zone_names.push(name.into());
+        self.zone_names.len() - 1
+    }
+
+    /// Number of zones.
+    #[must_use]
+    pub fn zone_count(&self) -> usize {
+        self.zone_names.len()
+    }
+
+    /// A zone's display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone id was not created by this site.
+    #[must_use]
+    pub fn zone_name(&self, zone: usize) -> &str {
+        &self.zone_names[zone]
+    }
+
+    /// Assigns a (reader, antenna) portal to a zone. Reassignment moves
+    /// the portal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone id was not created by this site.
+    pub fn assign_portal(&mut self, reader: usize, antenna: usize, zone: usize) {
+        assert!(zone < self.zone_names.len(), "unknown zone id {zone}");
+        self.portal_zone.insert((reader, antenna), zone);
+    }
+
+    /// The zone a (reader, antenna) pair reports into, if assigned.
+    #[must_use]
+    pub fn zone_of_portal(&self, reader: usize, antenna: usize) -> Option<usize> {
+        self.portal_zone.get(&(reader, antenna)).copied()
+    }
+
+    /// Maps raw reads to zone observations. Reads from unassigned portals
+    /// or unknown tags are dropped; the result is time-ordered.
+    #[must_use]
+    pub fn observations(
+        &self,
+        registry: &ObjectRegistry,
+        reads: &[ReadEvent],
+    ) -> Vec<ZoneObservation> {
+        let mut out: Vec<ZoneObservation> = reads
+            .iter()
+            .filter_map(|read| {
+                let zone = self.zone_of_portal(read.reader, read.antenna)?;
+                let object = registry.object_of(read.epc)?;
+                Some(ZoneObservation {
+                    object,
+                    zone,
+                    time_s: read.time_s,
+                    inferred: false,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("read times are finite")
+        });
+        out
+    }
+}
+
+/// Per-object location estimation from zone observations.
+///
+/// The estimate is "last zone seen", expiring after `staleness_s` without
+/// a new observation — room-level tracking with an honest unknown state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationTracker {
+    staleness_s: f64,
+    last: HashMap<usize, (usize, f64)>,
+    history: Vec<ZoneObservation>,
+}
+
+impl LocationTracker {
+    /// Creates a tracker whose estimates expire after `staleness_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness_s` is not strictly positive.
+    #[must_use]
+    pub fn new(staleness_s: f64) -> Self {
+        assert!(staleness_s > 0.0, "staleness must be positive");
+        Self {
+            staleness_s,
+            last: HashMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Feeds one observation (observations may arrive out of order; only
+    /// newer ones update the estimate).
+    pub fn observe(&mut self, observation: ZoneObservation) {
+        let entry = self.last.entry(observation.object.index());
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if observation.time_s >= slot.get().1 {
+                    slot.insert((observation.zone, observation.time_s));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((observation.zone, observation.time_s));
+            }
+        }
+        self.history.push(observation);
+    }
+
+    /// Feeds a batch of observations.
+    pub fn observe_all<I: IntoIterator<Item = ZoneObservation>>(&mut self, observations: I) {
+        for observation in observations {
+            self.observe(observation);
+        }
+    }
+
+    /// The object's zone as of `now_s`: the most recent observation at
+    /// or before `now_s`, or `None` if there is none or it has gone
+    /// stale. Queries are point-in-time — observations from the future
+    /// of `now_s` are ignored, so the tracker answers historical
+    /// questions correctly.
+    #[must_use]
+    pub fn location_of(&self, object: ObjectHandle, now_s: f64) -> Option<usize> {
+        let latest = self
+            .history
+            .iter()
+            .filter(|o| o.object == object && o.time_s <= now_s)
+            .max_by(|a, b| {
+                a.time_s
+                    .partial_cmp(&b.time_s)
+                    .expect("observation times are finite")
+            })?;
+        (now_s - latest.time_s <= self.staleness_s).then_some(latest.zone)
+    }
+
+    /// Every observation of an object, in feed order.
+    pub fn history_of(&self, object: ObjectHandle) -> impl Iterator<Item = &ZoneObservation> + '_ {
+        self.history.iter().filter(move |o| o.object == object)
+    }
+
+    /// Objects estimated to be in `zone` as of `now_s` (point-in-time,
+    /// like [`LocationTracker::location_of`]).
+    #[must_use]
+    pub fn objects_in_zone(&self, zone: usize, now_s: f64) -> Vec<ObjectHandle> {
+        let mut objects: Vec<usize> = self
+            .last
+            .keys()
+            .copied()
+            .filter(|&object| {
+                self.location_of(ObjectHandle::from_index(object), now_s) == Some(zone)
+            })
+            .collect();
+        objects.sort_unstable();
+        objects.into_iter().map(ObjectHandle::from_index).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+
+    fn read(time_s: f64, reader: usize, antenna: usize, epc: u128) -> ReadEvent {
+        ReadEvent {
+            time_s,
+            reader,
+            antenna,
+            tag: 0,
+            epc: Epc96::from_u128(epc),
+        }
+    }
+
+    fn site_with_two_zones() -> (Site, usize, usize) {
+        let mut site = Site::new();
+        let dock = site.add_zone("dock");
+        let aisle = site.add_zone("aisle");
+        site.assign_portal(0, 0, dock);
+        site.assign_portal(0, 1, dock); // second antenna, same zone
+        site.assign_portal(1, 0, aisle);
+        (site, dock, aisle)
+    }
+
+    #[test]
+    fn portal_assignment_and_lookup() {
+        let (site, dock, aisle) = site_with_two_zones();
+        assert_eq!(site.zone_count(), 2);
+        assert_eq!(site.zone_name(dock), "dock");
+        assert_eq!(site.zone_of_portal(0, 1), Some(dock));
+        assert_eq!(site.zone_of_portal(1, 0), Some(aisle));
+        assert_eq!(site.zone_of_portal(9, 0), None);
+    }
+
+    #[test]
+    fn observations_map_and_filter() {
+        let (site, dock, aisle) = site_with_two_zones();
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        registry.attach_tag(case, Epc96::from_u128(5));
+
+        let reads = [
+            read(3.0, 1, 0, 5),  // aisle
+            read(1.0, 0, 0, 5),  // dock (earlier)
+            read(2.0, 9, 0, 5),  // unassigned portal: dropped
+            read(2.5, 0, 0, 99), // unknown tag: dropped
+        ];
+        let observations = site.observations(&registry, &reads);
+        assert_eq!(observations.len(), 2);
+        assert_eq!(observations[0].zone, dock);
+        assert_eq!(observations[1].zone, aisle);
+        assert!(observations[0].time_s < observations[1].time_s);
+    }
+
+    #[test]
+    fn tracker_follows_the_latest_observation() {
+        let (site, dock, aisle) = site_with_two_zones();
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        registry.attach_tag(case, Epc96::from_u128(5));
+
+        let reads = [read(1.0, 0, 0, 5), read(5.0, 1, 0, 5)];
+        let mut tracker = LocationTracker::new(10.0);
+        tracker.observe_all(site.observations(&registry, &reads));
+        assert_eq!(tracker.location_of(case, 6.0), Some(aisle));
+        assert_eq!(tracker.history_of(case).count(), 2);
+        assert_eq!(tracker.objects_in_zone(aisle, 6.0), vec![case]);
+        assert!(tracker.objects_in_zone(dock, 6.0).is_empty());
+    }
+
+    #[test]
+    fn queries_are_point_in_time() {
+        // An observation in the future of the query time must not count.
+        let mut tracker = LocationTracker::new(5.0);
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        tracker.observe(ZoneObservation {
+            object: case,
+            zone: 2,
+            time_s: 10.0,
+            inferred: false,
+        });
+        assert_eq!(tracker.location_of(case, 1.0), None, "not seen yet at t=1");
+        assert_eq!(tracker.location_of(case, 11.0), Some(2));
+        assert!(tracker.objects_in_zone(2, 1.0).is_empty());
+        assert_eq!(tracker.objects_in_zone(2, 11.0), vec![case]);
+    }
+
+    #[test]
+    fn stale_estimates_expire() {
+        let mut tracker = LocationTracker::new(2.0);
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        tracker.observe(ZoneObservation {
+            object: case,
+            zone: 0,
+            time_s: 1.0,
+            inferred: false,
+        });
+        assert_eq!(tracker.location_of(case, 2.9), Some(0));
+        assert_eq!(tracker.location_of(case, 3.1), None);
+    }
+
+    #[test]
+    fn out_of_order_observations_do_not_regress() {
+        let mut tracker = LocationTracker::new(100.0);
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        tracker.observe(ZoneObservation {
+            object: case,
+            zone: 1,
+            time_s: 5.0,
+            inferred: false,
+        });
+        // A late-arriving older observation must not override.
+        tracker.observe(ZoneObservation {
+            object: case,
+            zone: 0,
+            time_s: 2.0,
+            inferred: false,
+        });
+        assert_eq!(tracker.location_of(case, 6.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zone id")]
+    fn assigning_to_a_missing_zone_panics() {
+        let mut site = Site::new();
+        site.assign_portal(0, 0, 3);
+    }
+}

@@ -1,0 +1,309 @@
+//! Smoothing-window cleaning of tag read streams.
+//!
+//! Raw RFID streams are full of false negatives: a tag sitting in the read
+//! zone is reported only intermittently. Smoothing windows interpolate
+//! presence across short dropouts. Two cleaners are provided:
+//!
+//! * [`SmoothingWindow`] — the classic fixed window: the tag is considered
+//!   present from each read until `window_s` later.
+//! * [`AdaptiveSmoother`] — a SMURF-style adaptive window (the paper's
+//!   related work [15]): per-tag windows sized from the observed read rate
+//!   using a binomial-sampling argument, growing when reads are sparse
+//!   (completeness) and shrinking when reads are dense (responsiveness to
+//!   true departures).
+//!
+//! These stream cleaners are the *software-only* alternative to the
+//! paper's physical redundancy, and the experiment harness compares them.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed time interval during which a tag is inferred present.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PresenceInterval {
+    /// Interval start (first supporting read).
+    pub start_s: f64,
+    /// Interval end (last supporting read plus the window extension).
+    pub end_s: f64,
+}
+
+impl PresenceInterval {
+    /// Whether `t` falls inside the interval.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        (self.start_s..=self.end_s).contains(&t)
+    }
+
+    /// Interval length in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Fixed-window smoothing.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_track::SmoothingWindow;
+///
+/// let smoother = SmoothingWindow::new(1.0);
+/// let intervals = smoother.smooth(&[0.0, 0.4, 0.9, 5.0]);
+/// assert_eq!(intervals.len(), 2, "reads at 0-0.9 merge; 5.0 is separate");
+/// assert!(intervals[0].contains(1.5), "presence extends one window past the last read");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmoothingWindow {
+    window_s: f64,
+}
+
+impl SmoothingWindow {
+    /// Creates a fixed smoothing window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive.
+    #[must_use]
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        Self { window_s }
+    }
+
+    /// The window length.
+    #[must_use]
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Smooths a sorted-or-unsorted list of read timestamps into presence
+    /// intervals. Each read asserts presence for `window_s` after it;
+    /// overlapping assertions merge.
+    #[must_use]
+    pub fn smooth(&self, read_times: &[f64]) -> Vec<PresenceInterval> {
+        merge_with_windows(read_times, |_| self.window_s)
+    }
+}
+
+/// SMURF-style adaptive smoothing.
+///
+/// The cleaner estimates the per-epoch read probability `p` from the last
+/// `history` inter-read gaps and sizes the window so that a truly-present
+/// tag is missed with probability at most `delta`: a tag read with
+/// probability `p` per epoch needs `w >= ln(1/delta) / p` epochs of
+/// window. Epoch length is taken as the median observed inter-read gap of
+/// a *healthy* stream (the minimum gap floor guards against division by
+/// near-zero).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSmoother {
+    /// Target miss probability within a window.
+    pub delta: f64,
+    /// Number of recent gaps used to estimate the read rate.
+    pub history: usize,
+    /// Lower bound on the window, seconds.
+    pub min_window_s: f64,
+    /// Upper bound on the window, seconds.
+    pub max_window_s: f64,
+}
+
+impl Default for AdaptiveSmoother {
+    fn default() -> Self {
+        Self {
+            delta: 0.05,
+            history: 8,
+            min_window_s: 0.25,
+            max_window_s: 10.0,
+        }
+    }
+}
+
+impl AdaptiveSmoother {
+    /// Smooths read timestamps with a per-read adaptive window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`delta` outside `(0, 1)`,
+    /// empty history, or inverted window bounds).
+    #[must_use]
+    pub fn smooth(&self, read_times: &[f64]) -> Vec<PresenceInterval> {
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
+        assert!(self.history > 0, "history must be positive");
+        assert!(
+            self.min_window_s > 0.0 && self.min_window_s <= self.max_window_s,
+            "window bounds must be positive and ordered"
+        );
+
+        let mut sorted = read_times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("read times are finite"));
+
+        let ln_inv_delta = (1.0 / self.delta).ln();
+        let windows: Vec<f64> = (0..sorted.len())
+            .map(|i| {
+                // Centered gap history: offline cleaning may look ahead.
+                let start = i.saturating_sub(self.history);
+                let end = (i + self.history).min(sorted.len() - 1);
+                let gaps: Vec<f64> = sorted[start..=end]
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).max(1e-3))
+                    .collect();
+                if gaps.is_empty() {
+                    return self.min_window_s; // lone read: no flakiness evidence
+                }
+                let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                // Reads arrive about once per mean_gap: the per-epoch read
+                // probability over epochs of length mean_gap is ~1, but the
+                // *variability* of the gaps tells us how flaky the stream
+                // is. Use the max observed gap as the pessimistic epoch.
+                let worst_gap = gaps.iter().cloned().fold(0.0, f64::max);
+                (worst_gap.max(mean_gap) * ln_inv_delta).clamp(self.min_window_s, self.max_window_s)
+            })
+            .collect();
+
+        merge_with_windows(&sorted, |i| windows[i])
+    }
+}
+
+/// Merges reads into intervals where read `i` asserts presence for
+/// `window(i)` seconds after it.
+fn merge_with_windows<F: Fn(usize) -> f64>(read_times: &[f64], window: F) -> Vec<PresenceInterval> {
+    let mut sorted: Vec<(usize, f64)> = read_times.iter().copied().enumerate().collect();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("read times are finite"));
+
+    let mut out: Vec<PresenceInterval> = Vec::new();
+    for (idx, t) in sorted {
+        let end = t + window(idx);
+        match out.last_mut() {
+            Some(last) if t <= last.end_s => {
+                last.end_s = last.end_s.max(end);
+            }
+            _ => out.push(PresenceInterval {
+                start_s: t,
+                end_s: end,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_window_merges_and_splits() {
+        let s = SmoothingWindow::new(1.0);
+        let intervals = s.smooth(&[0.0, 0.5, 3.0]);
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(intervals[0].start_s, 0.0);
+        assert!((intervals[0].end_s - 1.5).abs() < 1e-9);
+        assert_eq!(intervals[1].start_s, 3.0);
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert!(SmoothingWindow::new(1.0).smooth(&[]).is_empty());
+        assert!(AdaptiveSmoother::default().smooth(&[]).is_empty());
+    }
+
+    #[test]
+    fn fixed_window_bridges_dropouts_within_window() {
+        // A tag present 0-4 s but only read at 0, 1.8, 3.6 (dropouts).
+        let s = SmoothingWindow::new(2.0);
+        let intervals = s.smooth(&[0.0, 1.8, 3.6]);
+        assert_eq!(intervals.len(), 1);
+        assert!(intervals[0].contains(1.0));
+        assert!(intervals[0].contains(3.0));
+    }
+
+    #[test]
+    fn adaptive_window_grows_for_flaky_streams() {
+        let smoother = AdaptiveSmoother::default();
+        // Dense reliable stream: short windows, fast cutoff after the end.
+        let dense: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let dense_out = smoother.smooth(&dense);
+        assert_eq!(dense_out.len(), 1);
+        let dense_tail = dense_out[0].end_s - 1.9;
+
+        // Flaky stream with 1 s dropouts: window must stretch.
+        let flaky = [0.0, 1.0, 1.1, 2.3, 3.5, 3.6, 4.8];
+        let flaky_out = smoother.smooth(&flaky);
+        assert_eq!(
+            flaky_out.len(),
+            1,
+            "dropouts must be bridged: {flaky_out:?}"
+        );
+        let flaky_tail = flaky_out[0].end_s - 4.8;
+        assert!(
+            flaky_tail > dense_tail,
+            "flaky tail {flaky_tail} should exceed dense tail {dense_tail}"
+        );
+    }
+
+    #[test]
+    fn adaptive_respects_bounds() {
+        let smoother = AdaptiveSmoother {
+            min_window_s: 0.5,
+            max_window_s: 2.0,
+            ..AdaptiveSmoother::default()
+        };
+        // Huge gaps: the window must still cap at max.
+        let out = smoother.smooth(&[0.0, 100.0]);
+        assert_eq!(out.len(), 2);
+        assert!(out[1].duration_s() <= 2.0 + 1e-9);
+        // Tiny gaps: window floors at min.
+        let out = smoother.smooth(&[0.0, 0.001, 0.002]);
+        assert!(out[0].end_s - 0.002 >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn fixed_window_validates() {
+        let _ = SmoothingWindow::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn adaptive_validates_delta() {
+        let bad = AdaptiveSmoother {
+            delta: 0.0,
+            ..AdaptiveSmoother::default()
+        };
+        let _ = bad.smooth(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn every_read_is_inside_some_interval(
+            times in proptest::collection::vec(0.0f64..100.0, 0..50),
+            window in 0.1f64..5.0,
+        ) {
+            let intervals = SmoothingWindow::new(window).smooth(&times);
+            for &t in &times {
+                prop_assert!(intervals.iter().any(|i| i.contains(t)));
+            }
+        }
+
+        #[test]
+        fn intervals_are_disjoint_and_ordered(
+            times in proptest::collection::vec(0.0f64..100.0, 0..50),
+            window in 0.1f64..5.0,
+        ) {
+            let intervals = SmoothingWindow::new(window).smooth(&times);
+            for pair in intervals.windows(2) {
+                prop_assert!(pair[0].end_s < pair[1].start_s);
+            }
+        }
+
+        #[test]
+        fn wider_windows_never_produce_more_intervals(
+            times in proptest::collection::vec(0.0f64..100.0, 0..50),
+        ) {
+            let narrow = SmoothingWindow::new(0.5).smooth(&times).len();
+            let wide = SmoothingWindow::new(5.0).smooth(&times).len();
+            prop_assert!(wide <= narrow);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Badge-based access control: people walking through a doorway portal —
+//! the paper's human-tracking application. Shows body blocking, the
+//! two-abreast degradation, and the four-badge fix.
+//!
+//! ```text
+//! cargo run --release --example access_control
+//! ```
+
+use rfid_repro::core::tracking_outcome;
+use rfid_repro::experiments::scenarios::{human_pass_scenario, BadgeSpot, HumanPassConfig};
+use rfid_repro::experiments::Calibration;
+use rfid_repro::sim::run_scenario;
+use rfid_repro::stats::BarChart;
+
+const WALKS: u64 = 30;
+
+fn reliability(cal: &Calibration, config: &HumanPassConfig, subject: usize, seed: u64) -> f64 {
+    let (scenario, subject_tags) = human_pass_scenario(cal, config);
+    let hits = (0..WALKS)
+        .filter(|i| {
+            let output = run_scenario(&scenario, seed + i);
+            tracking_outcome(&output, &subject_tags[subject])
+        })
+        .count();
+    hits as f64 / WALKS as f64
+}
+
+fn main() {
+    let cal = Calibration::default();
+    println!("doorway access control, {WALKS} walk-throughs per configuration\n");
+
+    let mut chart = BarChart::new("badge configurations (detection probability)", 40);
+
+    // One person, one badge in the worst and best spots.
+    for (label, spot) in [
+        ("1 badge, far hip (worst)", BadgeSpot::SideFarther),
+        ("1 badge, front", BadgeSpot::Front),
+        ("1 badge, near hip (best)", BadgeSpot::SideCloser),
+    ] {
+        let p = reliability(&cal, &HumanPassConfig::single(spot), 0, 1);
+        chart.bar(label, p);
+    }
+
+    // Two badges and four badges.
+    let two = HumanPassConfig {
+        subjects: 1,
+        spots: vec![BadgeSpot::Front, BadgeSpot::Back],
+        antennas: 1,
+    };
+    chart.bar("2 badges front+back", reliability(&cal, &two, 0, 2));
+    let four = HumanPassConfig {
+        subjects: 1,
+        spots: BadgeSpot::ALL.to_vec(),
+        antennas: 1,
+    };
+    chart.bar("4 badges", reliability(&cal, &four, 0, 3));
+
+    // Two people abreast: the farther one is shadowed by the closer one.
+    let pair = HumanPassConfig {
+        subjects: 2,
+        spots: vec![BadgeSpot::Front],
+        antennas: 1,
+    };
+    chart.bar("2 people: closer", reliability(&cal, &pair, 0, 4));
+    chart.bar("2 people: farther", reliability(&cal, &pair, 1, 4));
+
+    // The fix the paper recommends: tag redundancy plus a second antenna.
+    let pair_fixed = HumanPassConfig {
+        subjects: 2,
+        spots: BadgeSpot::ALL.to_vec(),
+        antennas: 2,
+    };
+    chart.bar(
+        "2 people: farther, 4 badges + 2 ant",
+        reliability(&cal, &pair_fixed, 1, 5),
+    );
+
+    println!("{chart}");
+    println!(
+        "the paper's conclusion in action: a single badge is a coin flip at best, \
+         and redundancy — especially tag-level — pushes detection toward 100%"
+    );
+}

@@ -1,0 +1,76 @@
+//! Item-level tagging on a conveyor with tight inter-tag spacing: uses the
+//! minimum-safe-spacing advisor on simulated Figure 4 curves, then cleans
+//! the resulting read stream with the smoothing-window baselines.
+//!
+//! ```text
+//! cargo run --release --example conveyor_line
+//! ```
+
+use rfid_repro::core::{min_safe_spacing, Probability};
+use rfid_repro::experiments::scenarios::{spacing_scenario, OrientationCase, TAG_COUNT};
+use rfid_repro::experiments::Calibration;
+use rfid_repro::sim::run_scenario;
+use rfid_repro::track::{AdaptiveSmoother, SmoothingWindow};
+
+const PASSES: u64 = 10;
+
+fn main() {
+    let cal = Calibration::default();
+    println!("conveyor line: 10 item tags per tote, sweeping inter-tag spacing\n");
+
+    // Sweep spacing for the conveyor-realistic orientation (tags facing
+    // the side antenna) and find the minimum safe spacing.
+    let orientation = OrientationCase::Case6;
+    let spacings = [0.002, 0.005, 0.010, 0.015, 0.020, 0.030, 0.040];
+    let mut curve = Vec::new();
+    for &spacing in &spacings {
+        let scenario = spacing_scenario(&cal, spacing, orientation);
+        let mean: f64 = (0..PASSES)
+            .map(|seed| run_scenario(&scenario, seed).tags_read().len() as f64)
+            .sum::<f64>()
+            / PASSES as f64;
+        println!(
+            "  spacing {:>4.0} mm: {:>4.1}/{TAG_COUNT} items read",
+            spacing * 1000.0,
+            mean
+        );
+        curve.push((spacing, Probability::clamped(mean / TAG_COUNT as f64)));
+    }
+    match min_safe_spacing(&curve, 0.9) {
+        Some(m) => println!(
+            "\nadvisor: keep item tags at least {:.0} mm apart on this line",
+            m * 1000.0
+        ),
+        None => println!("\nadvisor: no safe spacing found in the sweep"),
+    }
+
+    // Clean one pass's raw read stream: a tote dwelling in the read zone
+    // produces intermittent reads that the smoothing window turns into
+    // one presence interval per item.
+    let scenario = spacing_scenario(&cal, 0.040, orientation);
+    let output = run_scenario(&scenario, 3);
+    println!("\nraw reads in one pass: {}", output.reads.len());
+    let fixed = SmoothingWindow::new(0.5);
+    let adaptive = AdaptiveSmoother::default();
+    for tag in 0..3 {
+        let times: Vec<f64> = output
+            .reads
+            .iter()
+            .filter(|r| r.tag == tag)
+            .map(|r| r.time_s)
+            .collect();
+        let fixed_intervals = fixed.smooth(&times);
+        let adaptive_intervals = adaptive.smooth(&times);
+        println!(
+            "  item {tag}: {} reads -> {} presence interval(s) fixed, {} adaptive",
+            times.len(),
+            fixed_intervals.len(),
+            adaptive_intervals.len()
+        );
+    }
+    println!(
+        "\nsoftware cleaning bridges dropouts but cannot conjure reads for a tag \
+         that never powered up — which is why the paper reaches for physical \
+         redundancy"
+    );
+}

@@ -1,0 +1,70 @@
+//! # rfid-repro
+//!
+//! A full, from-scratch reproduction of *"Reliability Techniques for
+//! RFID-Based Object Tracking Applications"* (Rahmati, Zhong, Hiltunen,
+//! Jana — DSN 2007) as a Rust workspace: the paper's reliability
+//! techniques as a reusable library, plus every substrate its experiments
+//! needed — a UHF physical-layer model, an EPC Class-1 Gen-2 protocol
+//! engine, a discrete-event portal simulator, a tracking back-end, and an
+//! emulated reader control interface.
+//!
+//! This crate is the facade: it re-exports each member crate under a
+//! short module name and hosts the runnable examples and cross-crate
+//! integration tests. Depend on the member crates directly for finer
+//! dependency control.
+//!
+//! | Module | Crate | What it is |
+//! |---|---|---|
+//! | [`core`] | `rfid-core` | The paper's contribution: read opportunities, `R_C`, redundancy planning, placement advice |
+//! | [`sim`] | `rfid-sim` | Discrete-event portal simulator (world, motion, occlusion, channel) |
+//! | [`phys`] | `rfid-phys` | Link budget, antennas, fading, materials, coupling |
+//! | [`gen2`] | `rfid-gen2` | EPC C1G2 tag FSM, Q-algorithm inventory, interference |
+//! | [`track`] | `rfid-track` | Object registry, sighting pipeline, smoothing, constraints |
+//! | [`readerapi`] | `rfid-readerapi` | AR400-style reader emulation (XML wire format) |
+//! | [`geom`] | `rfid-geom` | Vectors, rotations, rays, solids |
+//! | [`stats`] | `rfid-stats` | Quantiles, Wilson intervals, tables, charts |
+//! | [`experiments`] | `rfid-experiments` | The per-table/figure reproduction harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rfid_repro::core::{combined_reliability, tracking_outcome, Probability};
+//! use rfid_repro::geom::{Pose, Rotation, Vec3};
+//! use rfid_repro::sim::{run_scenario, Motion, ScenarioBuilder};
+//!
+//! // A tag carted past a portal antenna at 1 m/s, 1 m away.
+//! let facing = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+//! let scenario = ScenarioBuilder::new()
+//!     .duration_s(4.0)
+//!     .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+//!     .free_tag(Motion::linear(
+//!         Pose::new(Vec3::new(-2.0, 1.0, 1.0), facing),
+//!         Vec3::new(1.0, 0.0, 0.0),
+//!         0.0,
+//!         4.0,
+//!     ))
+//!     .build();
+//! let output = run_scenario(&scenario, 7);
+//! assert!(tracking_outcome(&output, &[0]));
+//!
+//! // And the paper's analytical model.
+//! let two_tags = combined_reliability([
+//!     Probability::new(0.87)?,
+//!     Probability::new(0.83)?,
+//! ]);
+//! assert!(two_tags.value() > 0.97);
+//! # Ok::<(), rfid_repro::core::ProbabilityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rfid_core as core;
+pub use rfid_experiments as experiments;
+pub use rfid_gen2 as gen2;
+pub use rfid_geom as geom;
+pub use rfid_phys as phys;
+pub use rfid_readerapi as readerapi;
+pub use rfid_sim as sim;
+pub use rfid_stats as stats;
+pub use rfid_track as track;

@@ -1,0 +1,108 @@
+//! The software-correction baselines (Inoue et al. [6]) against physical
+//! redundancy, end to end: a pallet group passes a portal, one case's tag
+//! is weak, and the accompany constraint recovers what redundancy would
+//! have prevented.
+
+use rfid_repro::core::tracking_outcome;
+use rfid_repro::geom::{Pose, Rotation, Vec3};
+use rfid_repro::phys::Db;
+use rfid_repro::sim::{run_scenario, Motion, Scenario, ScenarioBuilder};
+use rfid_repro::track::{AccompanyConstraint, ObjectRegistry, Site, ZoneObservation};
+
+/// Four cases pass together; case 3's tag is badly detuned.
+fn pallet_pass() -> Scenario {
+    let facing = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+    let mut builder = ScenarioBuilder::new()
+        .duration_s(5.0)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1);
+    for i in 0..4 {
+        builder = builder.free_tag(Motion::linear(
+            Pose::new(
+                Vec3::new(-2.5 + 0.1 * i as f64, 1.0, 0.7 + 0.3 * i as f64),
+                facing,
+            ),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            5.0,
+        ));
+    }
+    let mut scenario = builder.build();
+    scenario.world.tags[3].chip = scenario.world.tags[3].chip.detuned_by(Db::new(30.0));
+    scenario
+}
+
+#[test]
+fn accompany_constraint_recovers_the_weak_case() {
+    let scenario = pallet_pass();
+    let output = run_scenario(&scenario, 8);
+
+    // Raw tracking: the three healthy cases are seen; the weak one is not.
+    for tag in 0..3 {
+        assert!(output.tag_was_read(tag), "healthy case {tag} must be read");
+    }
+    assert!(
+        !tracking_outcome(&output, &[3]),
+        "the 30 dB-detuned tag must be missed"
+    );
+
+    // Back-end wiring: one portal zone, four registered cases.
+    let mut registry = ObjectRegistry::new();
+    let cases: Vec<_> = (0..4)
+        .map(|i| {
+            let handle = registry.register(format!("case-{i}"));
+            registry.attach_tag(handle, scenario.world.tags[i].epc);
+            handle
+        })
+        .collect();
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    site.assign_portal(0, 0, dock);
+    let observations = site.observations(&registry, &output.reads);
+
+    let seen_objects: std::collections::HashSet<_> =
+        observations.iter().map(|o| o.object).collect();
+    assert_eq!(seen_objects.len(), 3, "three of four seen directly");
+
+    // The accompany constraint: the pallet group travels together; with
+    // 3/4 seen, the fourth is inferred.
+    let group = AccompanyConstraint::new(cases.clone(), 0.6);
+    let corrected = group.correct(&observations, dock);
+    let inferred: Vec<&ZoneObservation> = corrected.iter().filter(|o| o.inferred).collect();
+    assert_eq!(inferred.len(), 1);
+    assert_eq!(inferred[0].object, cases[3]);
+
+    // All four cases are now accounted for at the dock.
+    let final_objects: std::collections::HashSet<_> = corrected.iter().map(|o| o.object).collect();
+    assert_eq!(final_objects.len(), 4);
+}
+
+#[test]
+fn accompany_constraint_cannot_invent_a_missing_group() {
+    // If the whole pallet is missed (e.g. portal outage), the constraint
+    // must not fabricate sightings — the failure stays visible, which is
+    // the paper's argument for *physical* redundancy as the primary fix.
+    let mut scenario = pallet_pass();
+    scenario.world.readers[0].antennas[0]
+        .outages
+        .push((0.0, 100.0));
+    let output = run_scenario(&scenario, 8);
+    assert!(output.reads.is_empty());
+
+    let mut registry = ObjectRegistry::new();
+    let cases: Vec<_> = (0..4)
+        .map(|i| {
+            let handle = registry.register(format!("case-{i}"));
+            registry.attach_tag(handle, scenario.world.tags[i].epc);
+            handle
+        })
+        .collect();
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    site.assign_portal(0, 0, dock);
+    let observations = site.observations(&registry, &output.reads);
+    let corrected = AccompanyConstraint::new(cases, 0.6).correct(&observations, dock);
+    assert!(
+        corrected.is_empty(),
+        "no quorum, no inference: {corrected:?}"
+    );
+}

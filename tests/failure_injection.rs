@@ -1,0 +1,120 @@
+//! Failure injection across the stack: antenna outages, deaf tag chips,
+//! and detuning neighbors all degrade the system the way field failures
+//! do.
+
+use rfid_repro::core::tracking_outcome;
+use rfid_repro::geom::{Pose, Rotation, Vec3};
+use rfid_repro::phys::Db;
+use rfid_repro::sim::{run_scenario, Motion, Scenario, ScenarioBuilder};
+
+fn facing() -> Rotation {
+    Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel")
+}
+
+fn pass(antennas: usize) -> Scenario {
+    let mut builder = ScenarioBuilder::new()
+        .duration_s(4.0)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), antennas);
+    builder = builder.free_tag(Motion::linear(
+        Pose::new(Vec3::new(-2.0, 1.0, 1.0), facing()),
+        Vec3::new(1.0, 0.0, 0.0),
+        0.0,
+        4.0,
+    ));
+    builder.build()
+}
+
+fn reliability(scenario: &Scenario, trials: u64, seed: u64) -> f64 {
+    (0..trials)
+        .filter(|i| tracking_outcome(&run_scenario(scenario, seed + i), &[0]))
+        .count() as f64
+        / trials as f64
+}
+
+#[test]
+fn full_outage_blinds_the_portal() {
+    let mut scenario = pass(1);
+    scenario.world.readers[0].antennas[0]
+        .outages
+        .push((0.0, 100.0));
+    assert_eq!(reliability(&scenario, 10, 1), 0.0);
+}
+
+#[test]
+fn partial_outage_still_reads_via_the_other_window() {
+    // Antenna dead during the first half of the pass only: the tag is
+    // still read in the second half.
+    let mut scenario = pass(1);
+    scenario.world.readers[0].antennas[0]
+        .outages
+        .push((0.0, 2.0));
+    let degraded = reliability(&scenario, 20, 2);
+    assert!(
+        degraded > 0.5,
+        "second-half reads should survive: {degraded}"
+    );
+}
+
+#[test]
+fn redundant_antenna_masks_a_single_outage() {
+    // With two antennas and one dead, the portal keeps most reliability.
+    let healthy = reliability(&pass(2), 20, 3);
+    let mut scenario = pass(2);
+    scenario.world.readers[0].antennas[0]
+        .outages
+        .push((0.0, 100.0));
+    let degraded = reliability(&scenario, 20, 3);
+    assert!(
+        degraded >= healthy - 0.2,
+        "one of two antennas down: {degraded} vs healthy {healthy}"
+    );
+    assert!(degraded > 0.6);
+}
+
+#[test]
+fn a_deaf_chip_is_never_read() {
+    let mut scenario = pass(1);
+    // Manufacturing outlier: 40 dB less sensitive.
+    scenario.world.tags[0].chip = scenario.world.tags[0].chip.detuned_by(Db::new(40.0));
+    assert_eq!(reliability(&scenario, 10, 4), 0.0);
+}
+
+#[test]
+fn moderate_detuning_degrades_gracefully() {
+    // A free tag at 1 m has roughly 8 dB of margin plus whatever the best
+    // fade during the pass contributes; 15 dB of detuning pushes it into
+    // the marginal regime without killing it outright.
+    let baseline = reliability(&pass(1), 30, 5);
+    let mut scenario = pass(1);
+    scenario.world.tags[0].chip = scenario.world.tags[0].chip.detuned_by(Db::new(15.0));
+    let detuned = reliability(&scenario, 30, 5);
+    assert!(
+        detuned < baseline,
+        "15 dB detuning must cost something: {detuned} vs {baseline}"
+    );
+    assert!(detuned > 0.0, "but not everything");
+}
+
+#[test]
+fn a_parasitic_neighbor_tag_detunes_the_link() {
+    // A second tag glued 2 mm away (e.g. a mis-applied label) couples.
+    let mut builder = ScenarioBuilder::new()
+        .duration_s(4.0)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1);
+    for dz in [0.0, 0.002] {
+        builder = builder.free_tag(Motion::linear(
+            Pose::new(Vec3::new(-2.0, 1.0, 1.0 + dz), facing()),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            4.0,
+        ));
+    }
+    let crowded = builder.build();
+    let clean = pass(1);
+    let p_clean = reliability(&clean, 20, 6);
+    let p_crowded = reliability(&crowded, 20, 6);
+    assert!(
+        p_crowded < p_clean,
+        "2 mm neighbor: {p_crowded} vs clean {p_clean}"
+    );
+}

@@ -1,0 +1,161 @@
+//! The analytical model against the simulator: for *independent* read
+//! opportunities, measured combined reliability matches `R_C`; for
+//! *correlated* opportunities (two antennas seeing the same tag through a
+//! shared slow-shadowing state), the measurement falls below `R_C` — the
+//! paper's central Table 3 observation.
+//!
+//! Single static inventory rounds are used so each trial is one clean
+//! Bernoulli draw of the channel state.
+
+use rfid_repro::core::{combined_reliability, Probability};
+use rfid_repro::geom::{Pose, Rotation, Vec3};
+use rfid_repro::sim::{run_single_round, ChannelParams, Motion, Scenario, ScenarioBuilder};
+
+const TRIALS: u64 = 300;
+
+fn facing() -> Rotation {
+    Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel")
+}
+
+/// Static tags near the edge of the read range, where the channel draw
+/// decides each read.
+fn marginal_static(tags: usize, antennas: usize, params: ChannelParams) -> Scenario {
+    let mut builder = ScenarioBuilder::new()
+        .duration_s(1.0)
+        .channel(params)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), antennas);
+    for i in 0..tags {
+        builder = builder.free_tag(Motion::Static(Pose::new(
+            Vec3::new(i as f64 - (tags as f64 - 1.0) / 2.0, 6.0, 1.0),
+            facing(),
+        )));
+    }
+    builder.build()
+}
+
+fn independent_params() -> ChannelParams {
+    ChannelParams {
+        sigma_tag_db: 0.0, // no shared component
+        sigma_link_db: 4.0,
+        ..ChannelParams::default()
+    }
+}
+
+/// P(tag read in a single round on (reader 0, port)).
+fn p_tag(scenario: &Scenario, port: usize, tag: usize, seed: u64) -> f64 {
+    (0..TRIALS)
+        .filter(|i| {
+            run_single_round(scenario, 0, port, 0.0, seed + i)
+                .reads
+                .iter()
+                .any(|r| r.tag_index == tag)
+        })
+        .count() as f64
+        / TRIALS as f64
+}
+
+#[test]
+fn independent_tags_match_the_model() {
+    let scenario = marginal_static(2, 1, independent_params());
+    let p0 = p_tag(&scenario, 0, 0, 10);
+    let p1 = p_tag(&scenario, 0, 1, 10);
+    assert!((0.1..=0.9).contains(&p0), "tag 0 marginal: {p0}");
+    assert!((0.1..=0.9).contains(&p1), "tag 1 marginal: {p1}");
+
+    // Measured OR in the same rounds.
+    let measured_or = (0..TRIALS)
+        .filter(|i| {
+            !run_single_round(&scenario, 0, 0, 0.0, 10 + i)
+                .reads
+                .is_empty()
+        })
+        .count() as f64
+        / TRIALS as f64;
+    let model_or =
+        combined_reliability([Probability::clamped(p0), Probability::clamped(p1)]).value();
+    assert!(
+        (measured_or - model_or).abs() < 0.08,
+        "measured {measured_or} vs model {model_or}"
+    );
+}
+
+#[test]
+fn shared_shadowing_breaks_antenna_independence() {
+    let params = ChannelParams {
+        sigma_tag_db: 5.0, // strong common cause across antennas
+        sigma_link_db: 0.5,
+        ..ChannelParams::default()
+    };
+    let scenario = marginal_static(1, 2, params);
+    let p_a = p_tag(&scenario, 0, 0, 30);
+    let p_b = p_tag(&scenario, 1, 0, 30);
+    assert!((0.1..=0.9).contains(&p_a), "port 0 marginal: {p_a}");
+
+    // Measured union across both antennas, same trial state.
+    let measured_or = (0..TRIALS)
+        .filter(|i| {
+            let seed = 30 + i;
+            !run_single_round(&scenario, 0, 0, 0.0, seed)
+                .reads
+                .is_empty()
+                || !run_single_round(&scenario, 0, 1, 0.0, seed)
+                    .reads
+                    .is_empty()
+        })
+        .count() as f64
+        / TRIALS as f64;
+    let model_or =
+        combined_reliability([Probability::clamped(p_a), Probability::clamped(p_b)]).value();
+    assert!(
+        measured_or < model_or - 0.04,
+        "correlated antennas: measured {measured_or} should fall short of model {model_or}"
+    );
+}
+
+#[test]
+fn independent_links_do_match_the_antenna_model() {
+    // Control for the test above: with the shared component OFF, two
+    // antennas behave like independent opportunities.
+    let params = ChannelParams {
+        sigma_tag_db: 0.0,
+        sigma_link_db: 5.0,
+        ..ChannelParams::default()
+    };
+    let scenario = marginal_static(1, 2, params);
+    let p_a = p_tag(&scenario, 0, 0, 50);
+    let p_b = p_tag(&scenario, 1, 0, 50);
+    let measured_or = (0..TRIALS)
+        .filter(|i| {
+            let seed = 50 + i;
+            !run_single_round(&scenario, 0, 0, 0.0, seed)
+                .reads
+                .is_empty()
+                || !run_single_round(&scenario, 0, 1, 0.0, seed)
+                    .reads
+                    .is_empty()
+        })
+        .count() as f64
+        / TRIALS as f64;
+    let model_or =
+        combined_reliability([Probability::clamped(p_a), Probability::clamped(p_b)]).value();
+    assert!(
+        (measured_or - model_or).abs() < 0.08,
+        "measured {measured_or} vs model {model_or}"
+    );
+}
+
+#[test]
+fn adding_opportunities_never_hurts_in_simulation() {
+    let one = marginal_static(1, 1, independent_params());
+    let two = marginal_static(2, 1, independent_params());
+    let p1 = (0..TRIALS)
+        .filter(|i| !run_single_round(&one, 0, 0, 0.0, 70 + i).reads.is_empty())
+        .count();
+    let p2 = (0..TRIALS)
+        .filter(|i| !run_single_round(&two, 0, 0, 0.0, 70 + i).reads.is_empty())
+        .count();
+    assert!(
+        p2 as f64 >= p1 as f64 * 0.9,
+        "two-tag {p2} vs one-tag {p1} of {TRIALS}"
+    );
+}

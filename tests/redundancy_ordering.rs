@@ -1,0 +1,113 @@
+//! The paper's qualitative orderings, verified end to end across seeds:
+//! more tags never hurt, more antennas never hurt, more *legacy readers*
+//! do hurt, and dense-reader mode repairs them.
+
+use rfid_repro::core::tracking_outcome;
+use rfid_repro::experiments::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig};
+use rfid_repro::experiments::Calibration;
+use rfid_repro::sim::run_scenario;
+
+const PASSES: u64 = 8;
+
+fn hits(cal: &Calibration, config: &ObjectPassConfig, seed: u64) -> u64 {
+    let (scenario, box_tags) = object_pass_scenario(cal, config);
+    let mut hits = 0;
+    for i in 0..PASSES {
+        let output = run_scenario(&scenario, seed + i);
+        hits += box_tags
+            .iter()
+            .filter(|tags| tracking_outcome(&output, tags))
+            .count() as u64;
+    }
+    hits
+}
+
+#[test]
+fn a_second_tag_helps() {
+    let cal = Calibration::default();
+    let one = hits(&cal, &ObjectPassConfig::single(BoxFace::Front), 100);
+    let two = hits(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front, BoxFace::SideCloser],
+            antennas: 1,
+            readers: 1,
+            dense_mode: false,
+        },
+        100,
+    );
+    assert!(two > one, "two tags {two} vs one {one}");
+}
+
+#[test]
+fn a_second_antenna_helps() {
+    let cal = Calibration::default();
+    let one = hits(&cal, &ObjectPassConfig::single(BoxFace::Front), 200);
+    let two = hits(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 2,
+            readers: 1,
+            dense_mode: false,
+        },
+        200,
+    );
+    assert!(two >= one, "two antennas {two} vs one {one}");
+}
+
+#[test]
+fn a_second_legacy_reader_hurts_badly() {
+    let cal = Calibration::default();
+    let one = hits(&cal, &ObjectPassConfig::single(BoxFace::Front), 300);
+    let two_legacy = hits(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 1,
+            readers: 2,
+            dense_mode: false,
+        },
+        300,
+    );
+    assert!(
+        two_legacy * 2 < one,
+        "legacy pair {two_legacy} should collapse vs single {one}"
+    );
+}
+
+#[test]
+fn dense_reader_mode_repairs_the_pair() {
+    let cal = Calibration::default();
+    let legacy = hits(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 1,
+            readers: 2,
+            dense_mode: false,
+        },
+        400,
+    );
+    let dense = hits(
+        &cal,
+        &ObjectPassConfig {
+            faces: vec![BoxFace::Front],
+            antennas: 1,
+            readers: 2,
+            dense_mode: true,
+        },
+        400,
+    );
+    assert!(dense > legacy * 2, "dense {dense} vs legacy {legacy}");
+}
+
+#[test]
+fn tag_placement_ordering_matches_table_1() {
+    let cal = Calibration::default();
+    let front = hits(&cal, &ObjectPassConfig::single(BoxFace::Front), 500);
+    let top = hits(&cal, &ObjectPassConfig::single(BoxFace::Top), 500);
+    let farther = hits(&cal, &ObjectPassConfig::single(BoxFace::SideFarther), 500);
+    assert!(top < farther, "top {top} < farther {farther}");
+    assert!(farther < front, "farther {farther} < front {front}");
+}
