@@ -1,0 +1,63 @@
+//! Benches for the trial execution engine: the serial baseline against
+//! the cached and threaded batch paths. All three produce bit-identical
+//! outputs, so any delta is pure engine overhead or win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_experiments::scenarios::read_range_scenario;
+use rfid_experiments::Calibration;
+use rfid_sim::{run_scenario, ScenarioCache, TrialExecutor};
+use std::hint::black_box;
+
+const TRIALS: u64 = 8;
+
+fn bench_serial_uncached(c: &mut Criterion) {
+    let scenario = read_range_scenario(&Calibration::default(), 3.0);
+    c.bench_function("trials_serial_uncached", |b| {
+        b.iter(|| {
+            (0..TRIALS)
+                .map(|i| run_scenario(&scenario, black_box(i)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_serial_cached(c: &mut Criterion) {
+    let scenario = read_range_scenario(&Calibration::default(), 3.0);
+    let executor = TrialExecutor::serial();
+    c.bench_function("trials_serial_cached", |b| {
+        b.iter(|| black_box(executor.run_scenario_trials(&scenario, TRIALS, black_box(0))))
+    });
+}
+
+fn bench_threaded_cached(c: &mut Criterion) {
+    let scenario = read_range_scenario(&Calibration::default(), 3.0);
+    let executor = TrialExecutor::with_threads(4);
+    c.bench_function("trials_threaded_cached", |b| {
+        b.iter(|| black_box(executor.run_scenario_trials(&scenario, TRIALS, black_box(0))))
+    });
+}
+
+fn bench_cache_construction(c: &mut Criterion) {
+    let scenario = read_range_scenario(&Calibration::default(), 3.0);
+    c.bench_function("scenario_cache_build", |b| {
+        b.iter(|| black_box(ScenarioCache::new(black_box(&scenario))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = executor;
+    config = config();
+    targets =
+        bench_serial_uncached,
+        bench_serial_cached,
+        bench_threaded_cached,
+        bench_cache_construction,
+}
+criterion_main!(executor);

@@ -51,6 +51,25 @@ impl ReliabilityEstimate {
         Self { successes, trials }
     }
 
+    /// [`ReliabilityEstimate::from_trials`] fanned across the executor's
+    /// threads. Trial `i` still receives seed `i`, so the estimate is
+    /// identical to the serial path for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn from_trials_par<F>(executor: &rfid_sim::TrialExecutor, trials: u64, f: F) -> Self
+    where
+        F: Fn(u64) -> bool + Sync,
+    {
+        assert!(trials > 0, "at least one trial is required");
+        let successes = executor
+            .run_trials(trials, |i| u64::from(f(i)))
+            .into_iter()
+            .sum();
+        Self { successes, trials }
+    }
+
     /// Number of successes.
     #[must_use]
     pub fn successes(&self) -> u64 {

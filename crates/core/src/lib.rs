@@ -63,4 +63,6 @@ pub use planner::{
 };
 pub use probability::{Probability, ProbabilityError};
 pub use spacing::min_safe_spacing;
-pub use tracking::{antenna_opportunity_outcome, estimate_over_trials, tracking_outcome};
+pub use tracking::{
+    antenna_opportunity_outcome, estimate_over_trials, estimate_reliability_par, tracking_outcome,
+};

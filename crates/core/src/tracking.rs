@@ -62,6 +62,31 @@ where
     })
 }
 
+/// [`estimate_over_trials`] fanned across the executor's threads, with
+/// one [`rfid_sim::ScenarioCache`] shared by every trial. Seeds and
+/// results are identical to the serial path for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the scenario is invalid.
+#[must_use]
+pub fn estimate_reliability_par<F>(
+    executor: &rfid_sim::TrialExecutor,
+    scenario: &Scenario,
+    trials: u64,
+    seed0: u64,
+    outcome: F,
+) -> ReliabilityEstimate
+where
+    F: Fn(&SimOutput) -> bool + Sync,
+{
+    let cache = rfid_sim::ScenarioCache::new(scenario);
+    ReliabilityEstimate::from_trials_par(executor, trials, |i| {
+        let output = rfid_sim::run_scenario_with(scenario, &cache, seed0.wrapping_add(i));
+        outcome(&output)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +147,18 @@ mod tests {
         assert!(est_a.point().value() > 0.5, "close pass should mostly read");
         let miss = estimate_over_trials(&scenario, 10, 100, |o| tracking_outcome(o, &[1]));
         assert_eq!(miss.point().value(), 0.0);
+    }
+
+    #[test]
+    fn parallel_estimation_matches_serial_for_any_thread_count() {
+        let scenario = two_tag_pass();
+        let serial = estimate_over_trials(&scenario, 10, 100, |o| tracking_outcome(o, &[0]));
+        for threads in [1, 2, 5] {
+            let executor = rfid_sim::TrialExecutor::with_threads(threads);
+            let parallel = estimate_reliability_par(&executor, &scenario, 10, 100, |o| {
+                tracking_outcome(o, &[0])
+            });
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 }

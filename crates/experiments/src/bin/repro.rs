@@ -18,7 +18,9 @@ use rfid_experiments::experiments::{
     ablation, fig2, fig4, figs67, power, readers, readrate, sensitivity, spacing_advice, speed,
     table1, table2, table3, table45, tagdesign,
 };
+use rfid_experiments::report::counters_line;
 use rfid_experiments::Calibration;
+use rfid_sim::TrialExecutor;
 use std::process::ExitCode;
 
 struct Options {
@@ -97,25 +99,32 @@ fn main() -> ExitCode {
     };
     let cal = Calibration::default();
     cal.assert_plausible();
-    println!("calibration: {}\n", cal.describe());
+    let executor = TrialExecutor::new();
+    println!(
+        "calibration: {} [{} sim thread{}]\n",
+        cal.describe(),
+        executor.threads(),
+        if executor.threads() == 1 { "" } else { "s" }
+    );
 
     let run = |name: &str| options.which == name || options.which == "all";
     let trials = |paper_default: u64| options.trials.unwrap_or(paper_default);
     let seed = options.seed;
     let mut scorecard = Scorecard::default();
+    rfid_sim::counters::reset();
 
     if run("fig2") {
-        let result = fig2::run(&cal, trials(40), seed);
+        let result = fig2::run_with(&cal, trials(40), seed, &executor);
         scorecard.record("fig2", result.shape_holds());
         println!("{}", fig2::render(&result));
     }
     if run("fig4") {
-        let result = fig4::run(&cal, trials(10), seed);
+        let result = fig4::run_with(&cal, trials(10), seed, &executor);
         scorecard.record("fig4", result.shape_holds());
         println!("{}", fig4::render(&result));
     }
     if run("table1") {
-        let result = table1::run(&cal, trials(12), seed);
+        let result = table1::run_with(&cal, trials(12), seed, &executor);
         scorecard.record("table1", result.shape_holds());
         println!("{}", table1::render(&result));
     }
@@ -143,7 +152,7 @@ fn main() -> ExitCode {
         }
     }
     if run("readers") {
-        let result = readers::run(&cal, trials(12), seed);
+        let result = readers::run_with(&cal, trials(12), seed, &executor);
         scorecard.record("readers", result.shape_holds());
         println!("{}", readers::render(&result));
     }
@@ -173,12 +182,12 @@ fn main() -> ExitCode {
         println!("{}", sensitivity::render(&result));
     }
     if run("speed") {
-        let result = speed::run(&cal, trials(12), seed);
+        let result = speed::run_with(&cal, trials(12), seed, &executor);
         scorecard.record("speed", result.shape_holds());
         println!("{}", speed::render(&result));
     }
     if run("power") {
-        let result = power::run(&cal, trials(20), seed);
+        let result = power::run_with(&cal, trials(20), seed, &executor);
         scorecard.record("power", result.shape_holds());
         println!("{}", power::render(&result));
     }
@@ -193,6 +202,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    println!("{}", counters_line(&rfid_sim::counters::snapshot()));
     println!("{}", scorecard.summary());
     if scorecard.all_hold() {
         ExitCode::SUCCESS

@@ -3,7 +3,7 @@
 use crate::report::paper_vs_measured;
 use crate::scenarios::read_range_scenario;
 use crate::Calibration;
-use rfid_sim::run_single_round;
+use rfid_sim::TrialExecutor;
 use rfid_stats::Summary;
 
 /// Distances the paper sweeps, meters.
@@ -47,17 +47,26 @@ impl Fig2Result {
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Fig2Result {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. Trial `i` keeps seed
+/// `seed.wrapping_add(i)`, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(cal: &Calibration, trials: u64, seed: u64, executor: &TrialExecutor) -> Fig2Result {
     assert!(trials > 0, "at least one trial is required");
     let rows = DISTANCES_M
         .iter()
         .map(|&distance_m| {
             let scenario = read_range_scenario(cal, distance_m);
-            let counts: Vec<f64> = (0..trials)
-                .map(|i| {
-                    run_single_round(&scenario, 0, 0, 0.0, seed.wrapping_add(i))
-                        .reads
-                        .len() as f64
-                })
+            let counts: Vec<f64> = executor
+                .run_round_trials(&scenario, 0, 0, 0.0, trials, seed)
+                .iter()
+                .map(|log| log.reads.len() as f64)
                 .collect();
             Fig2Row {
                 distance_m,

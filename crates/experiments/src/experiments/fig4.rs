@@ -2,7 +2,7 @@
 
 use crate::scenarios::{spacing_scenario, OrientationCase, TAG_COUNT};
 use crate::Calibration;
-use rfid_sim::run_scenario;
+use rfid_sim::{run_scenario_with, ScenarioCache, TrialExecutor};
 use rfid_stats::{Align, Summary, Table};
 
 /// Spacings the paper sweeps, meters.
@@ -71,20 +71,32 @@ impl Fig4Result {
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Fig4Result {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. The per-trial seed formula is
+/// unchanged, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(cal: &Calibration, trials: u64, seed: u64, executor: &TrialExecutor) -> Fig4Result {
     assert!(trials > 0, "at least one trial is required");
     let mut cells = Vec::with_capacity(30);
     for (oi, &orientation) in OrientationCase::ALL.iter().enumerate() {
         for (si, &spacing_m) in SPACINGS_M.iter().enumerate() {
             let scenario = spacing_scenario(cal, spacing_m, orientation);
-            let counts: Vec<f64> = (0..trials)
-                .map(|i| {
-                    let trial_seed = seed
-                        .wrapping_add(i)
-                        .wrapping_add((oi as u64) << 32)
-                        .wrapping_add((si as u64) << 40);
-                    run_scenario(&scenario, trial_seed).tags_read().len() as f64
-                })
-                .collect();
+            let cache = ScenarioCache::new(&scenario);
+            let counts: Vec<f64> = executor.run_trials(trials, |i| {
+                let trial_seed = seed
+                    .wrapping_add(i)
+                    .wrapping_add((oi as u64) << 32)
+                    .wrapping_add((si as u64) << 40);
+                run_scenario_with(&scenario, &cache, trial_seed)
+                    .tags_read()
+                    .len() as f64
+            });
             cells.push(Fig4Cell {
                 orientation,
                 spacing_m,

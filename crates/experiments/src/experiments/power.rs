@@ -11,7 +11,7 @@ use crate::report::percent;
 use crate::scenarios::{antenna_poses, orient_tag};
 use crate::Calibration;
 use rfid_phys::{Dbm, Mounting};
-use rfid_sim::{run_scenario, Attachment, Motion, Scenario, ScenarioBuilder, SimTag};
+use rfid_sim::{Attachment, Motion, Scenario, ScenarioBuilder, SimTag, TrialExecutor};
 use rfid_stats::{Align, Table};
 
 /// Conducted powers swept, dBm (30 is the paper's default and the FCC
@@ -111,6 +111,22 @@ fn portal_with_bystander(cal: &Calibration, power_dbm: f64) -> Scenario {
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> PowerResult {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. Trial `i` keeps seed
+/// `seed.wrapping_add(i)`, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(
+    cal: &Calibration,
+    trials: u64,
+    seed: u64,
+    executor: &TrialExecutor,
+) -> PowerResult {
     assert!(trials > 0, "at least one trial is required");
     let rows = POWERS_DBM
         .iter()
@@ -118,8 +134,7 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> PowerResult {
             let scenario = portal_with_bystander(cal, power_dbm);
             let mut legitimate_hits = 0u64;
             let mut bystander_hits = 0u64;
-            for i in 0..trials {
-                let output = run_scenario(&scenario, seed.wrapping_add(i));
+            for output in executor.run_scenario_trials(&scenario, trials, seed) {
                 if output.tag_was_read(0) {
                     legitimate_hits += 1;
                 }

@@ -11,7 +11,7 @@ use crate::report::paper_vs_measured;
 use crate::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig, BOX_COUNT};
 use crate::Calibration;
 use rfid_core::{tracking_outcome, ReliabilityEstimate};
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 
 /// Reader-redundancy results.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +45,7 @@ fn measure(
     dense: bool,
     trials: u64,
     seed: u64,
+    executor: &TrialExecutor,
 ) -> ReliabilityEstimate {
     let config = ObjectPassConfig {
         faces: vec![BoxFace::Front],
@@ -53,14 +54,16 @@ fn measure(
         dense_mode: dense,
     };
     let (scenario, box_tags) = object_pass_scenario(cal, &config);
-    let mut hits = 0u64;
-    for i in 0..trials {
-        let output = run_scenario(&scenario, seed.wrapping_add(i));
-        hits += box_tags
-            .iter()
-            .filter(|tags| tracking_outcome(&output, tags))
-            .count() as u64;
-    }
+    let hits: u64 = executor
+        .run_scenario_trials(&scenario, trials, seed)
+        .iter()
+        .map(|output| {
+            box_tags
+                .iter()
+                .filter(|tags| tracking_outcome(output, tags))
+                .count() as u64
+        })
+        .sum();
     ReliabilityEstimate::from_counts(hits, trials * BOX_COUNT as u64).expect("bounded")
 }
 
@@ -71,11 +74,27 @@ fn measure(
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> ReadersResult {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. Per-configuration seed offsets are
+/// unchanged, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(
+    cal: &Calibration,
+    trials: u64,
+    seed: u64,
+    executor: &TrialExecutor,
+) -> ReadersResult {
     assert!(trials > 0, "at least one trial is required");
     ReadersResult {
-        one_reader: measure(cal, 1, false, trials, seed),
-        two_legacy: measure(cal, 2, false, trials, seed.wrapping_add(0x100)),
-        two_dense: measure(cal, 2, true, trials, seed.wrapping_add(0x200)),
+        one_reader: measure(cal, 1, false, trials, seed, executor),
+        two_legacy: measure(cal, 2, false, trials, seed.wrapping_add(0x100), executor),
+        two_dense: measure(cal, 2, true, trials, seed.wrapping_add(0x200), executor),
         trials,
     }
 }

@@ -13,7 +13,7 @@ use crate::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig, BOX_COUN
 use crate::Calibration;
 use rfid_core::ReliabilityEstimate;
 use rfid_phys::FadingProcess;
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 use rfid_stats::{Align, Table};
 
 /// Speeds swept, m/s: 1.0 is the paper's cart, 4 a forklift, 8 a slow
@@ -70,6 +70,22 @@ impl SpeedResult {
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> SpeedResult {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. Trial `i` keeps seed
+/// `seed.wrapping_add(i)`, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(
+    cal: &Calibration,
+    trials: u64,
+    seed: u64,
+    executor: &TrialExecutor,
+) -> SpeedResult {
     assert!(trials > 0, "at least one trial is required");
     let rows = SPEEDS_MPS
         .iter()
@@ -88,11 +104,11 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> SpeedResult {
             };
             let (scenario, box_tags) = object_pass_scenario(&tuned, &config);
             let tag_count: u64 = box_tags.iter().map(|tags| tags.len() as u64).sum();
-            let mut hits = 0u64;
-            for i in 0..trials {
-                let output = run_scenario(&scenario, seed.wrapping_add(i));
-                hits += output.tags_read().len() as u64;
-            }
+            let hits: u64 = executor
+                .run_scenario_trials(&scenario, trials, seed)
+                .iter()
+                .map(|output| output.tags_read().len() as u64)
+                .sum();
             SpeedRow {
                 speed_mps,
                 dwell_s: 2.0 / speed_mps,

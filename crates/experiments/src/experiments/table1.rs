@@ -4,7 +4,7 @@ use crate::report::{paper_vs_measured, percent};
 use crate::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig, BOX_COUNT};
 use crate::Calibration;
 use rfid_core::{tracking_outcome, PlacementAdvisor, ReliabilityEstimate};
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 
 /// The paper's published Table 1 values, for side-by-side reporting.
 pub const PAPER_VALUES: [(BoxFace, f64); 4] = [
@@ -62,19 +62,37 @@ impl Table1Result {
 /// Panics if `trials == 0`.
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Table1Result {
+    run_with(cal, trials, seed, &TrialExecutor::new())
+}
+
+/// [`run`] on an explicit executor. Trial `i` keeps seed
+/// `seed.wrapping_add(i)`, so results are identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn run_with(
+    cal: &Calibration,
+    trials: u64,
+    seed: u64,
+    executor: &TrialExecutor,
+) -> Table1Result {
     assert!(trials > 0, "at least one trial is required");
     let locations = BoxFace::ALL
         .iter()
         .map(|&face| {
             let (scenario, box_tags) = object_pass_scenario(cal, &ObjectPassConfig::single(face));
-            let mut hits = 0u64;
-            for i in 0..trials {
-                let output = run_scenario(&scenario, seed.wrapping_add(i));
-                hits += box_tags
-                    .iter()
-                    .filter(|tags| tracking_outcome(&output, tags))
-                    .count() as u64;
-            }
+            let hits: u64 = executor
+                .run_scenario_trials(&scenario, trials, seed)
+                .iter()
+                .map(|output| {
+                    box_tags
+                        .iter()
+                        .filter(|tags| tracking_outcome(output, tags))
+                        .count() as u64
+                })
+                .sum();
             let estimate = ReliabilityEstimate::from_counts(hits, trials * BOX_COUNT as u64)
                 .expect("hits cannot exceed trials x boxes");
             (face, estimate)

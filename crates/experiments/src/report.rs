@@ -69,6 +69,14 @@ pub fn estimate_line(label: &str, estimate: &ReliabilityEstimate) -> String {
     )
 }
 
+/// One line summarizing the simulator work behind a report (trial, round,
+/// and link-evaluation counts plus per-stage timing) from a
+/// [`rfid_sim::CountersSnapshot`].
+#[must_use]
+pub fn counters_line(snapshot: &rfid_sim::CountersSnapshot) -> String {
+    format!("sim work: {snapshot}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +119,17 @@ mod tests {
         let text = paper_vs_measured("Figure 2", &[("1 m".into(), "20".into(), "19.3".into())]);
         assert!(text.contains("Figure 2"));
         assert!(text.contains("19.3"));
+    }
+
+    #[test]
+    fn counters_line_reports_sim_work() {
+        rfid_sim::counters::reset();
+        let before = rfid_sim::counters::snapshot();
+        let _ = crate::experiments::fig2::run(&crate::Calibration::default(), 2, 1);
+        let snapshot = rfid_sim::counters::snapshot().since(&before);
+        let line = counters_line(&snapshot);
+        assert!(line.contains("sim work"), "{line}");
+        assert!(line.contains("trials"), "{line}");
+        assert!(snapshot.link_evals > 0, "{line}");
     }
 }

@@ -1,5 +1,7 @@
 //! The physics-backed [`AirChannel`] implementation.
 
+use crate::counters;
+use crate::precompute::ScenarioCache;
 use crate::rng::RngStream;
 use crate::world::World;
 use rfid_gen2::{AirChannel, InterferenceModel, InterferenceOutcome};
@@ -103,6 +105,7 @@ pub struct PortalChannel<'a> {
     params: &'a ChannelParams,
     trial: RngStream,
     budget: LinkBudget,
+    cache: Option<&'a ScenarioCache>,
 }
 
 impl<'a> PortalChannel<'a> {
@@ -120,6 +123,37 @@ impl<'a> PortalChannel<'a> {
         params: &'a ChannelParams,
         trial: RngStream,
     ) -> Self {
+        Self::build(world, reader, port, params, trial, None)
+    }
+
+    /// [`PortalChannel::new`] consulting a precomputed [`ScenarioCache`]
+    /// for static geometry terms. The cache must have been built from the
+    /// same world and channel parameters; results are bit-identical to
+    /// the uncached channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader or port index is out of range.
+    #[must_use]
+    pub fn with_cache(
+        world: &'a World,
+        reader: usize,
+        port: usize,
+        params: &'a ChannelParams,
+        trial: RngStream,
+        cache: &'a ScenarioCache,
+    ) -> Self {
+        Self::build(world, reader, port, params, trial, Some(cache))
+    }
+
+    fn build(
+        world: &'a World,
+        reader: usize,
+        port: usize,
+        params: &'a ChannelParams,
+        trial: RngStream,
+        cache: Option<&'a ScenarioCache>,
+    ) -> Self {
         assert!(reader < world.readers.len(), "reader index out of range");
         assert!(
             port < world.readers[reader].antennas.len(),
@@ -132,6 +166,7 @@ impl<'a> PortalChannel<'a> {
             params,
             trial,
             budget: LinkBudget::new(world.frequency_hz),
+            cache,
         }
     }
 
@@ -141,9 +176,24 @@ impl<'a> PortalChannel<'a> {
     #[must_use]
     pub fn extra_loss(&self, tag: usize, t: f64) -> Db {
         let world = self.world;
-        let mounting = world.tags[tag].mounting.loss(world.frequency_hz);
+        let mounting = match self.cache {
+            Some(cache) => cache.mounting(tag),
+            None => world.tags[tag].mounting.loss(world.frequency_hz),
+        };
 
-        let geometry = world.coupling_geometry(t);
+        let computed;
+        let geometry: &[rfid_phys::TagCoupling] = match self.cache.and_then(ScenarioCache::coupling)
+        {
+            Some(cached) => {
+                counters::record_geometry_cache_hit();
+                cached
+            }
+            None => {
+                counters::record_geometry_eval();
+                computed = world.coupling_geometry(t);
+                &computed
+            }
+        };
         let own = geometry[tag];
         let neighbors: Vec<_> = geometry
             .iter()
@@ -168,7 +218,10 @@ impl<'a> PortalChannel<'a> {
 
         let fade = self.fading(tag).value_at(t);
 
-        let scatterers = world.scatterers_near(tag, t, self.params.scatterer_radius_m);
+        let scatterers = match self.cache.and_then(|c| c.scatterers(tag)) {
+            Some(count) => count,
+            None => world.scatterers_near(tag, t, self.params.scatterer_radius_m),
+        };
         let bonus =
             (self.params.scatterer_bonus_db * scatterers as f64).min(self.params.scatterer_cap_db);
 
@@ -193,14 +246,21 @@ impl<'a> PortalChannel<'a> {
     /// capped by environmental fill-in) as part of the one-way extra loss.
     #[must_use]
     pub fn link_report(&self, tag: usize, t: f64) -> LinkReport {
+        counters::record_link_eval();
         let reader = self.world.reader_antenna(self.reader, self.port);
         let tag_antenna = self.world.tag_antenna_at(tag, t);
-        let blockage: Db = self
-            .world
-            .obstructions(self.reader, self.port, tag, t)
-            .iter()
-            .map(|o| self.params.effective_obstruction_loss(o))
-            .sum();
+        let blockage: Db = match self
+            .cache
+            .and_then(|c| c.blockage(self.reader, self.port, tag))
+        {
+            Some(cached) => cached,
+            None => self
+                .world
+                .obstructions(self.reader, self.port, tag, t)
+                .iter()
+                .map(|o| self.params.effective_obstruction_loss(o))
+                .sum(),
+        };
         self.budget.evaluate(
             &reader,
             &tag_antenna,
@@ -225,11 +285,14 @@ impl<'a> PortalChannel<'a> {
                 // Interfering carrier at the tag.
                 let interferer_antenna = world.reader_antenna(r2, port2);
                 let tag_antenna = world.tag_antenna_at(tag, t);
-                let blockage: Db = world
-                    .obstructions(r2, port2, tag, t)
-                    .iter()
-                    .map(|o| self.params.effective_obstruction_loss(o))
-                    .sum();
+                let blockage: Db = match self.cache.and_then(|c| c.blockage(r2, port2, tag)) {
+                    Some(cached) => cached,
+                    None => world
+                        .obstructions(r2, port2, tag, t)
+                        .iter()
+                        .map(|o| self.params.effective_obstruction_loss(o))
+                        .sum(),
+                };
                 let at_tag = self
                     .budget
                     .evaluate(&interferer_antenna, &tag_antenna, &[], blockage)

@@ -1,0 +1,246 @@
+//! Deterministic parallel Monte-Carlo trial execution.
+//!
+//! Every random quantity in the simulator is derived from an
+//! identity-addressed [`crate::RngStream`] keyed by the trial seed, not
+//! from shared mutable generator state. Trials are therefore
+//! embarrassingly parallel *and* order-independent: trial `i` produces
+//! the same bits whether it runs first, last, or on another thread. The
+//! [`TrialExecutor`] exploits that, fanning a batch of trials across
+//! scoped OS threads in contiguous index chunks and concatenating the
+//! per-chunk results in order — so parallel output is bit-identical to
+//! the serial loop `(0..trials).map(f)`.
+
+use crate::precompute::ScenarioCache;
+use crate::runner::{run_scenario_with, run_single_round_with, SimOutput};
+use crate::scenario::Scenario;
+use rfid_gen2::RoundLog;
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the auto-detected thread count.
+pub const THREADS_ENV: &str = "RFID_SIM_THREADS";
+
+/// A deterministic parallel executor for batches of simulation trials.
+///
+/// Results are bit-identical to serial execution regardless of thread
+/// count; one thread short-circuits to a plain serial loop.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_sim::TrialExecutor;
+///
+/// let f = |seed: u64| seed * seed;
+/// let serial = TrialExecutor::serial().run_trials(100, f);
+/// let parallel = TrialExecutor::with_threads(4).run_trials(100, f);
+/// assert_eq!(serial, parallel, "thread count never changes results");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialExecutor {
+    threads: usize,
+}
+
+impl Default for TrialExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrialExecutor {
+    /// An executor with an auto-detected thread count: the
+    /// `RFID_SIM_THREADS` environment variable if set to a positive
+    /// integer, else the machine's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Self::with_threads(threads)
+    }
+
+    /// An executor with an explicit thread count (`0` is treated as `1`).
+    #[must_use]
+    pub const fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: if threads == 0 { 1 } else { threads },
+        }
+    }
+
+    /// A single-threaded executor (the plain serial loop).
+    #[must_use]
+    pub const fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The number of worker threads this executor uses.
+    #[must_use]
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` for trial indices `0..trials` and returns the results in
+    /// index order: `result[i] == f(i)`, bit-identical to the serial
+    /// loop for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panics on any trial (the panic is propagated).
+    pub fn run_trials<T, F>(&self, trials: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        if self.threads == 1 || trials <= 1 {
+            return (0..trials).map(f).collect();
+        }
+        let workers = (self.threads as u64).min(trials);
+        let chunk = trials.div_ceil(workers);
+        let mut results = Vec::with_capacity(trials as usize);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(trials);
+                    let f = &f;
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            // Joining in spawn order concatenates chunks contiguously.
+            for handle in handles {
+                results.extend(handle.join().expect("trial worker must not panic"));
+            }
+        });
+        results
+    }
+
+    /// Runs `trials` full scenario simulations with seeds
+    /// `base_seed.wrapping_add(i)`, sharing one precomputed
+    /// [`ScenarioCache`] across all trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's world fails validation.
+    #[must_use]
+    pub fn run_scenario_trials(
+        &self,
+        scenario: &Scenario,
+        trials: u64,
+        base_seed: u64,
+    ) -> Vec<SimOutput> {
+        let cache = ScenarioCache::new(scenario);
+        self.run_trials(trials, |i| {
+            run_scenario_with(scenario, &cache, base_seed.wrapping_add(i))
+        })
+    }
+
+    /// Runs `trials` single inventory rounds (the paper's Figure 2
+    /// methodology) with seeds `base_seed.wrapping_add(i)`, sharing one
+    /// precomputed [`ScenarioCache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's world fails validation or the indices
+    /// are out of range.
+    #[must_use]
+    pub fn run_round_trials(
+        &self,
+        scenario: &Scenario,
+        reader: usize,
+        port: usize,
+        t: f64,
+        trials: u64,
+        base_seed: u64,
+    ) -> Vec<RoundLog> {
+        let cache = ScenarioCache::new(scenario);
+        self.run_trials(trials, |i| {
+            run_single_round_with(scenario, &cache, reader, port, t, base_seed.wrapping_add(i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::Motion;
+    use crate::scenario::ScenarioBuilder;
+    use rfid_geom::{Pose, Vec3};
+
+    fn pass_by() -> Scenario {
+        ScenarioBuilder::new()
+            .duration_s(2.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+            .free_tag(Motion::linear(
+                Pose::from_translation(Vec3::new(-1.0, 1.0, 1.0)),
+                Vec3::new(1.0, 0.0, 0.0),
+                0.0,
+                2.0,
+            ))
+            .build()
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        assert_eq!(TrialExecutor::with_threads(0).threads(), 1);
+        assert_eq!(TrialExecutor::serial().threads(), 1);
+        assert!(TrialExecutor::new().threads() >= 1);
+    }
+
+    #[test]
+    fn run_trials_preserves_index_order() {
+        for threads in [1, 2, 3, 7, 16] {
+            let out = TrialExecutor::with_threads(threads).run_trials(23, |i| i);
+            assert_eq!(out, (0..23).collect::<Vec<u64>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        assert!(TrialExecutor::with_threads(4)
+            .run_trials(0, |i| i)
+            .is_empty());
+        assert_eq!(TrialExecutor::with_threads(4).run_trials(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let out = TrialExecutor::with_threads(64).run_trials(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn scenario_trials_match_the_serial_api() {
+        let scenario = pass_by();
+        let direct: Vec<_> = (0..4)
+            .map(|i| crate::runner::run_scenario(&scenario, 100 + i))
+            .collect();
+        let serial = TrialExecutor::serial().run_scenario_trials(&scenario, 4, 100);
+        let parallel = TrialExecutor::with_threads(3).run_scenario_trials(&scenario, 4, 100);
+        assert_eq!(direct, serial);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn round_trials_match_the_serial_api() {
+        let scenario = pass_by();
+        let direct: Vec<_> = (0..6)
+            .map(|i| crate::runner::run_single_round(&scenario, 0, 0, 0.5, 40 + i))
+            .collect();
+        let parallel = TrialExecutor::with_threads(4).run_round_trials(&scenario, 0, 0, 0.5, 6, 40);
+        assert_eq!(direct, parallel);
+    }
+
+    #[test]
+    fn seeds_wrap_rather_than_overflowing() {
+        let scenario = pass_by();
+        let near_max = u64::MAX - 1;
+        // Trials 0..3 use seeds MAX-1, MAX, 0 — must not panic.
+        let outputs = TrialExecutor::with_threads(2).run_scenario_trials(&scenario, 3, near_max);
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(outputs[2], crate::runner::run_scenario(&scenario, 0));
+    }
+}

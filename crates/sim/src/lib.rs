@@ -19,7 +19,11 @@
 //! * per-(tag, antenna) **fast fading** with a motion-derived coherence
 //!   time (the reason dwell time in the read zone matters).
 //!
-//! Everything is deterministic given the trial seed.
+//! Everything is deterministic given the trial seed — and, because
+//! randomness is addressed by identity rather than by draw order, batches
+//! of trials parallelize over threads with bit-identical results via
+//! [`TrialExecutor`], with static link-budget terms hoisted out of the
+//! trial loop by [`ScenarioCache`].
 //!
 //! # Examples
 //!
@@ -46,19 +50,28 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod counters;
 mod events;
+mod executor;
 mod export;
 mod motion;
+mod precompute;
 mod rng;
 mod runner;
 mod scenario;
 mod world;
 
 pub use channel::{ChannelParams, PortalChannel};
+pub use counters::CountersSnapshot;
 pub use events::EventQueue;
+pub use executor::{TrialExecutor, THREADS_ENV};
 pub use export::{reads_to_csv, rounds_to_csv, write_reads_csv, write_rounds_csv};
 pub use motion::Motion;
+pub use precompute::ScenarioCache;
 pub use rng::RngStream;
-pub use runner::{run_scenario, run_single_round, ReadEvent, RoundSummary, SimOutput};
+pub use runner::{
+    run_scenario, run_scenario_with, run_single_round, run_single_round_with, ReadEvent,
+    RoundSummary, SimOutput,
+};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use world::{Antenna, Attachment, SimObject, SimReader, SimTag, World, WorldError};

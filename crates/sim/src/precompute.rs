@@ -1,0 +1,274 @@
+//! Per-scenario precomputation of static link-budget terms.
+//!
+//! Monte-Carlo estimation reruns the *same* scenario under hundreds of
+//! seeds. Everything that depends only on geometry — path obstructions,
+//! inter-tag coupling geometry, scatterer counts, mounting detuning — is
+//! identical across those trials whenever the world is static, yet the
+//! per-call channel recomputes it for every link evaluation. A
+//! [`ScenarioCache`] hoists those terms out of the trial loop.
+//!
+//! Correctness contract: every cached value is produced by the *same*
+//! function, on the *same* inputs, in the *same* floating-point operation
+//! order as the per-call path it replaces, so cached and uncached runs
+//! are bit-identical. Geometry terms are only cached when the whole world
+//! is static (no object or free-tag motion); mounting detuning is
+//! time-invariant by construction and is cached unconditionally.
+
+use crate::channel::ChannelParams;
+use crate::motion::Motion;
+use crate::scenario::Scenario;
+use crate::world::{Attachment, World};
+use rfid_phys::{Db, TagCoupling};
+
+/// Precomputed static link-budget terms for one scenario.
+///
+/// Build once per scenario (cheap — a handful of geometry passes) and
+/// share it across every trial of that scenario; the
+/// [`crate::TrialExecutor`] does this automatically. The cache borrows
+/// nothing, so one instance can serve many worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_geom::{Pose, Vec3};
+/// use rfid_sim::{Motion, ScenarioBuilder, ScenarioCache};
+///
+/// let scenario = ScenarioBuilder::new()
+///     .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+///     .free_tag(Motion::Static(Pose::from_translation(Vec3::new(0.0, 1.0, 1.0))))
+///     .build();
+/// let cache = ScenarioCache::new(&scenario);
+/// assert!(cache.is_static(), "nothing moves in this scenario");
+/// let cached = rfid_sim::run_scenario_with(&scenario, &cache, 7);
+/// assert_eq!(cached, rfid_sim::run_scenario(&scenario, 7));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCache {
+    /// Mounting detuning loss per tag (time-invariant, always cached).
+    mounting_db: Vec<Db>,
+    /// Geometry terms, present only when the world is fully static.
+    geometry: Option<StaticGeometry>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct StaticGeometry {
+    /// Positions and dipole axes of all tags.
+    coupling: Vec<TagCoupling>,
+    /// Summed effective obstruction loss, indexed `[reader][port][tag]`.
+    blockage: Vec<Vec<Vec<Db>>>,
+    /// Reflective scatterer count per tag at the channel's radius.
+    scatterers: Vec<usize>,
+}
+
+impl ScenarioCache {
+    /// Precomputes the cacheable terms of `scenario`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's world fails validation.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        Self::for_world(&scenario.world, &scenario.channel)
+    }
+
+    /// [`ScenarioCache::new`] from the parts, for callers holding a world
+    /// and channel parameters outside a [`Scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world fails validation.
+    #[must_use]
+    pub fn for_world(world: &World, params: &ChannelParams) -> Self {
+        world.validate().expect("scenario world must be valid");
+        let mounting_db = world
+            .tags
+            .iter()
+            .map(|tag| tag.mounting.loss(world.frequency_hz))
+            .collect();
+        let geometry = world_is_static(world).then(|| {
+            // t = 0 is arbitrary: static poses are identical at every t.
+            let coupling = world.coupling_geometry(0.0);
+            let blockage = world
+                .readers
+                .iter()
+                .enumerate()
+                .map(|(reader, r)| {
+                    (0..r.antennas.len())
+                        .map(|port| {
+                            (0..world.tags.len())
+                                .map(|tag| {
+                                    world
+                                        .obstructions(reader, port, tag, 0.0)
+                                        .iter()
+                                        .map(|o| params.effective_obstruction_loss(o))
+                                        .sum()
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let scatterers = (0..world.tags.len())
+                .map(|tag| world.scatterers_near(tag, 0.0, params.scatterer_radius_m))
+                .collect();
+            StaticGeometry {
+                coupling,
+                blockage,
+                scatterers,
+            }
+        });
+        Self {
+            mounting_db,
+            geometry,
+        }
+    }
+
+    /// Whether geometry terms are cached (the world is fully static).
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.geometry.is_some()
+    }
+
+    /// Cached mounting detuning loss for `tag`.
+    pub(crate) fn mounting(&self, tag: usize) -> Db {
+        self.mounting_db[tag]
+    }
+
+    /// Cached coupling geometry, if the world is static.
+    pub(crate) fn coupling(&self) -> Option<&[TagCoupling]> {
+        self.geometry.as_ref().map(|g| g.coupling.as_slice())
+    }
+
+    /// Cached summed effective obstruction loss for one link, if static.
+    pub(crate) fn blockage(&self, reader: usize, port: usize, tag: usize) -> Option<Db> {
+        self.geometry
+            .as_ref()
+            .map(|g| g.blockage[reader][port][tag])
+    }
+
+    /// Cached scatterer count for `tag`, if static.
+    pub(crate) fn scatterers(&self, tag: usize) -> Option<usize> {
+        self.geometry.as_ref().map(|g| g.scatterers[tag])
+    }
+}
+
+fn motion_is_static(motion: &Motion) -> bool {
+    matches!(motion, Motion::Static(_))
+}
+
+/// Whether nothing in the world ever moves: all objects are static, and
+/// every free tag is static (attached tags ride their host object, whose
+/// motion is already checked).
+fn world_is_static(world: &World) -> bool {
+    world.objects.iter().all(|o| motion_is_static(&o.motion))
+        && world.tags.iter().all(|t| match &t.attachment {
+            Attachment::Object { .. } => true,
+            Attachment::Free(motion) => motion_is_static(motion),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::PortalChannel;
+    use crate::rng::RngStream;
+    use crate::scenario::ScenarioBuilder;
+    use crate::world::{SimObject, SimTag};
+    use rfid_gen2::Epc96;
+    use rfid_geom::{Pose, Rotation, Shape, Vec3};
+    use rfid_phys::{Material, Mounting, TagChip};
+
+    fn static_scenario() -> Scenario {
+        let toward = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+        ScenarioBuilder::new()
+            .duration_s(1.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+            .free_tag(Motion::Static(Pose::new(Vec3::new(0.0, 1.0, 1.0), toward)))
+            .free_tag(Motion::Static(Pose::new(Vec3::new(0.3, 1.2, 1.0), toward)))
+            .object(SimObject {
+                name: "pillar".into(),
+                shape: Shape::aabb(Vec3::new(0.1, 0.1, 2.0)),
+                material: Material::Metal,
+                motion: Motion::Static(Pose::from_translation(Vec3::new(0.0, 0.5, 1.0))),
+            })
+            .build()
+    }
+
+    fn moving_scenario() -> Scenario {
+        ScenarioBuilder::new()
+            .duration_s(1.0)
+            .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 1)
+            .free_tag(Motion::linear(
+                Pose::from_translation(Vec3::new(-1.0, 1.0, 1.0)),
+                Vec3::new(1.0, 0.0, 0.0),
+                0.0,
+                1.0,
+            ))
+            .build()
+    }
+
+    #[test]
+    fn static_worlds_cache_geometry() {
+        let cache = ScenarioCache::new(&static_scenario());
+        assert!(cache.is_static());
+        assert!(cache.coupling().is_some());
+        assert!(cache.blockage(0, 0, 0).is_some());
+        assert!(cache.scatterers(1).is_some());
+    }
+
+    #[test]
+    fn moving_worlds_cache_only_mounting() {
+        let cache = ScenarioCache::new(&moving_scenario());
+        assert!(!cache.is_static());
+        assert!(cache.coupling().is_none());
+        assert!(cache.blockage(0, 0, 0).is_none());
+        assert!(cache.scatterers(0).is_none());
+        // Mounting is time-invariant and cached regardless.
+        assert_eq!(cache.mounting(0), Mounting::free_space().loss(915.0e6),);
+    }
+
+    #[test]
+    fn attached_tag_on_moving_object_is_not_static() {
+        let mut scenario = static_scenario();
+        scenario.world.objects[0].motion = Motion::linear(
+            Pose::from_translation(Vec3::new(0.0, 0.5, 1.0)),
+            Vec3::new(0.1, 0.0, 0.0),
+            0.0,
+            1.0,
+        );
+        scenario.world.tags.push(SimTag {
+            epc: Epc96::from_u128(99),
+            attachment: Attachment::Object {
+                object: 0,
+                local: Pose::IDENTITY,
+            },
+            chip: TagChip::default(),
+            mounting: Mounting::free_space(),
+        });
+        assert!(!ScenarioCache::new(&scenario).is_static());
+    }
+
+    #[test]
+    fn cached_channel_terms_are_bit_identical_to_uncached() {
+        let scenario = static_scenario();
+        let cache = ScenarioCache::new(&scenario);
+        let trial = RngStream::new(17);
+        let uncached = PortalChannel::new(&scenario.world, 0, 0, &scenario.channel, trial);
+        let cached =
+            PortalChannel::with_cache(&scenario.world, 0, 0, &scenario.channel, trial, &cache);
+        for tag in 0..scenario.world.tags.len() {
+            for &t in &[0.0, 0.35, 0.9] {
+                assert_eq!(uncached.extra_loss(tag, t), cached.extra_loss(tag, t));
+                assert_eq!(uncached.link_report(tag, t), cached.link_report(tag, t));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario world must be valid")]
+    fn invalid_worlds_are_rejected() {
+        let mut scenario = static_scenario();
+        scenario.world.readers[0].antennas.clear();
+        let _ = ScenarioCache::new(&scenario);
+    }
+}

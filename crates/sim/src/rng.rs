@@ -70,8 +70,13 @@ impl RngStream {
     #[must_use]
     pub fn normal(&self, address: &[u64], std_dev: f64) -> f64 {
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
-        let u1 = self.uniform(&[address[0].wrapping_add(1), self.value(address)]);
-        let u2 = self.uniform(&[address[0].wrapping_add(2), self.value(address)]);
+        let hash = self.value(address);
+        // The lead term decorrelates the two uniforms from the raw hash.
+        // For an empty address it is derived from the full address hash
+        // rather than `address[0]` (which would panic).
+        let lead = address.first().copied().unwrap_or(hash);
+        let u1 = self.uniform(&[lead.wrapping_add(1), hash]);
+        let u2 = self.uniform(&[lead.wrapping_add(2), hash]);
         let r = (-2.0 * u1.max(1e-15).ln()).sqrt();
         std_dev * r * (2.0 * std::f64::consts::PI * u2).cos()
     }
@@ -145,5 +150,32 @@ mod tests {
     fn zero_std_dev_is_degenerate() {
         let s = RngStream::new(3);
         assert_eq!(s.normal(&[1], 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_address_does_not_panic() {
+        // Regression: `normal` used to index `address[0]` and panic on an
+        // empty address. It now derives the lead term from the full hash.
+        let s = RngStream::new(21);
+        let a = s.normal(&[], 2.0);
+        let b = s.normal(&[], 2.0);
+        assert_eq!(a, b, "empty address is still deterministic");
+        assert!(a.is_finite());
+        assert_ne!(
+            RngStream::new(22).normal(&[], 2.0),
+            a,
+            "seed still matters for the empty address"
+        );
+    }
+
+    #[test]
+    fn empty_address_draws_plausible_normals() {
+        // Moment check across seeds for the empty-address path.
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| RngStream::new(i).normal(&[], 1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var.sqrt() - 1.0).abs() < 0.05, "std = {}", var.sqrt());
     }
 }

@@ -2,12 +2,15 @@
 //! world.
 
 use crate::channel::PortalChannel;
+use crate::counters;
 use crate::events::EventQueue;
+use crate::precompute::ScenarioCache;
 use crate::rng::RngStream;
 use crate::scenario::Scenario;
 use rfid_gen2::{Epc96, RoundLog, TagFsm};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// One successful tag read, attributed to its reader and antenna.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,10 +110,25 @@ const OUTAGE_RETRY_S: f64 = 0.05;
 /// Panics if the scenario's world fails validation.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimOutput {
+    run_scenario_with(scenario, &ScenarioCache::new(scenario), seed)
+}
+
+/// [`run_scenario`] sharing a precomputed [`ScenarioCache`] — the batched
+/// entry point used by [`crate::TrialExecutor`] so repeated trials of the
+/// same scenario skip redundant static-geometry work. Results are
+/// bit-identical to [`run_scenario`].
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation.
+#[must_use]
+pub fn run_scenario_with(scenario: &Scenario, cache: &ScenarioCache, seed: u64) -> SimOutput {
     scenario
         .world
         .validate()
         .expect("scenario world must be valid");
+    let started = Instant::now();
+    counters::record_trial();
     let trial = RngStream::new(seed);
     let world = &scenario.world;
 
@@ -152,10 +170,13 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimOutput {
             continue;
         }
 
-        let mut channel = PortalChannel::new(world, ev.reader, ev.port, &scenario.channel, trial);
+        let mut channel =
+            PortalChannel::with_cache(world, ev.reader, ev.port, &scenario.channel, trial, cache);
         let mut engine = scenario.engine.clone();
         let round_seed = trial.value(&[0x0F0F, ev.reader as u64, ev.round_no]);
+        let round_started = Instant::now();
         let log = engine.run_round(&mut fsms, &mut channel, scenario.session, t, round_seed);
+        counters::record_round(log.reads.len() as u64, round_started.elapsed());
         record_round(&mut output, &log, ev.reader, ev.port, t);
 
         queue.schedule(
@@ -173,6 +194,7 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimOutput {
             .partial_cmp(&b.time_s)
             .expect("read times are finite")
     });
+    counters::record_scenario_time(started.elapsed());
     output
 }
 
@@ -191,10 +213,39 @@ pub fn run_single_round(
     t: f64,
     seed: u64,
 ) -> RoundLog {
+    run_single_round_with(
+        scenario,
+        &ScenarioCache::new(scenario),
+        reader,
+        port,
+        t,
+        seed,
+    )
+}
+
+/// [`run_single_round`] sharing a precomputed [`ScenarioCache`] — the
+/// batched entry point used by [`crate::TrialExecutor::run_round_trials`].
+/// Results are bit-identical to [`run_single_round`].
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation or the indices are out
+/// of range.
+#[must_use]
+pub fn run_single_round_with(
+    scenario: &Scenario,
+    cache: &ScenarioCache,
+    reader: usize,
+    port: usize,
+    t: f64,
+    seed: u64,
+) -> RoundLog {
     scenario
         .world
         .validate()
         .expect("scenario world must be valid");
+    let started = Instant::now();
+    counters::record_trial();
     let trial = RngStream::new(seed);
     let mut fsms: Vec<TagFsm> = scenario
         .world
@@ -202,15 +253,25 @@ pub fn run_single_round(
         .iter()
         .map(|tag| TagFsm::new(tag.epc))
         .collect();
-    let mut channel = PortalChannel::new(&scenario.world, reader, port, &scenario.channel, trial);
+    let mut channel = PortalChannel::with_cache(
+        &scenario.world,
+        reader,
+        port,
+        &scenario.channel,
+        trial,
+        cache,
+    );
     let mut engine = scenario.engine.clone();
-    engine.run_round(
+    let log = engine.run_round(
         &mut fsms,
         &mut channel,
         scenario.session,
         t,
         trial.value(&[0x51, reader as u64, port as u64]),
-    )
+    );
+    counters::record_round(log.reads.len() as u64, started.elapsed());
+    counters::record_scenario_time(started.elapsed());
+    log
 }
 
 fn record_round(output: &mut SimOutput, log: &RoundLog, reader: usize, port: usize, start: f64) {

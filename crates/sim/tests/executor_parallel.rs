@@ -1,0 +1,114 @@
+//! Property tests for the parallel execution engine: for an arbitrary
+//! (scenario, seed, thread count), batched parallel execution is
+//! bit-identical to running the trials serially — the payoff of
+//! identity-addressed randomness.
+
+use proptest::prelude::*;
+use rfid_gen2::Epc96;
+use rfid_geom::{Pose, Rotation, Vec3};
+use rfid_phys::{Mounting, TagChip};
+use rfid_sim::{
+    run_scenario, run_single_round, Attachment, ChannelParams, Motion, Scenario, SimReader, SimTag,
+    TrialExecutor, World,
+};
+
+fn facing() -> Rotation {
+    Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel")
+}
+
+/// Arbitrary small portal scenario: 1-4 tags, each either parked at an
+/// arbitrary distance or carted through the portal.
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    proptest::collection::vec(((0.5f64..4.0), any::<bool>()), 1..4).prop_map(|tags| {
+        let tags = tags
+            .into_iter()
+            .enumerate()
+            .map(|(i, (distance_m, moving))| {
+                let start = Pose::new(
+                    Vec3::new(if moving { -1.5 } else { 0.0 }, distance_m, 1.0),
+                    facing(),
+                );
+                let motion = if moving {
+                    Motion::linear(start, Vec3::new(1.0, 0.0, 0.0), 0.0, 3.0)
+                } else {
+                    Motion::Static(start)
+                };
+                SimTag {
+                    epc: Epc96::from_u128(i as u128),
+                    attachment: Attachment::Free(motion),
+                    chip: TagChip::default(),
+                    mounting: Mounting::free_space(),
+                }
+            })
+            .collect();
+        Scenario {
+            world: World {
+                frequency_hz: 915.0e6,
+                objects: vec![],
+                tags,
+                readers: vec![SimReader::ar400(vec![rfid_sim::Antenna::portal(
+                    Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)),
+                )])],
+            },
+            duration_s: 3.0,
+            session: rfid_gen2::Session::S1,
+            channel: ChannelParams::default(),
+            engine: rfid_gen2::InventoryEngine::default(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-scenario batches: direct serial calls, the serial executor,
+    /// and a multi-threaded executor all produce identical outputs.
+    #[test]
+    fn parallel_scenario_trials_match_serial(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        trials in 1u64..6,
+    ) {
+        let direct: Vec<_> = (0..trials)
+            .map(|i| run_scenario(&scenario, seed.wrapping_add(i)))
+            .collect();
+        let serial = TrialExecutor::serial().run_scenario_trials(&scenario, trials, seed);
+        let parallel = TrialExecutor::with_threads(threads)
+            .run_scenario_trials(&scenario, trials, seed);
+        prop_assert_eq!(&direct, &serial);
+        prop_assert_eq!(&direct, &parallel);
+    }
+
+    /// Single-round batches are bit-identical too.
+    #[test]
+    fn parallel_round_trials_match_serial(
+        scenario in arb_scenario(),
+        seed in any::<u64>(),
+        threads in 2usize..9,
+        t in 0.0f64..3.0,
+    ) {
+        let trials = 4u64;
+        let direct: Vec<_> = (0..trials)
+            .map(|i| run_single_round(&scenario, 0, 0, t, seed.wrapping_add(i)))
+            .collect();
+        let parallel = TrialExecutor::with_threads(threads)
+            .run_round_trials(&scenario, 0, 0, t, trials, seed);
+        prop_assert_eq!(&direct, &parallel);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generic fan-out preserves index order for any (trials, threads).
+    #[test]
+    fn run_trials_preserves_order(trials in 0u64..500, threads in 1usize..17) {
+        let executor = TrialExecutor::with_threads(threads);
+        let out = executor.run_trials(trials, |i| i * 3 + 1);
+        prop_assert_eq!(out.len() as u64, trials);
+        for (i, value) in out.iter().enumerate() {
+            prop_assert_eq!(*value, i as u64 * 3 + 1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&str` used as a strategy is interpreted as a concatenation of
+//! atoms, each optionally quantified:
+//!
+//! * `.` — any printable ASCII character (plus tab),
+//! * `[abc]`, `[a-z0-9-]`, `[ -~]` — character classes with ranges and
+//!   `\`-escapes (negation is not supported),
+//! * any other character (or `\x` escape) — itself,
+//! * `{n}`, `{m,n}`, `?`, `*`, `+` — quantifiers (`*`/`+` cap at 8).
+//!
+//! This covers every pattern the workspace's property tests use.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn printable() -> Vec<char> {
+    let mut set: Vec<char> = (' '..='~').collect();
+    set.push('\t');
+    set
+}
+
+/// Parses the regex subset; panics on constructs it does not support so
+/// misuse is loud rather than silently wrong.
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '.' => {
+                i += 1;
+                printable()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"))
+                    } else {
+                        chars[i]
+                    };
+                    // Range `a-z` when a `-` sits between two members.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&e| e != ']')
+                    {
+                        let mut end = chars[i + 2];
+                        let mut skip = 3;
+                        if end == '\\' {
+                            end = *chars
+                                .get(i + 3)
+                                .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                            skip = 4;
+                        }
+                        assert!(c <= end, "reversed class range in `{pattern}`");
+                        set.extend(c..=end);
+                        i += skip;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // consume ']'
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "reversed quantifier in `{pattern}`");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let count = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(17)
+    }
+
+    #[test]
+    fn class_with_range_and_literal() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9-]{0,8}".sample(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn concatenation_of_atoms() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,8}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn dot_is_printable() {
+        let mut rng = rng();
+        let mut max_len = 0;
+        for _ in 0..50 {
+            let s = ".{0,256}".sample(&mut rng);
+            max_len = max_len.max(s.chars().count());
+            assert!(s.chars().count() <= 256);
+        }
+        assert!(max_len > 64, "quantifier should explore long strings");
+    }
+
+    #[test]
+    fn escaped_dash_in_class() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "[<>/a-z \\-]{0,128}".sample(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| "<>/ -".contains(c) || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,64}".sample(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access and the workspace never
+//! actually serializes through serde (CSV/XML export is hand-rolled), so
+//! this crate provides blanket-implemented marker traits and re-exports
+//! the no-op derives. Swapping the real serde back in is a one-line
+//! change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented: every type
+/// trivially satisfies bounds written against it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types. Blanket-implemented.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The workspace CI gate: formatting, lints (warnings denied), release
+# build, and the full test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q
