@@ -3,12 +3,15 @@
 //! outputs, so any delta is pure engine overhead or win.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rfid_experiments::scenarios::read_range_scenario;
+use rfid_experiments::scenarios::{
+    object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
+};
 use rfid_experiments::Calibration;
-use rfid_sim::{run_scenario, ScenarioCache, TrialExecutor};
+use rfid_sim::{run_scenario, run_scenario_reference, ScenarioCache, TrialExecutor};
 use std::hint::black_box;
 
 const TRIALS: u64 = 8;
+const MOVING_TRIALS: u64 = 2;
 
 fn bench_serial_uncached(c: &mut Criterion) {
     let scenario = read_range_scenario(&Calibration::default(), 3.0);
@@ -37,6 +40,38 @@ fn bench_threaded_cached(c: &mut Criterion) {
     });
 }
 
+/// The 12-box cart pass: every tag moves, so the `ScenarioCache` cannot
+/// hoist geometry and the round-scoped `(tag, t)` memos do the work.
+/// Compared against the unmemoized reference path below — the outputs are
+/// bit-identical, so the delta is the memo win on moving worlds.
+fn bench_moving_memoized(c: &mut Criterion) {
+    let (scenario, _) = object_pass_scenario(
+        &Calibration::default(),
+        &ObjectPassConfig::single(BoxFace::Front),
+    );
+    c.bench_function("moving_scenario_memoized", |b| {
+        b.iter(|| {
+            (0..MOVING_TRIALS)
+                .map(|i| run_scenario(&scenario, black_box(i)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_moving_unmemoized(c: &mut Criterion) {
+    let (scenario, _) = object_pass_scenario(
+        &Calibration::default(),
+        &ObjectPassConfig::single(BoxFace::Front),
+    );
+    c.bench_function("moving_scenario_unmemoized", |b| {
+        b.iter(|| {
+            (0..MOVING_TRIALS)
+                .map(|i| run_scenario_reference(&scenario, black_box(i)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
 fn bench_cache_construction(c: &mut Criterion) {
     let scenario = read_range_scenario(&Calibration::default(), 3.0);
     c.bench_function("scenario_cache_build", |b| {
@@ -58,6 +93,8 @@ criterion_group! {
         bench_serial_uncached,
         bench_serial_cached,
         bench_threaded_cached,
+        bench_moving_memoized,
+        bench_moving_unmemoized,
         bench_cache_construction,
 }
 criterion_main!(executor);

@@ -1,0 +1,168 @@
+//! Snapshot benchmark: times the memoized hot path against the
+//! unmemoized reference and writes the result as JSON.
+//!
+//! ```text
+//! bench_snapshot <out.json> [--smoke]
+//! ```
+//!
+//! Two cases, chosen to bracket the caching design:
+//!
+//! * `moving` — the 12-box cart pass (every tag moves, geometry cannot
+//!   be hoisted into the `ScenarioCache`); the speedup here is pure
+//!   round-scoped `(tag, t)` memo + fading cache + allocation reuse.
+//! * `static` — the parked read-range scenario, where the batch-level
+//!   `ScenarioCache` already did the heavy lifting; this case guards
+//!   against the memo layers *regressing* the static path.
+//!
+//! Both paths produce bit-identical `SimOutput`s (asserted here), so the
+//! ratio is pure engine overhead or win. `--smoke` shrinks trial counts
+//! so CI can exercise the binary in seconds.
+
+use rfid_experiments::scenarios::{
+    object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
+};
+use rfid_experiments::Calibration;
+use rfid_sim::{run_scenario_reference, Scenario, TrialExecutor};
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    scenario: Scenario,
+    trials: u64,
+    /// Timing repetitions per side; the minimum is reported, which
+    /// filters out scheduler noise on these tens-of-milliseconds runs.
+    repeats: u32,
+}
+
+struct Measurement {
+    name: &'static str,
+    trials: u64,
+    memoized_s: f64,
+    unmemoized_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.unmemoized_s / self.memoized_s
+    }
+}
+
+/// Times `trials` serial runs of the memoized path (as `run_scenario` /
+/// the executor use it) and the unmemoized reference, checking that both
+/// produce identical outputs.
+fn measure(case: &Case) -> Measurement {
+    let executor = TrialExecutor::serial();
+    // Warm-up: fault in code paths and the scenario cache once.
+    let warm = executor.run_scenario_trials(&case.scenario, 1, 0);
+    assert_eq!(warm[0], run_scenario_reference(&case.scenario, 0));
+
+    // Interleave the two sides and keep the fastest repetition of each:
+    // both runs fit in tens of milliseconds, where a single scheduler
+    // hiccup would otherwise dominate the ratio.
+    let mut memoized_s = f64::INFINITY;
+    let mut unmemoized_s = f64::INFINITY;
+    let mut memoized = Vec::new();
+    let mut reference = Vec::new();
+    for rep in 0..case.repeats {
+        rfid_sim::counters::reset();
+        let start = Instant::now();
+        memoized = executor.run_scenario_trials(&case.scenario, case.trials, 1);
+        memoized_s = memoized_s.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            eprintln!(
+                "  {} memoized:   {}",
+                case.name,
+                rfid_sim::counters::snapshot()
+            );
+        }
+
+        rfid_sim::counters::reset();
+        let start = Instant::now();
+        reference = (0..case.trials)
+            .map(|i| run_scenario_reference(&case.scenario, 1u64.wrapping_add(i)))
+            .collect();
+        unmemoized_s = unmemoized_s.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            eprintln!(
+                "  {} unmemoized: {}",
+                case.name,
+                rfid_sim::counters::snapshot()
+            );
+        }
+    }
+
+    assert_eq!(
+        memoized, reference,
+        "{}: paths must be bit-identical",
+        case.name
+    );
+    Measurement {
+        name: case.name,
+        trials: case.trials,
+        memoized_s,
+        unmemoized_s,
+    }
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other if out_path.is_none() => out_path = Some(other.to_string()),
+            other => panic!("unexpected argument: {other}"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_snapshot.json".to_string());
+    let (moving_trials, static_trials) = if smoke { (1, 2) } else { (16, 48) };
+    let repeats = if smoke { 1 } else { 5 };
+
+    let cal = Calibration::default();
+    let cases = [
+        Case {
+            name: "moving_cart_pass",
+            scenario: object_pass_scenario(&cal, &ObjectPassConfig::single(BoxFace::Front)).0,
+            trials: moving_trials,
+            repeats,
+        },
+        Case {
+            name: "static_read_range",
+            scenario: read_range_scenario(&cal, 3.0),
+            trials: static_trials,
+            repeats,
+        },
+    ];
+
+    let measurements: Vec<Measurement> = cases.iter().map(measure).collect();
+
+    let mut json =
+        String::from("{\n  \"benchmark\": \"memoized hot path vs unmemoized reference\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trials\": {}, \"memoized_s\": {:.6}, \
+             \"unmemoized_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            m.name,
+            m.trials,
+            m.memoized_s,
+            m.unmemoized_s,
+            m.speedup(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+
+    for m in &measurements {
+        println!(
+            "{}: {} trials, memoized {:.3} s, unmemoized {:.3} s, speedup {:.2}x",
+            m.name,
+            m.trials,
+            m.memoized_s,
+            m.unmemoized_s,
+            m.speedup(),
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -7,3 +7,11 @@
 //! * `ablations` — cost/effect of the design choices DESIGN.md calls out
 //!   (occlusion ray-casting, interference assessment, Q-algorithm
 //!   settings, fading granularity).
+//! * `executor` — the trial engine: serial vs cached vs threaded, and
+//!   the channel-memo win on a moving-tag cart pass.
+//!
+//! The `bench_snapshot` binary (`cargo run --release -p rfid-bench --bin
+//! bench_snapshot -- BENCH_<date>.json`) times the memoized hot path
+//! against the unmemoized reference on both a moving and a static
+//! scenario and records the speedups as JSON; `scripts/bench-snapshot.sh`
+//! wraps it with a dated default filename.

@@ -238,6 +238,14 @@ impl InventoryEngine {
                     SlotOutcome::Empty
                 }
                 1 => {
+                    // A full singulation queries the channel three times at
+                    // the *same* (tag, now): RN16 backscatter, ACK command,
+                    // EPC backscatter. `now` only advances once the slot's
+                    // outcome is known, so channel implementations may (and
+                    // `rfid_sim::PortalChannel` does) memoize per (tag, t)
+                    // — the repeat queries are free, and the per-query RNG
+                    // is addressed by identity so the answers are
+                    // unchanged.
                     let i = responders[0];
                     let rn16_ok = channel.tag_to_reader_ok(i, now);
                     if !rn16_ok {
@@ -361,6 +369,50 @@ mod tests {
         for tag in &tags {
             assert_eq!(tag.read_count(), 1);
         }
+    }
+
+    /// Records every `(tag, time_s)` query so we can assert the repeat
+    /// pattern that channel-side memoization exploits.
+    struct RecordingChannel {
+        queries: Vec<(usize, u64)>,
+    }
+
+    impl AirChannel for RecordingChannel {
+        fn reader_to_tag_ok(&mut self, tag: usize, time_s: f64) -> bool {
+            self.queries.push((tag, time_s.to_bits()));
+            true
+        }
+        fn tag_to_reader_ok(&mut self, tag: usize, time_s: f64) -> bool {
+            self.queries.push((tag, time_s.to_bits()));
+            true
+        }
+    }
+
+    #[test]
+    fn success_slot_queries_the_channel_thrice_at_one_instant() {
+        // The contract the PortalChannel round memo relies on: a clean
+        // singulation asks the channel three questions (RN16, ACK, EPC)
+        // without advancing time between them.
+        let mut tags = population(1);
+        let mut engine = InventoryEngine::default();
+        let mut channel = RecordingChannel {
+            queries: Vec::new(),
+        };
+        let log = engine.run_round(&mut tags, &mut channel, Session::S1, 0.0, 7);
+        assert_eq!(log.reads.len(), 1);
+        // queries[0] is the opening Query energization check; the success
+        // slot itself is the final three entries.
+        let (tag, t_bits) = *channel.queries.last().expect("slot queries");
+        assert_eq!(
+            channel
+                .queries
+                .iter()
+                .filter(|&&q| q == (tag, t_bits))
+                .count(),
+            3,
+            "rn16 + ack + epc should share one (tag, t): {:?}",
+            channel.queries
+        );
     }
 
     #[test]

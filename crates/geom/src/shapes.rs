@@ -179,12 +179,33 @@ impl Solid {
         self.shape.intersect_local(&ray.to_local(&self.pose))
     }
 
+    /// Radius of the bounding sphere around the solid's center.
+    #[must_use]
+    pub fn bounding_radius(&self) -> f64 {
+        self.shape.max_extent() / 2.0
+    }
+
     /// Length of the ray segment `[0, max_t]` that lies inside the solid.
     ///
     /// This is the material thickness a signal traveling from `ray.origin()`
     /// to `ray.point_at(max_t)` must penetrate.
     #[must_use]
     pub fn chord(&self, ray: &Ray, max_t: f64) -> f64 {
+        // Cheap exact-conservative reject before the full local-frame
+        // intersection: the shape is inscribed in its bounding sphere, so
+        // if the query segment stays clear of the sphere (with a generous
+        // slack for rounding) the chord is exactly 0. Occlusion sweeps
+        // test every object against every line of sight, and most pairs
+        // miss — this test is a dot product and a clamp instead of a pose
+        // inverse-transform.
+        let center = self.pose.translation();
+        let along = (center - ray.origin())
+            .dot(ray.direction())
+            .clamp(0.0, max_t);
+        let radius = self.bounding_radius() + 1e-9;
+        if ray.point_at(along).distance_squared(center) > radius * radius {
+            return 0.0;
+        }
         match self.intersect(ray) {
             Some((t0, t1)) => {
                 let enter = t0.max(0.0);
@@ -343,6 +364,53 @@ mod tests {
         let solid = Solid::new(Shape::aabb(Vec3::new(1.0, 1.0, 1.0)), Pose::IDENTITY);
         let ray = Ray::new(Vec3::ZERO, Vec3::X).unwrap();
         assert!((solid.chord(&ray, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chord_grazing_the_bounding_sphere_is_not_rejected() {
+        // A ray tangent to the box's corner region passes inside the
+        // bounding sphere but may still hit; the fast reject must only
+        // fire on guaranteed misses. Ray skims the +y face exactly.
+        let solid = Solid::new(Shape::aabb(Vec3::new(1.0, 1.0, 1.0)), Pose::IDENTITY);
+        let graze = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::X).unwrap();
+        let (t0, t1) = solid
+            .intersect(&graze)
+            .expect("face-grazing line reports an interval");
+        assert!((solid.chord(&graze, 100.0) - (t1 - t0).min(100.0)).abs() < 1e-12);
+        // Just past the bounding sphere: rejected, and genuinely a miss.
+        let radius = solid.bounding_radius();
+        let miss = Ray::new(Vec3::new(-5.0, radius + 1e-6, 0.0), Vec3::X).unwrap();
+        assert_eq!(solid.chord(&miss, 100.0), 0.0);
+        assert!(solid.intersect(&miss).is_none());
+    }
+
+    proptest! {
+        /// The bounding-sphere early-out in `chord` must be invisible:
+        /// identical to the unfiltered clip of `intersect`.
+        #[test]
+        fn chord_prefilter_matches_full_intersection(
+            ox in -6.0f64..6.0, oy in -6.0f64..6.0, oz in -6.0f64..6.0,
+            tx in -6.0f64..6.0, ty in -6.0f64..6.0, tz in -6.0f64..6.0,
+            px in -2.0f64..2.0, py in -2.0f64..2.0, pz in -2.0f64..2.0,
+            max_t in 0.0f64..12.0,
+        ) {
+            let origin = Vec3::new(ox, oy, oz);
+            let toward = Vec3::new(tx, ty, tz);
+            prop_assume!((toward - origin).norm() > 1e-6);
+            let ray = Ray::between(origin, toward).unwrap();
+            for shape in [
+                Shape::aabb(Vec3::new(0.4, 0.3, 0.5)),
+                Shape::cylinder(0.3, 0.6),
+                Shape::sphere(0.5),
+            ] {
+                let solid = Solid::new(shape, Pose::from_translation(Vec3::new(px, py, pz)));
+                let expected = match solid.intersect(&ray) {
+                    Some((t0, t1)) => (t1.min(max_t) - t0.max(0.0)).max(0.0),
+                    None => 0.0,
+                };
+                prop_assert_eq!(solid.chord(&ray, max_t), expected);
+            }
+        }
     }
 
     #[test]

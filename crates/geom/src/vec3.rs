@@ -106,6 +106,14 @@ impl Vec3 {
         (self - other).norm()
     }
 
+    /// Squared distance between two points (no square root — for
+    /// threshold comparisons in hot loops).
+    #[must_use]
+    pub fn distance_squared(self, other: Vec3) -> f64 {
+        let d = self - other;
+        d.dot(d)
+    }
+
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
     #[must_use]
     pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {

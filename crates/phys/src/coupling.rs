@@ -51,13 +51,19 @@ impl Default for CouplingParams {
     }
 }
 
-/// Total detuning loss inflicted on `own` by `neighbors`.
+/// Total detuning loss inflicted on `geometry[own]` by every other entry
+/// of `geometry`.
 ///
-/// Each neighbor contributes `peak * alignment * exp(-gap / decay)` where
-/// `gap` is the *edge-to-edge* spacing (center distance minus `tag_extent`)
-/// and `alignment` interpolates between `cross_axis_fraction` and 1 with
-/// the squared cosine of the axis angle. Contributions add in decibels
-/// (multiplicative power loss) and are capped at `max_total_db`.
+/// The population is passed as one slice plus the index of the victim tag
+/// — rather than a pre-filtered neighbor list — so the caller does not
+/// have to allocate per evaluation; the simulator's hot loop hands the
+/// same shared geometry slice to every tag in a round. Each neighbor
+/// contributes `peak * alignment * exp(-gap / decay)` where `gap` is the
+/// *edge-to-edge* spacing (center distance minus `tag_extent`) and
+/// `alignment` interpolates between `cross_axis_fraction` and 1 with the
+/// squared cosine of the axis angle. Contributions add in decibels
+/// (multiplicative power loss), in slice order, and are capped at
+/// `max_total_db`.
 ///
 /// `tag_extent_m` is the center-to-center distance at which two parallel
 /// tags touch (the paper's tags are stacked face-to-face, so this is
@@ -73,25 +79,33 @@ impl Default for CouplingParams {
 /// let me = TagCoupling { position: Vec3::ZERO, axis: Vec3::X };
 /// let close = TagCoupling { position: Vec3::new(0.0, 0.004, 0.0), axis: Vec3::X };
 /// let far = TagCoupling { position: Vec3::new(0.0, 0.04, 0.0), axis: Vec3::X };
-/// let near_loss = coupling_loss(&me, &[close], 0.0, &params);
-/// let far_loss = coupling_loss(&me, &[far], 0.0, &params);
+/// let near_loss = coupling_loss(&[me, close], 0, 0.0, &params);
+/// let far_loss = coupling_loss(&[me, far], 0, 0.0, &params);
 /// assert!(near_loss.value() > 15.0);
 /// assert!(far_loss.value() < 1.0);
 /// ```
+///
+/// # Panics
+///
+/// Panics if `own` is out of range for `geometry`.
 #[must_use]
 pub fn coupling_loss(
-    own: &TagCoupling,
-    neighbors: &[TagCoupling],
+    geometry: &[TagCoupling],
+    own: usize,
     tag_extent_m: f64,
     params: &CouplingParams,
 ) -> Db {
+    let me = &geometry[own];
     let mut total = 0.0;
-    for other in neighbors {
-        let gap = (own.position.distance(other.position) - tag_extent_m).max(0.0);
+    for (i, other) in geometry.iter().enumerate() {
+        if i == own {
+            continue;
+        }
+        let gap = (me.position.distance(other.position) - tag_extent_m).max(0.0);
         if gap > params.cutoff_m {
             continue;
         }
-        let alignment = match (own.axis.normalized(), other.axis.normalized()) {
+        let alignment = match (me.axis.normalized(), other.axis.normalized()) {
             (Some(a), Some(b)) => {
                 let cos2 = a.dot(b).powi(2);
                 params.cross_axis_fraction + (1.0 - params.cross_axis_fraction) * cos2
@@ -115,13 +129,31 @@ mod tests {
         }
     }
 
+    /// Loss on `own` from `neighbors`, phrased in the pre-slice API for
+    /// test readability.
+    fn loss_on(own: TagCoupling, neighbors: &[TagCoupling], extent: f64) -> Db {
+        let mut geometry = vec![own];
+        geometry.extend_from_slice(neighbors);
+        coupling_loss(&geometry, 0, extent, &CouplingParams::default())
+    }
+
     #[test]
     fn no_neighbors_no_loss() {
+        assert_eq!(loss_on(tag(0.0, 0.0, Vec3::X), &[], 0.0), Db::ZERO);
+    }
+
+    #[test]
+    fn skip_index_excludes_only_the_victim() {
+        // The victim's own entry never contributes, wherever it sits.
         let params = CouplingParams::default();
-        assert_eq!(
-            coupling_loss(&tag(0.0, 0.0, Vec3::X), &[], 0.0, &params),
-            Db::ZERO
-        );
+        let geometry = [
+            tag(0.0, 0.0, Vec3::X),
+            tag(0.0, 0.005, Vec3::X),
+            tag(0.0, 0.010, Vec3::X),
+        ];
+        let middle = coupling_loss(&geometry, 1, 0.0, &params);
+        let expected = loss_on(geometry[1], &[geometry[0], geometry[2]], 0.0);
+        assert_eq!(middle, expected);
     }
 
     #[test]
@@ -129,10 +161,8 @@ mod tests {
         // Figure 4: 0.3 mm and 4 mm spacing interfere badly; 20-40 mm is the
         // minimum safe spacing. A single-digit-dB link margin dies under
         // >10 dB coupling loss and survives a couple of dB.
-        let params = CouplingParams::default();
         let me = tag(0.0, 0.0, Vec3::X);
-        let loss_at =
-            |mm: f64| coupling_loss(&me, &[tag(0.0, mm / 1000.0, Vec3::X)], 0.0, &params).value();
+        let loss_at = |mm: f64| loss_on(me, &[tag(0.0, mm / 1000.0, Vec3::X)], 0.0).value();
         assert!(loss_at(0.3) > 20.0, "0.3 mm: {}", loss_at(0.3));
         assert!(loss_at(4.0) > 15.0, "4 mm: {}", loss_at(4.0));
         assert!(loss_at(20.0) < 4.0, "20 mm: {}", loss_at(20.0));
@@ -141,10 +171,9 @@ mod tests {
 
     #[test]
     fn parallel_couples_more_than_orthogonal() {
-        let params = CouplingParams::default();
         let me = tag(0.0, 0.0, Vec3::X);
-        let parallel = coupling_loss(&me, &[tag(0.0, 0.01, Vec3::X)], 0.0, &params);
-        let orthogonal = coupling_loss(&me, &[tag(0.0, 0.01, Vec3::Z)], 0.0, &params);
+        let parallel = loss_on(me, &[tag(0.0, 0.01, Vec3::X)], 0.0);
+        let orthogonal = loss_on(me, &[tag(0.0, 0.01, Vec3::Z)], 0.0);
         assert!(parallel.value() > orthogonal.value());
         assert!(
             orthogonal.value() > 0.0,
@@ -157,7 +186,7 @@ mod tests {
         let params = CouplingParams::default();
         let me = tag(0.0, 0.0, Vec3::X);
         let far = tag(0.0, params.cutoff_m + 0.01, Vec3::X);
-        assert_eq!(coupling_loss(&me, &[far], 0.0, &params), Db::ZERO);
+        assert_eq!(loss_on(me, &[far], 0.0), Db::ZERO);
     }
 
     #[test]
@@ -167,17 +196,16 @@ mod tests {
         let swarm: Vec<TagCoupling> = (0..20)
             .map(|i| tag(0.0, 0.0003 * (i + 1) as f64, Vec3::X))
             .collect();
-        let loss = coupling_loss(&me, &swarm, 0.0, &params);
+        let loss = loss_on(me, &swarm, 0.0);
         assert!((loss.value() - params.max_total_db).abs() < 1e-9);
     }
 
     #[test]
     fn tag_extent_reduces_effective_gap() {
-        let params = CouplingParams::default();
         let me = tag(0.0, 0.0, Vec3::X);
         let other = [tag(0.0, 0.02, Vec3::X)];
-        let thin = coupling_loss(&me, &other, 0.0, &params);
-        let thick = coupling_loss(&me, &other, 0.015, &params);
+        let thin = loss_on(me, &other, 0.0);
+        let thick = loss_on(me, &other, 0.015);
         assert!(thick.value() > thin.value());
     }
 
@@ -185,21 +213,19 @@ mod tests {
         #[test]
         fn loss_is_monotone_decreasing_in_spacing(s1 in 0.0005f64..0.09, s2 in 0.0005f64..0.09) {
             let (near, far) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
-            let params = CouplingParams::default();
             let me = tag(0.0, 0.0, Vec3::X);
-            let near_loss = coupling_loss(&me, &[tag(0.0, near, Vec3::X)], 0.0, &params);
-            let far_loss = coupling_loss(&me, &[tag(0.0, far, Vec3::X)], 0.0, &params);
+            let near_loss = loss_on(me, &[tag(0.0, near, Vec3::X)], 0.0);
+            let far_loss = loss_on(me, &[tag(0.0, far, Vec3::X)], 0.0);
             prop_assert!(near_loss >= far_loss);
         }
 
         #[test]
         fn more_neighbors_never_reduce_loss(n in 1usize..8) {
-            let params = CouplingParams::default();
             let me = tag(0.0, 0.0, Vec3::X);
             let neighbors: Vec<TagCoupling> =
                 (0..n).map(|i| tag(0.0, 0.01 * (i + 1) as f64, Vec3::X)).collect();
-            let fewer = coupling_loss(&me, &neighbors[..n - 1], 0.0, &params);
-            let more = coupling_loss(&me, &neighbors, 0.0, &params);
+            let fewer = loss_on(me, &neighbors[..n - 1], 0.0);
+            let more = loss_on(me, &neighbors, 0.0);
             prop_assert!(more >= fewer);
         }
     }

@@ -14,11 +14,11 @@
 //! is static (no object or free-tag motion); mounting detuning is
 //! time-invariant by construction and is cached unconditionally.
 
-use crate::channel::ChannelParams;
+use crate::channel::{reader_leakage_power, ChannelParams};
 use crate::motion::Motion;
 use crate::scenario::Scenario;
 use crate::world::{Attachment, World};
-use rfid_phys::{Db, TagCoupling};
+use rfid_phys::{Db, Dbm, TagAntenna, TagCoupling};
 
 /// Precomputed static link-budget terms for one scenario.
 ///
@@ -46,6 +46,13 @@ use rfid_phys::{Db, TagCoupling};
 pub struct ScenarioCache {
     /// Mounting detuning loss per tag (time-invariant, always cached).
     mounting_db: Vec<Db>,
+    /// Carrier power leaking from every (reader, port) into every other
+    /// (reader, port) receiver, indexed
+    /// `[victim_reader][victim_port][interferer_reader][interferer_port]`.
+    /// Antenna poses never move, so this is time-invariant and cached
+    /// unconditionally — it replaces a per-interference-scan gain/path-loss
+    /// evaluation.
+    reader_leakage: Vec<Vec<Vec<Vec<Dbm>>>>,
     /// Geometry terms, present only when the world is fully static.
     geometry: Option<StaticGeometry>,
 }
@@ -58,6 +65,8 @@ struct StaticGeometry {
     blockage: Vec<Vec<Vec<Db>>>,
     /// Reflective scatterer count per tag at the channel's radius.
     scatterers: Vec<usize>,
+    /// Each tag as a `rfid-phys` antenna (static poses never change).
+    tag_antennas: Vec<TagAntenna>,
 }
 
 impl ScenarioCache {
@@ -85,6 +94,35 @@ impl ScenarioCache {
             .iter()
             .map(|tag| tag.mounting.loss(world.frequency_hz))
             .collect();
+        let reader_leakage = world
+            .readers
+            .iter()
+            .enumerate()
+            .map(|(victim, v)| {
+                (0..v.antennas.len())
+                    .map(|victim_port| {
+                        world
+                            .readers
+                            .iter()
+                            .enumerate()
+                            .map(|(interferer, i)| {
+                                (0..i.antennas.len())
+                                    .map(|port| {
+                                        reader_leakage_power(
+                                            world,
+                                            victim,
+                                            victim_port,
+                                            interferer,
+                                            port,
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
         let geometry = world_is_static(world).then(|| {
             // t = 0 is arbitrary: static poses are identical at every t.
             let coupling = world.coupling_geometry(0.0);
@@ -111,14 +149,19 @@ impl ScenarioCache {
             let scatterers = (0..world.tags.len())
                 .map(|tag| world.scatterers_near(tag, 0.0, params.scatterer_radius_m))
                 .collect();
+            let tag_antennas = (0..world.tags.len())
+                .map(|tag| world.tag_antenna_at(tag, 0.0))
+                .collect();
             StaticGeometry {
                 coupling,
                 blockage,
                 scatterers,
+                tag_antennas,
             }
         });
         Self {
             mounting_db,
+            reader_leakage,
             geometry,
         }
     }
@@ -132,6 +175,19 @@ impl ScenarioCache {
     /// Cached mounting detuning loss for `tag`.
     pub(crate) fn mounting(&self, tag: usize) -> Db {
         self.mounting_db[tag]
+    }
+
+    /// Cached carrier leakage from (`interferer`, `port`) into the
+    /// receiver of (`victim`, `victim_port`). Always available — antenna
+    /// poses are time-invariant.
+    pub(crate) fn reader_leakage(
+        &self,
+        victim: usize,
+        victim_port: usize,
+        interferer: usize,
+        port: usize,
+    ) -> Dbm {
+        self.reader_leakage[victim][victim_port][interferer][port]
     }
 
     /// Cached coupling geometry, if the world is static.
@@ -149,6 +205,11 @@ impl ScenarioCache {
     /// Cached scatterer count for `tag`, if static.
     pub(crate) fn scatterers(&self, tag: usize) -> Option<usize> {
         self.geometry.as_ref().map(|g| g.scatterers[tag])
+    }
+
+    /// The tag's antenna (pose + chip), if the world is static.
+    pub(crate) fn tag_antenna(&self, tag: usize) -> Option<TagAntenna> {
+        self.geometry.as_ref().map(|g| g.tag_antennas[tag])
     }
 }
 
@@ -260,6 +321,28 @@ mod tests {
             for &t in &[0.0, 0.35, 0.9] {
                 assert_eq!(uncached.extra_loss(tag, t), cached.extra_loss(tag, t));
                 assert_eq!(uncached.link_report(tag, t), cached.link_report(tag, t));
+            }
+        }
+    }
+
+    #[test]
+    fn reader_leakage_is_cached_even_for_moving_worlds() {
+        use crate::world::{Antenna, SimReader};
+        let mut scenario = moving_scenario();
+        scenario.world.readers.push(SimReader::ar400(vec![
+            Antenna::portal(Pose::from_translation(Vec3::new(2.0, 0.0, 1.0))),
+            Antenna::portal(Pose::from_translation(Vec3::new(2.0, 0.0, 1.5))),
+        ]));
+        let cache = ScenarioCache::new(&scenario);
+        assert!(!cache.is_static(), "tags move, geometry is not cached");
+        // Antenna poses never move, so the leakage matrix is cached anyway
+        // and matches the direct computation bit for bit.
+        for (victim, victim_port) in [(0, 0), (1, 0), (1, 1)] {
+            for (interferer, port) in [(0, 0), (1, 0), (1, 1)] {
+                assert_eq!(
+                    cache.reader_leakage(victim, victim_port, interferer, port),
+                    reader_leakage_power(&scenario.world, victim, victim_port, interferer, port),
+                );
             }
         }
     }

@@ -123,6 +123,27 @@ pub fn run_scenario(scenario: &Scenario, seed: u64) -> SimOutput {
 /// Panics if the scenario's world fails validation.
 #[must_use]
 pub fn run_scenario_with(scenario: &Scenario, cache: &ScenarioCache, seed: u64) -> SimOutput {
+    run_scenario_impl(scenario, Some(cache), seed)
+}
+
+/// The reference implementation of [`run_scenario`]: no [`ScenarioCache`]
+/// and every [`PortalChannel`] memo layer disabled, so each channel query
+/// re-evaluates geometry, link budget, and interference from scratch.
+/// Bit-identical to the memoized paths by contract — property tests and
+/// the executor benchmarks compare against it; production code should
+/// never need it.
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation.
+#[must_use]
+pub fn run_scenario_reference(scenario: &Scenario, seed: u64) -> SimOutput {
+    run_scenario_impl(scenario, None, seed)
+}
+
+/// Shared scenario loop: `cache = Some` runs the memoized production
+/// path, `cache = None` the naive reference path.
+fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u64) -> SimOutput {
     scenario
         .world
         .validate()
@@ -153,7 +174,9 @@ pub fn run_scenario_with(scenario: &Scenario, cache: &ScenarioCache, seed: u64) 
 
     while let Some((t, ev)) = queue.pop() {
         if t >= scenario.duration_s {
-            continue;
+            // Events pop in time order, so everything still queued fires
+            // at or after `t`: stop instead of draining the queue.
+            break;
         }
         let ports = world.readers[ev.reader].antennas.len();
         let next_port = (ev.port + 1) % ports;
@@ -170,8 +193,18 @@ pub fn run_scenario_with(scenario: &Scenario, cache: &ScenarioCache, seed: u64) 
             continue;
         }
 
-        let mut channel =
-            PortalChannel::with_cache(world, ev.reader, ev.port, &scenario.channel, trial, cache);
+        let mut channel = match cache {
+            Some(cache) => PortalChannel::with_cache(
+                world,
+                ev.reader,
+                ev.port,
+                &scenario.channel,
+                trial,
+                cache,
+            ),
+            None => PortalChannel::new(world, ev.reader, ev.port, &scenario.channel, trial)
+                .without_memo(),
+        };
         let mut engine = scenario.engine.clone();
         let round_seed = trial.value(&[0x0F0F, ev.reader as u64, ev.round_no]);
         let round_started = Instant::now();

@@ -315,15 +315,44 @@ impl World {
     /// mutual-coupling computations.
     #[must_use]
     pub fn coupling_geometry(&self, t: f64) -> Vec<rfid_phys::TagCoupling> {
-        (0..self.tags.len())
-            .map(|i| {
-                let pose = self.tag_pose_at(i, t);
-                rfid_phys::TagCoupling {
-                    position: pose.translation(),
-                    axis: pose.transform_dir(Vec3::X),
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.tags.len());
+        self.coupling_geometry_into(t, &mut out);
+        out
+    }
+
+    /// [`World::coupling_geometry`] writing into a caller-owned buffer, so
+    /// per-`t` refreshes in the channel hot loop reuse one allocation.
+    /// The buffer is cleared first; entries are bit-identical to
+    /// [`World::coupling_geometry`].
+    pub fn coupling_geometry_into(&self, t: f64, out: &mut Vec<rfid_phys::TagCoupling>) {
+        out.clear();
+        out.extend((0..self.tags.len()).map(|i| coupling_entry(&self.tag_pose_at(i, t))));
+    }
+
+    /// World poses of every tag at time `t`, written into a caller-owned
+    /// buffer (cleared first). Entry `i` equals [`World::tag_pose_at`]`(i, t)`.
+    pub fn tag_poses_into(&self, t: f64, out: &mut Vec<Pose>) {
+        out.clear();
+        out.extend((0..self.tags.len()).map(|i| self.tag_pose_at(i, t)));
+    }
+
+    /// World-space solids of every object at time `t`, written into a
+    /// caller-owned buffer (cleared first). Entry `i` equals
+    /// `self.objects[i].solid_at(t)`.
+    pub fn object_solids_into(&self, t: f64, out: &mut Vec<Solid>) {
+        out.clear();
+        out.extend(self.objects.iter().map(|o| o.solid_at(t)));
+    }
+}
+
+/// The mutual-coupling view of a tag pose: world position plus dipole
+/// axis. Factored out so per-instant caches deriving coupling entries
+/// from already-computed poses stay bit-identical to
+/// [`World::coupling_geometry`].
+pub(crate) fn coupling_entry(pose: &Pose) -> rfid_phys::TagCoupling {
+    rfid_phys::TagCoupling {
+        position: pose.translation(),
+        axis: pose.transform_dir(Vec3::X),
     }
 }
 

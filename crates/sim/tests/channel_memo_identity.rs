@@ -1,0 +1,123 @@
+//! Property tests for the channel memo layers: for an arbitrary *moving*
+//! scenario — moving tags, optionally a moving metal occluder and a
+//! second (interfering) reader — the memoized hot path is bit-identical
+//! to the recompute-everything reference path, serial or parallel.
+//!
+//! The existing parallel-identity suite mostly exercises static worlds,
+//! where the batch-level `ScenarioCache` answers geometry queries and the
+//! per-`t` memos barely fire. Here every tag moves, so geometry, link
+//! reports, and interference verdicts are all served by the round-scoped
+//! `(tag, t)` memos — the layers this suite pins down.
+
+use proptest::prelude::*;
+use rfid_gen2::Epc96;
+use rfid_geom::{Pose, Rotation, Shape, Vec3};
+use rfid_phys::{Material, Mounting, TagChip};
+use rfid_sim::{
+    run_scenario, run_scenario_reference, Antenna, Attachment, ChannelParams, Motion, Scenario,
+    SimObject, SimReader, SimTag, TrialExecutor, World,
+};
+
+fn facing() -> Rotation {
+    Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel")
+}
+
+/// Arbitrary all-moving portal scenario: 1-3 carted tags, optionally a
+/// metal box riding alongside them (occlusion + scatterer churn) and a
+/// second legacy reader (reader-to-reader interference).
+fn arb_moving_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((0.6f64..3.0, 0.5f64..1.5), 1..4),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tags, with_box, second_reader)| {
+            let tags = tags
+                .into_iter()
+                .enumerate()
+                .map(|(i, (distance_m, speed))| {
+                    let start =
+                        Pose::new(Vec3::new(-1.5 + 0.1 * i as f64, distance_m, 1.0), facing());
+                    SimTag {
+                        epc: Epc96::from_u128(i as u128),
+                        attachment: Attachment::Free(Motion::linear(
+                            start,
+                            Vec3::new(speed, 0.0, 0.0),
+                            0.0,
+                            3.0,
+                        )),
+                        chip: TagChip::default(),
+                        mounting: Mounting::free_space(),
+                    }
+                })
+                .collect();
+            let objects = if with_box {
+                vec![SimObject {
+                    name: "cart box".into(),
+                    shape: Shape::aabb(Vec3::new(0.2, 0.2, 0.2)),
+                    material: Material::Metal,
+                    motion: Motion::linear(
+                        Pose::from_translation(Vec3::new(-1.5, 1.0, 1.0)),
+                        Vec3::new(1.0, 0.0, 0.0),
+                        0.0,
+                        3.0,
+                    ),
+                }]
+            } else {
+                vec![]
+            };
+            let mut readers = vec![SimReader::ar400(vec![Antenna::portal(
+                Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)),
+            )])];
+            if second_reader {
+                readers.push(SimReader::ar400(vec![Antenna::portal(
+                    Pose::from_translation(Vec3::new(3.0, 0.0, 1.0)),
+                )]));
+            }
+            Scenario {
+                world: World {
+                    frequency_hz: 915.0e6,
+                    objects,
+                    tags,
+                    readers,
+                },
+                duration_s: 3.0,
+                session: rfid_gen2::Session::S1,
+                channel: ChannelParams::default(),
+                engine: rfid_gen2::InventoryEngine::default(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The memoized path (used by `run_scenario` and the executor) equals
+    /// the unmemoized reference path, bit for bit, on moving worlds.
+    #[test]
+    fn memoized_run_matches_reference(
+        scenario in arb_moving_scenario(),
+        seed in any::<u64>(),
+    ) {
+        let reference = run_scenario_reference(&scenario, seed);
+        let memoized = run_scenario(&scenario, seed);
+        prop_assert_eq!(&reference, &memoized);
+    }
+
+    /// ...and stays identical through the parallel executor at any thread
+    /// count, for every trial in a batch.
+    #[test]
+    fn parallel_memoized_batch_matches_reference(
+        scenario in arb_moving_scenario(),
+        seed in any::<u64>(),
+        threads in 1usize..7,
+        trials in 1u64..4,
+    ) {
+        let reference: Vec<_> = (0..trials)
+            .map(|i| run_scenario_reference(&scenario, seed.wrapping_add(i)))
+            .collect();
+        let batch = TrialExecutor::with_threads(threads)
+            .run_scenario_trials(&scenario, trials, seed);
+        prop_assert_eq!(&reference, &batch);
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Records a performance snapshot of the memoized hot path vs the
+# unmemoized reference (moving cart pass + static read range) as JSON.
+#
+#   scripts/bench-snapshot.sh                  # writes BENCH_<date>.json
+#   scripts/bench-snapshot.sh out.json         # explicit output path
+#   scripts/bench-snapshot.sh out.json --smoke # tiny trial counts (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+shift || true
+cargo run --release -q -p rfid-bench --bin bench_snapshot -- "$out" "$@"

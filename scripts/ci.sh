@@ -8,3 +8,10 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
+
+# Smoke the benchmark snapshot tool: it must run, assert the memoized
+# and reference paths bit-identical, and emit parseable JSON.
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+scripts/bench-snapshot.sh "$smoke_out" --smoke
+grep -q '"speedup"' "$smoke_out"
