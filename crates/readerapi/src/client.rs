@@ -1,5 +1,7 @@
 //! The application-side reader client.
 
+use crate::counters;
+use crate::error::TransportError;
 use crate::protocol::{Request, Response, StatusReport, TagRecord};
 use crate::server::ReaderEmulator;
 use crate::wire::WireError;
@@ -9,12 +11,31 @@ use std::fmt;
 /// A request/response byte transport to a reader.
 ///
 /// The paper's harness spoke HTTP to the AR400; any blocking
-/// request-response carrier fits this trait. The in-crate implementation
-/// is an in-memory loopback; wiring it to `std::net::TcpStream` is a
-/// one-impl exercise for deployments.
+/// request-response carrier fits this trait. An exchange either yields
+/// the peer's response document or a typed [`TransportError`] — there
+/// is no in-band error sentinel. Implementations in this crate:
+/// [`InMemoryTransport`] (loopback), [`crate::TcpTransport`]
+/// (deadline-guarded TCP), [`crate::RetryingTransport`] (bounded
+/// deterministic retry), and [`crate::FaultTransport`] (seeded chaos).
 pub trait Transport {
     /// Sends one request document and returns the response document.
-    fn exchange(&mut self, request_xml: &str) -> String;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] when the exchange could not be
+    /// completed (I/O failure, timeout, disconnect, truncation).
+    fn exchange(&mut self, request_xml: &str) -> Result<String, TransportError>;
+
+    /// Restores the transport to a usable state after a failed
+    /// exchange — a TCP transport reconnects; stateless transports need
+    /// nothing and keep this default no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportError`] when recovery itself failed.
+    fn reset(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// Loopback transport embedding a [`ReaderEmulator`].
@@ -43,8 +64,9 @@ impl InMemoryTransport {
 }
 
 impl Transport for InMemoryTransport {
-    fn exchange(&mut self, request_xml: &str) -> String {
-        self.emulator.handle_xml(request_xml)
+    fn exchange(&mut self, request_xml: &str) -> Result<String, TransportError> {
+        counters::record_request();
+        Ok(self.emulator.handle_xml(request_xml))
     }
 }
 
@@ -52,6 +74,9 @@ impl Transport for InMemoryTransport {
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ClientError {
+    /// The exchange itself failed (I/O, timeout, disconnect, retries
+    /// exhausted).
+    Transport(TransportError),
     /// The response was not parseable.
     Wire(WireError),
     /// The reader returned an error.
@@ -63,6 +88,7 @@ pub enum ClientError {
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ClientError::Transport(err) => write!(f, "transport error: {err}"),
             ClientError::Wire(err) => write!(f, "wire error: {err}"),
             ClientError::Reader(message) => write!(f, "reader error: {message}"),
             ClientError::UnexpectedResponse(kind) => {
@@ -75,6 +101,7 @@ impl fmt::Display for ClientError {
 impl Error for ClientError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            ClientError::Transport(err) => Some(err),
             ClientError::Wire(err) => Some(err),
             _ => None,
         }
@@ -84,6 +111,12 @@ impl Error for ClientError {
 impl From<WireError> for ClientError {
     fn from(err: WireError) -> Self {
         ClientError::Wire(err)
+    }
+}
+
+impl From<TransportError> for ClientError {
+    fn from(err: TransportError) -> Self {
+        ClientError::Transport(err)
     }
 }
 
@@ -106,7 +139,7 @@ impl<T: Transport> ReaderClient<T> {
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let reply = self.transport.exchange(&request.to_xml());
+        let reply = self.transport.exchange(&request.to_xml())?;
         let response = Response::from_xml(&reply)?;
         if let Response::Error(message) = response {
             return Err(ClientError::Reader(message));
@@ -125,7 +158,7 @@ impl<T: Transport> ReaderClient<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`ClientError`] on wire or reader failures.
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
     pub fn get_tags(&mut self) -> Result<Vec<TagRecord>, ClientError> {
         match self.call(&Request::GetTags)? {
             Response::Tags(tags) => Ok(tags),
@@ -137,7 +170,7 @@ impl<T: Transport> ReaderClient<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`ClientError`] on wire or reader failures.
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
     pub fn start_buffered(&mut self) -> Result<(), ClientError> {
         self.expect_ok(&Request::StartBuffered)
     }
@@ -146,7 +179,7 @@ impl<T: Transport> ReaderClient<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`ClientError`] on wire or reader failures.
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
     pub fn stop_buffered(&mut self) -> Result<(), ClientError> {
         self.expect_ok(&Request::StopBuffered)
     }
@@ -155,7 +188,7 @@ impl<T: Transport> ReaderClient<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`ClientError`] on wire or reader failures.
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
     pub fn clear_buffer(&mut self) -> Result<(), ClientError> {
         self.expect_ok(&Request::ClearBuffer)
     }
@@ -164,7 +197,7 @@ impl<T: Transport> ReaderClient<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`ClientError`] on wire or reader failures.
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
     pub fn status(&mut self) -> Result<StatusReport, ClientError> {
         match self.call(&Request::Status)? {
             Response::Status(status) => Ok(status),
@@ -177,7 +210,7 @@ impl<T: Transport> ReaderClient<T> {
     /// # Errors
     ///
     /// Returns [`ClientError::Reader`] if the reader rejects the power
-    /// level, or other variants on wire failures.
+    /// level, or other variants on transport/wire failures.
     pub fn set_power(&mut self, dbm: f64) -> Result<(), ClientError> {
         self.expect_ok(&Request::SetPower(dbm))
     }
@@ -230,12 +263,30 @@ mod tests {
     fn garbage_transport_yields_wire_errors() {
         struct Garbage;
         impl Transport for Garbage {
-            fn exchange(&mut self, _request_xml: &str) -> String {
-                "<<<not xml".to_owned()
+            fn exchange(&mut self, _request_xml: &str) -> Result<String, TransportError> {
+                Ok("<<<not xml".to_owned())
             }
         }
         let mut client = ReaderClient::new(Garbage);
         assert!(matches!(client.get_tags(), Err(ClientError::Wire(_))));
+    }
+
+    #[test]
+    fn transport_failures_surface_typed() {
+        struct Dead;
+        impl Transport for Dead {
+            fn exchange(&mut self, _request_xml: &str) -> Result<String, TransportError> {
+                Err(TransportError::Disconnected)
+            }
+        }
+        let mut client = ReaderClient::new(Dead);
+        let err = client.get_tags().unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Transport(TransportError::Disconnected),
+            "the typed failure crosses the client unchanged"
+        );
+        assert!(err.source().is_some(), "transport error is the source");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The transport error taxonomy.
+//!
+//! The paper's harness ran against a flaky network link to the AR400;
+//! every way that link failed in the field gets its own variant here so
+//! retry layers and applications can react per failure class instead of
+//! guessing from an empty string. `std::io::Error` is deliberately
+//! flattened into `(kind, message)` so errors stay `Clone + PartialEq`
+//! and can be asserted on, counted, and replayed in tests.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// One failed exchange on a reader transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The operating system reported an I/O failure that is not one of
+    /// the more specific classes below.
+    Io {
+        /// The `std::io::ErrorKind` of the underlying failure.
+        kind: io::ErrorKind,
+        /// The underlying error's message.
+        message: String,
+    },
+    /// The peer did not answer within the configured deadline.
+    Timeout {
+        /// The deadline that expired (None when the OS reported a
+        /// timeout on a transport with no explicit deadline).
+        deadline: Option<Duration>,
+    },
+    /// The connection is closed: the peer disconnected before or during
+    /// the exchange.
+    Disconnected,
+    /// The peer closed the connection mid-frame: bytes arrived but the
+    /// frame terminator never did.
+    Truncated,
+    /// The response arrived framed but is not a parseable wire document
+    /// (garbled or corrupted in flight).
+    MalformedFrame {
+        /// Parse-level detail for diagnostics.
+        detail: String,
+    },
+    /// A retrying transport gave up: every attempt failed.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<TransportError>,
+    },
+}
+
+impl TransportError {
+    /// Classifies an `std::io::Error` into the taxonomy, tagging
+    /// timeouts with the deadline that was armed.
+    #[must_use]
+    pub fn from_io(err: &io::Error, deadline: Option<Duration>) -> Self {
+        match err.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                TransportError::Timeout { deadline }
+            }
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected => TransportError::Disconnected,
+            io::ErrorKind::UnexpectedEof => TransportError::Truncated,
+            kind => TransportError::Io {
+                kind,
+                message: err.to_string(),
+            },
+        }
+    }
+
+    /// True for failures where a fresh attempt can plausibly succeed.
+    /// Every current variant qualifies except [`RetriesExhausted`],
+    /// which already *is* the verdict of a retry loop.
+    ///
+    /// [`RetriesExhausted`]: TransportError::RetriesExhausted
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, TransportError::RetriesExhausted { .. })
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io { kind, message } => {
+                write!(f, "transport I/O error ({kind:?}): {message}")
+            }
+            TransportError::Timeout {
+                deadline: Some(deadline),
+            } => {
+                write!(f, "transport timeout after {:.3} s", deadline.as_secs_f64())
+            }
+            TransportError::Timeout { deadline: None } => write!(f, "transport timeout"),
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Truncated => write!(f, "transport frame truncated mid-line"),
+            TransportError::MalformedFrame { detail } => {
+                write!(f, "malformed response frame: {detail}")
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_classification_covers_the_field_failures() {
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "slow");
+        assert_eq!(
+            TransportError::from_io(&timeout, Some(Duration::from_millis(250))),
+            TransportError::Timeout {
+                deadline: Some(Duration::from_millis(250))
+            }
+        );
+        let would_block = io::Error::new(io::ErrorKind::WouldBlock, "later");
+        assert!(matches!(
+            TransportError::from_io(&would_block, None),
+            TransportError::Timeout { deadline: None }
+        ));
+        for kind in [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::NotConnected,
+        ] {
+            assert_eq!(
+                TransportError::from_io(&io::Error::new(kind, "gone"), None),
+                TransportError::Disconnected,
+                "{kind:?}"
+            );
+        }
+        assert_eq!(
+            TransportError::from_io(&io::Error::new(io::ErrorKind::UnexpectedEof, "cut"), None),
+            TransportError::Truncated
+        );
+        assert!(matches!(
+            TransportError::from_io(&io::Error::new(io::ErrorKind::AddrInUse, "busy"), None),
+            TransportError::Io {
+                kind: io::ErrorKind::AddrInUse,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = TransportError::Timeout {
+            deadline: Some(Duration::from_millis(500)),
+        };
+        assert!(err.to_string().contains("0.500 s"));
+        let exhausted = TransportError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(TransportError::Disconnected),
+        };
+        let text = exhausted.to_string();
+        assert!(text.contains("4 attempts"));
+        assert!(text.contains("disconnected"));
+    }
+
+    #[test]
+    fn retries_exhausted_exposes_its_source() {
+        let exhausted = TransportError::RetriesExhausted {
+            attempts: 2,
+            last: Box::new(TransportError::Truncated),
+        };
+        let source = exhausted.source().expect("has a source");
+        assert_eq!(source.to_string(), TransportError::Truncated.to_string());
+        assert!(TransportError::Disconnected.source().is_none());
+    }
+
+    #[test]
+    fn retryability_excludes_only_the_verdict() {
+        assert!(TransportError::Disconnected.is_retryable());
+        assert!(TransportError::Truncated.is_retryable());
+        assert!(TransportError::Timeout { deadline: None }.is_retryable());
+        assert!(!TransportError::RetriesExhausted {
+            attempts: 1,
+            last: Box::new(TransportError::Disconnected),
+        }
+        .is_retryable());
+    }
+}

@@ -18,6 +18,15 @@
 //!   pluggable [`Transport`] (in-memory by default, like a loopback HTTP
 //!   connection).
 //!
+//! The transport layer is built for the flaky links the paper's harness
+//! ran on: exchanges return typed [`TransportError`]s, [`TcpTransport`]
+//! arms read/write deadlines so a stalled reader cannot hang a client,
+//! [`RetryingTransport`] adds bounded exponential backoff with
+//! seed-deterministic jitter, and [`FaultTransport`] injects
+//! seed-deterministic chaos (drops, disconnects, garbles, truncations,
+//! delays) for soak testing. Wire-level health is tallied in
+//! [`counters`], mirroring `rfid_sim::counters`.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,13 +50,22 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod counters;
+mod error;
+mod fault;
 mod net;
 mod protocol;
+mod retry;
 mod server;
 mod wire;
 
 pub use client::{ClientError, InMemoryTransport, ReaderClient, Transport};
-pub use net::{serve_connection, serve_once, TcpTransport};
+pub use error::TransportError;
+pub use fault::{FaultPlan, FaultStats, FaultTransport};
+pub use net::{
+    serve, serve_connection, serve_once, ServeOptions, ServeSummary, TcpTransport, DEFAULT_DEADLINE,
+};
 pub use protocol::{ReaderMode, Request, Response, StatusReport, TagRecord};
+pub use retry::{BackoffPolicy, RetryingTransport};
 pub use server::ReaderEmulator;
-pub use wire::{WireError, XmlNode};
+pub use wire::{valid_name, WireError, XmlNode};

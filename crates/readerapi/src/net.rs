@@ -2,53 +2,143 @@
 //!
 //! The paper's software spoke to the AR400 over its network interface;
 //! this module provides the equivalent: newline-delimited XML documents
-//! over a TCP stream (our compact XML writer never emits newlines, so
-//! line framing is unambiguous).
+//! over a TCP stream (our compact XML writer never emits newlines — it
+//! escapes control characters — so line framing is unambiguous).
+//!
+//! The transport is built for the link failures the paper's harness
+//! actually saw: every exchange is guarded by a read/write deadline, a
+//! stalled peer surfaces as [`TransportError::Timeout`] instead of a
+//! hang, a closed peer as [`TransportError::Disconnected`], and a frame
+//! cut mid-line as [`TransportError::Truncated`]. A failed transport
+//! [`Transport::reset`]s by reconnecting to the same peer, which is what
+//! lets [`crate::RetryingTransport`] ride out connection loss.
 
 use crate::client::Transport;
+use crate::counters;
+use crate::error::TransportError;
 use crate::server::ReaderEmulator;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The deadline [`TcpTransport::connect`] arms when none is given: long
+/// enough for any real reader, short enough that a wedged peer cannot
+/// hang an application.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(5);
 
 /// A [`Transport`] over a TCP connection to a reader endpoint.
 #[derive(Debug)]
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
+    deadline: Option<Duration>,
 }
 
 impl TcpTransport {
-    /// Connects to a reader at `addr`.
+    /// Connects to a reader at `addr` with the [`DEFAULT_DEADLINE`].
     ///
     /// # Errors
     ///
     /// Returns any connection error.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::connect_with_deadline(addr, Some(DEFAULT_DEADLINE))
+    }
+
+    /// Connects to a reader at `addr`, arming `deadline` on every read
+    /// and write (`None` waits forever — only for debugging).
+    ///
+    /// # Errors
+    ///
+    /// Returns any connection error.
+    pub fn connect_with_deadline<A: ToSocketAddrs>(
+        addr: A,
+        deadline: Option<Duration>,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, deadline)
+    }
+
+    fn from_stream(stream: TcpStream, deadline: Option<Duration>) -> io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
+        let peer = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            peer,
+            deadline,
         })
+    }
+
+    /// The deadline armed on reads and writes.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The peer this transport is (re)connecting to.
+    #[must_use]
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Re-arms the read/write deadline on the live connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-option error.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(deadline)?;
+        self.writer.set_write_timeout(deadline)?;
+        self.deadline = deadline;
+        Ok(())
+    }
+
+    fn classify(&self, err: &io::Error) -> TransportError {
+        let classified = TransportError::from_io(err, self.deadline);
+        if matches!(classified, TransportError::Timeout { .. }) {
+            counters::record_timeout();
+        }
+        classified
     }
 }
 
 impl Transport for TcpTransport {
-    fn exchange(&mut self, request_xml: &str) -> String {
-        // I/O failures surface as an empty response document, which the
-        // client reports as a wire error; a request/response carrier has
-        // no richer in-band signal.
-        let mut line = String::new();
-        let sent = self
-            .writer
+    fn exchange(&mut self, request_xml: &str) -> Result<String, TransportError> {
+        counters::record_request();
+        self.writer
             .write_all(request_xml.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush());
-        if sent.is_ok() {
-            let _ = self.reader.read_line(&mut line);
+            .and_then(|()| self.writer.flush())
+            .map_err(|err| self.classify(&err))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(TransportError::Disconnected),
+            Ok(_) if !line.ends_with('\n') => {
+                // EOF arrived mid-frame: the peer died while writing.
+                counters::record_malformed_frame();
+                Err(TransportError::Truncated)
+            }
+            Ok(_) => Ok(line.trim_end().to_owned()),
+            Err(err) => Err(self.classify(&err)),
         }
-        line.trim_end().to_owned()
+    }
+
+    /// Reconnects to the same peer with the same deadline, discarding
+    /// the (possibly desynchronized) old connection.
+    fn reset(&mut self) -> Result<(), TransportError> {
+        let stream = match self.deadline {
+            Some(deadline) => TcpStream::connect_timeout(&self.peer, deadline),
+            None => TcpStream::connect(self.peer),
+        }
+        .map_err(|err| self.classify(&err))?;
+        *self = Self::from_stream(stream, self.deadline).map_err(|err| self.classify(&err))?;
+        Ok(())
     }
 }
 
@@ -59,6 +149,9 @@ impl Transport for TcpTransport {
 ///
 /// Returns I/O errors other than a clean disconnect.
 pub fn serve_connection(stream: TcpStream, emulator: &mut ReaderEmulator) -> io::Result<()> {
+    // Request/response frames are tiny; without nodelay, Nagle plus
+    // delayed ACKs adds ~40 ms to every exchange.
+    stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -75,21 +168,115 @@ pub fn serve_connection(stream: TcpStream, emulator: &mut ReaderEmulator) -> io:
 }
 
 /// Accepts exactly one connection on `listener` and serves it to
-/// completion — enough for tests and single-client deployments; loop it
-/// for more.
+/// completion — enough for tests and single-client deployments; use
+/// [`serve`] for concurrent clients.
 ///
 /// # Errors
 ///
 /// Returns accept/serve I/O errors.
 pub fn serve_once(listener: &TcpListener, emulator: &mut ReaderEmulator) -> io::Result<()> {
     let (stream, _peer) = listener.accept()?;
+    counters::record_connection();
     serve_connection(stream, emulator)
+}
+
+/// Configuration for the multi-connection [`serve`] loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Stop accepting after this many connections (`None` serves
+    /// forever). The call returns once every accepted connection has
+    /// been served to completion.
+    pub max_connections: Option<usize>,
+    /// Per-connection read deadline: a client that stalls longer than
+    /// this has its connection closed (and counted as errored) instead
+    /// of pinning a server thread forever. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+}
+
+/// What a [`serve`] loop did before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that ended in an I/O error (timeout, reset,
+    /// poisoned state) rather than a clean disconnect.
+    pub connection_errors: u64,
+}
+
+/// Serves concurrent client connections against one shared emulator,
+/// one thread per connection, until `options.max_connections` have been
+/// accepted and completed.
+///
+/// Failures are isolated per connection: a client that stalls, resets,
+/// or sends garbage gets its connection dropped (tallied in the
+/// [`ServeSummary`] and the wire counters) while every other connection
+/// keeps being served. Malformed XML on a healthy connection is *not* a
+/// connection error — the emulator answers it in-band with an
+/// `<error>` response, exactly as the AR400 did.
+///
+/// # Errors
+///
+/// Returns only listener-level `accept` failures; per-connection errors
+/// never escape.
+pub fn serve(
+    listener: &TcpListener,
+    emulator: &Mutex<ReaderEmulator>,
+    options: ServeOptions,
+) -> io::Result<ServeSummary> {
+    let connections = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut accepted = 0usize;
+        while options.max_connections.is_none_or(|max| accepted < max) {
+            let (stream, _peer) = listener.accept()?;
+            accepted += 1;
+            connections.fetch_add(1, Relaxed);
+            counters::record_connection();
+            let errors = &errors;
+            scope.spawn(move || {
+                let outcome = stream
+                    .set_read_timeout(options.read_timeout)
+                    .and_then(|()| serve_client(stream, emulator));
+                if outcome.is_err() {
+                    errors.fetch_add(1, Relaxed);
+                    counters::record_connection_error();
+                }
+            });
+        }
+        Ok(())
+    })?;
+    Ok(ServeSummary {
+        connections: connections.load(Relaxed),
+        connection_errors: errors.load(Relaxed),
+    })
+}
+
+/// One connection's request loop against the shared emulator, locking
+/// only for the duration of each request.
+fn serve_client(stream: TcpStream, emulator: &Mutex<ReaderEmulator>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let request = line?;
+        if request.trim().is_empty() {
+            continue;
+        }
+        let response = emulator
+            .lock()
+            .map_err(|_| io::Error::other("emulator lock poisoned"))?
+            .handle_xml(&request);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::ReaderClient;
+    use crate::client::{ClientError, ReaderClient};
     use crate::protocol::{ReaderMode, TagRecord};
 
     fn spawn_reader() -> (
@@ -115,6 +302,7 @@ mod tests {
     fn full_session_over_tcp() {
         let (addr, server) = spawn_reader();
         let transport = TcpTransport::connect(addr).expect("connect");
+        assert_eq!(transport.deadline(), Some(DEFAULT_DEADLINE));
         let mut client = ReaderClient::new(transport);
 
         client.start_buffered().expect("start buffered");
@@ -141,7 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn disconnect_yields_wire_errors_not_panics() {
+    fn disconnect_yields_typed_errors_not_panics() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         // Server accepts and immediately closes.
@@ -151,6 +339,41 @@ mod tests {
         });
         let mut client = ReaderClient::new(TcpTransport::connect(addr).expect("connect"));
         server.join().expect("server thread");
-        assert!(client.get_tags().is_err());
+        match client.get_tags() {
+            Err(ClientError::Transport(err)) => assert!(
+                matches!(
+                    err,
+                    TransportError::Disconnected | TransportError::Io { .. }
+                ),
+                "unexpected class {err:?}"
+            ),
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_reconnects_to_the_same_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: accept and drop. Second: serve a session.
+            let (first, _) = listener.accept().expect("accept");
+            drop(first);
+            let mut emulator = ReaderEmulator::new();
+            serve_once(&listener, &mut emulator).expect("serve second connection");
+        });
+        let mut transport = TcpTransport::connect(addr).expect("connect");
+        let peer = transport.peer();
+        // The first connection is dead; an exchange fails...
+        assert!(transport.exchange("<request><status/></request>").is_err());
+        // ...reset reconnects, and the next exchange succeeds.
+        transport.reset().expect("reconnect");
+        assert_eq!(transport.peer(), peer);
+        let reply = transport
+            .exchange("<request><status/></request>")
+            .expect("exchange after reset");
+        assert!(reply.contains("<status>"));
+        drop(transport);
+        server.join().expect("server thread");
     }
 }

@@ -284,6 +284,29 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_in_payloads_round_trip_in_one_frame() {
+        // Regression: an epc or error message containing a newline used
+        // to serialize as a raw `\n`, splitting the document across two
+        // newline-delimited frames and desyncing the stream.
+        let nasty = Response::Tags(vec![TagRecord {
+            epc: "AA00\nBB\r\u{1}".into(),
+            antenna: 1,
+            time_s: 0.5,
+        }]);
+        let xml = nasty.to_xml();
+        assert!(
+            xml.chars().all(|c| !c.is_control()),
+            "frame must stay single-line: {xml:?}"
+        );
+        assert_eq!(Response::from_xml(&xml).unwrap(), nasty);
+
+        let error = Response::Error("first line\nsecond line".into());
+        let xml = error.to_xml();
+        assert!(!xml.contains('\n'));
+        assert_eq!(Response::from_xml(&xml).unwrap(), error);
+    }
+
+    #[test]
     fn wire_format_is_stable() {
         // Downstream parsers depend on these exact shapes.
         assert_eq!(Request::GetTags.to_xml(), "<request><get-tags/></request>");

@@ -108,12 +108,18 @@ impl ReaderEmulator {
         }
     }
 
-    /// Handles a raw XML request, returning raw XML — the full wire path.
+    /// Handles a raw XML request, returning raw XML — the full wire
+    /// path. A malformed request is answered in-band with an `<error>`
+    /// response (and tallied in [`crate::counters`]); it never kills
+    /// the connection serving it.
     #[must_use]
     pub fn handle_xml(&mut self, request_xml: &str) -> String {
         match Request::from_xml(request_xml) {
             Ok(request) => self.handle(&request).to_xml(),
-            Err(err) => Response::Error(err.to_string()).to_xml(),
+            Err(err) => {
+                crate::counters::record_malformed_frame();
+                Response::Error(err.to_string()).to_xml()
+            }
         }
     }
 }

@@ -20,25 +20,64 @@ pub struct XmlNode {
     pub text: String,
 }
 
+/// True if `name` is a legal element name — nonempty ASCII alphanumerics
+/// and `-` — the exact set [`XmlNode::parse`] accepts, so anything the
+/// writer emits is guaranteed to parse back.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+}
+
 impl XmlNode {
     /// Creates a text-only element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a [`valid_name`] (the parser would
+    /// reject the serialized form, silently breaking round-trip
+    /// symmetry). Use [`XmlNode::try_leaf`] for fallible construction.
     #[must_use]
     pub fn leaf(name: &str, text: impl Into<String>) -> XmlNode {
-        XmlNode {
-            name: name.to_owned(),
-            children: Vec::new(),
-            text: text.into(),
-        }
+        Self::try_leaf(name, text).unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Creates an element with children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a [`valid_name`]. Use
+    /// [`XmlNode::try_branch`] for fallible construction.
     #[must_use]
     pub fn branch(name: &str, children: Vec<XmlNode>) -> XmlNode {
-        XmlNode {
+        Self::try_branch(name, children).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Creates a text-only element, rejecting invalid names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if `name` is not a [`valid_name`].
+    pub fn try_leaf(name: &str, text: impl Into<String>) -> Result<XmlNode, WireError> {
+        check_name(name)?;
+        Ok(XmlNode {
+            name: name.to_owned(),
+            children: Vec::new(),
+            text: text.into(),
+        })
+    }
+
+    /// Creates an element with children, rejecting invalid names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if `name` is not a [`valid_name`].
+    pub fn try_branch(name: &str, children: Vec<XmlNode>) -> Result<XmlNode, WireError> {
+        check_name(name)?;
+        Ok(XmlNode {
             name: name.to_owned(),
             children,
             text: String::new(),
-        }
+        })
     }
 
     /// First child with the given name.
@@ -115,16 +154,73 @@ impl fmt::Display for WireError {
 
 impl Error for WireError {}
 
-fn escape(text: &str) -> String {
-    text.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
+fn check_name(name: &str) -> Result<(), WireError> {
+    if valid_name(name) {
+        Ok(())
+    } else {
+        Err(WireError::new(format!("invalid element name {name:?}")))
+    }
 }
 
+/// Escapes markup characters *and every control character* (as decimal
+/// character references). Escaping control characters is load-bearing:
+/// the TCP carrier frames documents with newlines, so a raw `\n` or
+/// `\r` in tag text would split one document across two frames and
+/// desynchronize the stream.
+fn escape(text: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c if c.is_control() => {
+                let _ = write!(out, "&#{};", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Single-pass entity decoder: `&lt;`, `&gt;`, `&amp;`, and decimal
+/// `&#N;` references. Single-pass matters — sequential `replace` calls
+/// would decode the output of an earlier replacement (e.g. source text
+/// `&amp;lt;` must yield `&lt;`, not `<`). Unrecognized `&` sequences
+/// pass through literally, as first-generation readers emitted them.
 fn unescape(text: &str) -> String {
-    text.replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&amp;", "&")
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let decoded = rest.find(';').and_then(|semi| {
+            let entity = &rest[1..semi];
+            let c = match entity {
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "amp" => Some('&'),
+                _ => entity
+                    .strip_prefix('#')
+                    .and_then(|digits| digits.parse::<u32>().ok())
+                    .and_then(char::from_u32),
+            };
+            c.map(|c| (c, semi))
+        });
+        match decoded {
+            Some((c, semi)) => {
+                out.push(c);
+                rest = &rest[semi + 1..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 struct Parser<'a> {
@@ -153,9 +249,7 @@ impl Parser<'_> {
             .find(|c: char| c == '>' || c == '/' || c.is_whitespace())
             .ok_or_else(|| WireError::new("unterminated tag"))?;
         let name = self.rest()[..name_end].to_owned();
-        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
-            return Err(WireError::new(format!("invalid element name {name:?}")));
-        }
+        check_name(&name)?;
         self.pos += name_end;
         self.skip_whitespace();
 
@@ -259,12 +353,81 @@ mod tests {
         assert!(doc.child("y").is_none());
     }
 
+    #[test]
+    fn control_characters_never_reach_the_frame_raw() {
+        // Regression: a newline in tag text used to be serialized
+        // verbatim, splitting one document across two TCP frames.
+        let doc = XmlNode::leaf("error", "line one\r\nline two\ttabbed\u{1}");
+        let xml = doc.to_xml();
+        assert!(
+            xml.chars().all(|c| !c.is_control()),
+            "serialized frame must be control-free: {xml:?}"
+        );
+        assert_eq!(
+            XmlNode::parse(&xml).unwrap().text,
+            "line one\r\nline two\ttabbed\u{1}",
+            "escaped control characters round-trip exactly"
+        );
+    }
+
+    #[test]
+    fn unescape_is_single_pass() {
+        // Source text that *looks like* an entity must survive: the old
+        // sequential-replace decoder turned `&amp;lt;` into `<`.
+        let doc = XmlNode::leaf("v", "&lt; literally, and &#10; literally");
+        let parsed = XmlNode::parse(&doc.to_xml()).unwrap();
+        assert_eq!(parsed.text, "&lt; literally, and &#10; literally");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        let parsed = XmlNode::parse("<v>a &nope; b &#notanum; c &unterminated</v>").unwrap();
+        assert_eq!(parsed.text, "a &nope; b &#notanum; c &unterminated");
+    }
+
+    #[test]
+    fn constructors_reject_names_the_parser_rejects() {
+        for bad in ["", "a b", "a<b", "tag/", "über", "a\nb"] {
+            assert!(!valid_name(bad), "{bad:?}");
+            assert!(XmlNode::try_leaf(bad, "x").is_err(), "{bad:?}");
+            assert!(XmlNode::try_branch(bad, Vec::new()).is_err(), "{bad:?}");
+        }
+        for good in ["a", "get-tags", "0day", "-"] {
+            assert!(valid_name(good), "{good:?}");
+            assert!(XmlNode::try_leaf(good, "x").is_ok(), "{good:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid element name")]
+    fn leaf_panics_on_invalid_name() {
+        let _ = XmlNode::leaf("a b", "text");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid element name")]
+    fn branch_panics_on_invalid_name() {
+        let _ = XmlNode::branch("<", Vec::new());
+    }
+
     proptest! {
         #[test]
         fn leaf_text_round_trips(text in "[ -~]{0,64}") {
             let doc = XmlNode::leaf("v", text.trim().to_owned());
             let parsed = XmlNode::parse(&doc.to_xml()).unwrap();
             prop_assert_eq!(parsed.text, text.trim());
+        }
+
+        /// Control characters anywhere in the text survive the frame:
+        /// only literal leading/trailing spaces are trimmed by parsing.
+        #[test]
+        fn control_heavy_text_round_trips(text in "[ -~\n\r\t\u{0}-\u{8}\u{7f}]{0,64}") {
+            let text = text.trim_matches(' ').to_owned();
+            let doc = XmlNode::leaf("v", text.clone());
+            let xml = doc.to_xml();
+            prop_assert!(xml.chars().all(|c| !c.is_control()), "{:?}", xml);
+            let parsed = XmlNode::parse(&xml).unwrap();
+            prop_assert_eq!(parsed.text, text);
         }
     }
 }

@@ -2,19 +2,21 @@
 //! arbitrary input, and every generated document round-trips.
 
 use proptest::prelude::*;
-use rfid_readerapi::{Request, Response, StatusReport, TagRecord, XmlNode};
+use rfid_readerapi::{valid_name, Request, Response, StatusReport, TagRecord, XmlNode};
+
+/// Every name the parser accepts: alphanumerics and `-`, any position.
+const NAME: &str = "[a-zA-Z0-9-][a-zA-Z0-9-]{0,8}";
+/// Printable text *plus the control characters* that used to desync the
+/// newline framing (`\n`, `\r`, `\t`, low controls, DEL).
+const TEXT: &str = "[ -~\n\r\t\u{0}-\u{8}\u{7f}]{0,24}";
 
 fn arb_leaf() -> impl Strategy<Value = XmlNode> {
-    ("[a-z][a-z0-9-]{0,8}", "[ -~&&[^<>&]]{0,24}")
-        .prop_map(|(name, text)| XmlNode::leaf(&name, text.trim().to_owned()))
+    (NAME, TEXT).prop_map(|(name, text)| XmlNode::leaf(&name, text.trim_matches(' ').to_owned()))
 }
 
 fn arb_tree() -> impl Strategy<Value = XmlNode> {
     arb_leaf().prop_recursive(3, 24, 4, |inner| {
-        (
-            "[a-z][a-z0-9-]{0,8}",
-            proptest::collection::vec(inner, 0..4),
-        )
+        (NAME, proptest::collection::vec(inner, 0..4))
             .prop_map(|(name, children)| XmlNode::branch(&name, children))
     })
 }
@@ -32,12 +34,50 @@ proptest! {
         let _ = XmlNode::parse(&input);
     }
 
-    /// Every tree our writer can produce parses back identically.
+    /// parse ∘ to_xml is the identity on every constructible node: any
+    /// name [`XmlNode::try_leaf`]/[`try_branch`] accept serializes to a
+    /// single control-free frame that parses back to the same tree.
+    /// (Before name validation, `leaf("a b", …)` serialized happily and
+    /// then failed to parse, breaking this symmetry.)
     #[test]
     fn trees_round_trip(tree in arb_tree()) {
         let xml = tree.to_xml();
+        prop_assert!(
+            xml.chars().all(|c| !c.is_control()),
+            "frame must be single-line: {:?}", xml
+        );
         let parsed = XmlNode::parse(&xml).expect("own output must parse");
         prop_assert_eq!(parsed, tree);
+    }
+
+    /// Name validation at construction matches the parser exactly: a
+    /// name is constructible iff the parser would accept it.
+    #[test]
+    fn constructible_names_match_parser_names(name in "[ -~]{0,10}") {
+        let constructible = XmlNode::try_branch(&name, Vec::new()).is_ok();
+        prop_assert_eq!(constructible, valid_name(&name));
+        if constructible {
+            let xml = XmlNode::try_branch(&name, Vec::new()).unwrap().to_xml();
+            prop_assert!(XmlNode::parse(&xml).is_ok(), "{:?}", xml);
+        }
+    }
+
+    /// EPCs and error text containing newlines survive the protocol
+    /// layer in one frame (the original framing-desync bug).
+    #[test]
+    fn control_laden_tag_records_round_trip(
+        epc in "[0-9A-F\n\r\t]{1,24}",
+        message in "[ -~\n\r]{0,32}",
+    ) {
+        let epc = epc.trim_matches(' ').to_owned();
+        let message = message.trim_matches(' ').to_owned();
+        let tags = Response::Tags(vec![TagRecord { epc, antenna: 1, time_s: 1.0 }]);
+        let error = Response::Error(message);
+        for response in [tags, error] {
+            let xml = response.to_xml();
+            prop_assert!(!xml.contains('\n') && !xml.contains('\r'), "{:?}", xml);
+            prop_assert_eq!(Response::from_xml(&xml).expect("round trip"), response);
+        }
     }
 
     /// Every tag list round-trips through the full protocol layer.

@@ -9,6 +9,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
 
+# Re-run the wire-path failure suites under a hard wall-clock budget.
+# These tests exist to prove a stalled or faulted peer cannot hang the
+# client; if a hang regression slips back in, `timeout` fails the gate
+# fast instead of wedging CI until the runner is killed.
+timeout 120 cargo test -q -p rfid-readerapi --test reader_error_paths
+timeout 120 cargo test -q --test reader_fault_injection
+
 # Smoke the benchmark snapshot tool: it must run, assert the memoized
 # and reference paths bit-identical, and emit parseable JSON.
 smoke_out="$(mktemp)"

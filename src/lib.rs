@@ -20,7 +20,7 @@
 //! | [`phys`] | `rfid-phys` | Link budget, antennas, fading, materials, coupling |
 //! | [`gen2`] | `rfid-gen2` | EPC C1G2 tag FSM, Q-algorithm inventory, interference |
 //! | [`track`] | `rfid-track` | Object registry, sighting pipeline, smoothing, constraints |
-//! | [`readerapi`] | `rfid-readerapi` | AR400-style reader emulation (XML wire format) |
+//! | [`readerapi`] | `rfid-readerapi` | AR400-style reader emulation (XML wire format) and the hardened transport stack: typed errors, deadlines, deterministic retry, fault injection |
 //! | [`geom`] | `rfid-geom` | Vectors, rotations, rays, solids |
 //! | [`stats`] | `rfid-stats` | Quantiles, Wilson intervals, tables, charts |
 //! | [`experiments`] | `rfid-experiments` | The per-table/figure reproduction harness |

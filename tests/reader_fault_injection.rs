@@ -1,0 +1,193 @@
+//! Fault-injected soak of the reader wire path.
+//!
+//! The paper's reliability argument is that redundancy over unreliable
+//! read opportunities recovers the information a single flaky channel
+//! loses; `tests/failure_injection.rs` proves that for the RF layer.
+//! This suite proves the same property for the *wire* layer: a
+//! [`RetryingTransport`]-backed client, exchanging through a
+//! seed-deterministic [`FaultTransport`] that drops, disconnects,
+//! garbles, truncates, and delays exchanges, must drain the identical
+//! tag-record sequence a clean client sees — and the wire counters must
+//! report the retries and timeouts it took to get there.
+//!
+//! Everything here is seeded: a failure replays bit-identically.
+
+use rfid_repro::geom::{Pose, Rotation, Vec3};
+use rfid_repro::readerapi::{
+    counters, BackoffPolicy, FaultPlan, FaultStats, FaultTransport, InMemoryTransport,
+    ReaderClient, ReaderEmulator, RetryingTransport, TagRecord,
+};
+use rfid_repro::sim::{run_scenario, Motion, RngStream, ScenarioBuilder};
+
+type FaultyClient = ReaderClient<RetryingTransport<FaultTransport<InMemoryTransport>>>;
+
+/// A retrying client over a noisy chaos transport, all seeds fixed.
+fn faulty_client(fault_seed: u64, retry_seed: u64) -> FaultyClient {
+    let inner = InMemoryTransport::new(ReaderEmulator::new());
+    let chaos = FaultTransport::new(inner, FaultPlan::noisy(), RngStream::new(fault_seed));
+    let retrying = RetryingTransport::new(
+        chaos,
+        BackoffPolicy::immediate(8),
+        RngStream::new(retry_seed),
+    );
+    ReaderClient::new(retrying)
+}
+
+fn clean_client() -> ReaderClient<InMemoryTransport> {
+    ReaderClient::new(InMemoryTransport::new(ReaderEmulator::new()))
+}
+
+fn record(round: usize, slot: usize) -> TagRecord {
+    TagRecord {
+        epc: format!("AA{round:010X}{slot:012X}"),
+        antenna: (slot % 4 + 1) as u8,
+        time_s: round as f64 + slot as f64 * 0.01,
+    }
+}
+
+/// Drives both clients through `rounds` buffered windows with identical
+/// feeds and returns (clean sequence, faulty sequence, fault stats).
+fn soak(
+    rounds: usize,
+    per_round: usize,
+    fault_seed: u64,
+    retry_seed: u64,
+) -> (Vec<TagRecord>, Vec<TagRecord>, FaultStats) {
+    let mut clean = clean_client();
+    let mut faulty = faulty_client(fault_seed, retry_seed);
+    clean.start_buffered().expect("clean start");
+    faulty
+        .start_buffered()
+        .expect("faulty start rides out faults");
+
+    let mut clean_seen = Vec::new();
+    let mut faulty_seen = Vec::new();
+    for round in 0..rounds {
+        for slot in 0..per_round {
+            let r = record(round, slot);
+            clean.transport_mut().emulator_mut().feed(r.clone());
+            faulty
+                .transport_mut()
+                .inner_mut()
+                .inner_mut()
+                .emulator_mut()
+                .feed(r);
+        }
+        clean_seen.extend(clean.get_tags().expect("clean drain"));
+        faulty_seen.extend(faulty.get_tags().expect("faulty drain rides out faults"));
+    }
+    let stats = faulty.transport_mut().inner_mut().stats();
+    (clean_seen, faulty_seen, stats)
+}
+
+/// The acceptance criterion: through an injected-fault transport, a
+/// retrying client drains the *identical* tag-record sequence a clean
+/// transport yields, and the wire counters report the work it took.
+#[test]
+fn faulty_and_clean_clients_drain_identical_sequences() {
+    let before = counters::snapshot();
+    let (clean_seen, faulty_seen, stats) = soak(80, 5, 0xFA17, 0xBACC0FF);
+
+    assert_eq!(clean_seen.len(), 400, "clean client saw every feed");
+    assert_eq!(
+        clean_seen, faulty_seen,
+        "retry must make the faulted wire indistinguishable from clean"
+    );
+
+    // The soak genuinely exercised the chaos layer: every fault class
+    // fired, yet nothing leaked to the application.
+    assert!(stats.drops > 0, "{stats:?}");
+    assert!(stats.disconnects > 0, "{stats:?}");
+    assert!(stats.garbles > 0, "{stats:?}");
+    assert!(stats.truncates > 0, "{stats:?}");
+    assert!(stats.delays > 0, "{stats:?}");
+    assert!(
+        stats.total_faults() >= 15,
+        "noisy plan should fault ~30% of ~110+ exchanges: {stats:?}"
+    );
+
+    // Wire counters report the recovery work. They are process-global
+    // (other tests may add to them concurrently), so bound from below
+    // by this soak's own per-instance stats.
+    let delta = counters::snapshot().since(&before);
+    let non_delay_faults = stats.total_faults() - stats.delays;
+    assert!(
+        delta.retries >= non_delay_faults,
+        "every injected drop/disconnect/garble/truncate costs a retry: \
+         {delta:?} vs {stats:?}"
+    );
+    assert!(
+        delta.timeouts >= stats.drops,
+        "every injected drop surfaces as a timeout: {delta:?} vs {stats:?}"
+    );
+    assert!(
+        delta.faults_injected >= stats.total_faults(),
+        "injected faults are tallied globally: {delta:?} vs {stats:?}"
+    );
+    assert!(
+        delta.malformed_frames >= stats.garbles + stats.truncates,
+        "garbled/truncated frames are tallied: {delta:?} vs {stats:?}"
+    );
+    assert!(
+        delta.requests >= 80 + non_delay_faults,
+        "each attempt counts as a request: {delta:?}"
+    );
+}
+
+/// The fault schedule and the recovery are seed-deterministic: same
+/// seeds replay bit-identically, different seeds fault differently.
+#[test]
+fn soak_replays_bit_identically_from_its_seeds() {
+    let (clean_a, faulty_a, stats_a) = soak(15, 6, 77, 78);
+    let (clean_b, faulty_b, stats_b) = soak(15, 6, 77, 78);
+    assert_eq!(clean_a, clean_b);
+    assert_eq!(faulty_a, faulty_b);
+    assert_eq!(stats_a, stats_b, "same seeds, same fault schedule");
+
+    let (_, faulty_c, stats_c) = soak(15, 6, 79, 78);
+    assert_ne!(stats_a, stats_c, "different seed, different schedule");
+    assert_eq!(
+        faulty_a, faulty_c,
+        "...but the drained sequence still matches"
+    );
+}
+
+/// End-to-end with the paper's pipeline: reads from a simulated portal
+/// pass, fed through the emulated reader, drain identically through a
+/// clean and a chaos wire.
+#[test]
+fn simulated_portal_pass_survives_the_faulted_wire() {
+    let facing = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+    let scenario = ScenarioBuilder::new()
+        .duration_s(4.0)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+        .free_tag(Motion::linear(
+            Pose::new(Vec3::new(-2.0, 1.0, 1.0), facing),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            4.0,
+        ))
+        .build();
+    let output = run_scenario(&scenario, 11);
+    assert!(!output.reads.is_empty(), "portal pass must produce reads");
+
+    let mut clean = clean_client();
+    let mut faulty = faulty_client(0xC0FFEE, 0xD1CE);
+    clean.start_buffered().expect("clean start");
+    faulty.start_buffered().expect("faulty start");
+    clean
+        .transport_mut()
+        .emulator_mut()
+        .feed_simulation(&output);
+    faulty
+        .transport_mut()
+        .inner_mut()
+        .inner_mut()
+        .emulator_mut()
+        .feed_simulation(&output);
+
+    let clean_records = clean.get_tags().expect("clean drain");
+    let faulty_records = faulty.get_tags().expect("faulty drain");
+    assert_eq!(clean_records.len(), output.reads.len());
+    assert_eq!(clean_records, faulty_records);
+}
