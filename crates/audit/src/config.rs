@@ -1,0 +1,342 @@
+//! `audit.toml` — the policy declaration the auditor enforces.
+//!
+//! The build environment has no crates.io access, so this module parses
+//! the small TOML subset the policy file actually uses: comments, bare
+//! `key = value` pairs, `[tier.<name>]` section headers, and (possibly
+//! multi-line) arrays of strings. Anything outside that subset is a hard
+//! error — a policy file that cannot be read exactly must not be
+//! half-enforced.
+
+use std::fmt;
+
+/// The enforcement tier a path prefix is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Simulation/maths crates: every run must replay bit-identically
+    /// from a seed, so nondeterminism sources are forbidden.
+    Deterministic,
+    /// Wire/bench crates: timing and I/O are their job, but recoverable
+    /// faults must not panic and `unsafe` must justify itself.
+    Io,
+    /// Vendored stand-ins and demo binaries: scanned but not linted.
+    Exempt,
+}
+
+impl Tier {
+    /// Parses a tier name as written in `[tier.<name>]`.
+    pub fn from_name(name: &str) -> Result<Tier, ConfigError> {
+        match name {
+            "deterministic" => Ok(Tier::Deterministic),
+            "io" => Ok(Tier::Io),
+            "exempt" => Ok(Tier::Exempt),
+            other => Err(ConfigError::new(format!(
+                "unknown tier `{other}` (expected deterministic, io, or exempt)"
+            ))),
+        }
+    }
+
+    /// The name as written in the policy file.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Deterministic => "deterministic",
+            Tier::Io => "io",
+            Tier::Exempt => "exempt",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parse failure, with enough context to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+    line: Option<usize>,
+}
+
+impl ConfigError {
+    fn new(message: String) -> Self {
+        ConfigError {
+            message,
+            line: None,
+        }
+    }
+
+    fn at(message: String, line: usize) -> Self {
+        ConfigError {
+            message,
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "audit.toml:{line}: {}", self.message),
+            None => write!(f, "audit.toml: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The parsed policy: ordered `(path-prefix, tier)` rules.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    rules: Vec<(String, Tier)>,
+}
+
+impl Config {
+    /// Parses a policy file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on any line outside the supported subset,
+    /// on an unknown tier name, or if the same prefix is declared twice.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut rules: Vec<(String, Tier)> = Vec::new();
+        let mut current: Option<Tier> = None;
+
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or_else(|| {
+                    ConfigError::at(format!("malformed section header `{raw}`"), lineno)
+                })?;
+                let tier_name = header.strip_prefix("tier.").ok_or_else(|| {
+                    ConfigError::at(
+                        format!("unknown section `[{header}]` (expected [tier.<name>])"),
+                        lineno,
+                    )
+                })?;
+                current = Some(Tier::from_name(tier_name.trim())?);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError::at(format!("unparseable line `{raw}`"), lineno));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_owned();
+            // Multi-line array: keep appending physical lines until the
+            // brackets balance outside string literals.
+            while key == "paths" && !array_closed(&value) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError::at("unterminated array".to_owned(), lineno));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            match (current, key) {
+                (_, "version") => {} // accepted and ignored: format marker
+                (Some(tier), "paths") => {
+                    for prefix in parse_string_array(&value, lineno)? {
+                        if rules.iter().any(|(p, _)| *p == prefix) {
+                            return Err(ConfigError::at(
+                                format!("prefix `{prefix}` declared twice"),
+                                lineno,
+                            ));
+                        }
+                        rules.push((prefix, tier));
+                    }
+                }
+                (None, other) => {
+                    return Err(ConfigError::at(
+                        format!("key `{other}` outside any [tier.*] section"),
+                        lineno,
+                    ));
+                }
+                (Some(_), other) => {
+                    return Err(ConfigError::at(
+                        format!("unknown key `{other}` (expected `paths`)"),
+                        lineno,
+                    ));
+                }
+            }
+        }
+        if rules.is_empty() {
+            return Err(ConfigError::new("no [tier.*] paths declared".to_owned()));
+        }
+        Ok(Config { rules })
+    }
+
+    /// Resolves the tier for a workspace-relative path (forward slashes),
+    /// by longest matching declared prefix. `None` means the file is
+    /// unpoliced — the auditor reports that as a finding so new crates
+    /// must be classified explicitly.
+    #[must_use]
+    pub fn tier_of(&self, rel_path: &str) -> Option<Tier> {
+        self.rules
+            .iter()
+            .filter(|(prefix, _)| {
+                rel_path == prefix
+                    || rel_path
+                        .strip_prefix(prefix.as_str())
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, tier)| tier)
+    }
+
+    /// The declared rules, in file order (for `--json` echo and tests).
+    #[must_use]
+    pub fn rules(&self) -> &[(String, Tier)] {
+        &self.rules
+    }
+}
+
+/// Drops a `#` comment, respecting `"…"` string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True once the `[` array has its matching `]` outside strings.
+fn array_closed(value: &str) -> bool {
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut depth = 0i32;
+    let mut seen_open = false;
+    for c in value.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => {
+                depth += 1;
+                seen_open = true;
+            }
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    seen_open && depth == 0
+}
+
+/// Parses `["a", "b", …]` into its strings.
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError::at(format!("expected an array, got `{value}`"), lineno))?;
+    let mut out = Vec::new();
+    for item in split_top_level(inner) {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let unquoted = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                ConfigError::at(format!("array item `{item}` is not a string"), lineno)
+            })?;
+        out.push(unquoted.to_owned());
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside string literals.
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (i, c) in inner.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tiers_and_resolves_longest_prefix() {
+        let cfg = Config::parse(
+            r#"
+            version = 1
+            # comment
+            [tier.deterministic]
+            paths = ["crates/sim", "src"]
+            [tier.io]
+            paths = [
+                "crates/readerapi", # wire
+                "crates/sim/src/bin",
+            ]
+            [tier.exempt]
+            paths = ["crates/vendor"]
+            "#,
+        )
+        .expect("valid config");
+        assert_eq!(
+            cfg.tier_of("crates/sim/src/lib.rs"),
+            Some(Tier::Deterministic)
+        );
+        assert_eq!(cfg.tier_of("crates/sim/src/bin/x.rs"), Some(Tier::Io));
+        assert_eq!(
+            cfg.tier_of("crates/vendor/rand/src/lib.rs"),
+            Some(Tier::Exempt)
+        );
+        assert_eq!(cfg.tier_of("crates/unknown/src/lib.rs"), None);
+        // Prefixes match whole path components, not substrings.
+        assert_eq!(cfg.tier_of("crates/simulator/src/lib.rs"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(
+            Config::parse("paths = [\"x\"]").is_err(),
+            "key before section"
+        );
+        assert!(
+            Config::parse("[lints]\npaths = [\"x\"]").is_err(),
+            "unknown section"
+        );
+        assert!(
+            Config::parse("[tier.fast]\npaths = [\"x\"]").is_err(),
+            "unknown tier"
+        );
+        assert!(
+            Config::parse("[tier.io]\npaths = [\"x\"").is_err(),
+            "unterminated"
+        );
+        assert!(Config::parse("").is_err(), "empty");
+        assert!(
+            Config::parse("[tier.io]\npaths = [\"x\"]\n[tier.exempt]\npaths = [\"x\"]").is_err(),
+            "duplicate prefix"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! A lightweight, total Rust lexer.
+//!
+//! `syn` is unavailable offline, so the auditor hand-rolls exactly the
+//! tokenization the lints need: identifiers, punctuation, and — crucially
+//! — correct *spans* for every construct a naive substring scan would
+//! trip over: string literals (escapes included), raw strings with any
+//! number of `#` guards, byte and raw-byte strings, char literals
+//! (including `'"'` and `'\\'`), lifetimes, raw identifiers (`r#match`),
+//! line comments, and arbitrarily nested block comments.
+//!
+//! The lexer is **total**: it never fails. Malformed input (an
+//! unterminated string, a stray byte) still produces a token stream
+//! covering every non-whitespace byte, so the auditor can always render a
+//! finding with a real `file:line:col`. Unterminated literals and
+//! comments simply extend to end of file, which is also what rustc's
+//! recovery does for span purposes.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`).
+    Ident,
+    /// A raw identifier (`r#match`) — the text includes the `r#` prefix.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal, suffix included (`1.0e3`, `0xFFu32`).
+    Number,
+    /// A string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    StringLit,
+    /// A char or byte-char literal: `'x'`, `'\\'`, `b'\n'`.
+    CharLit,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One token: a kind plus its span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comments (which carry allow/safety directives but are
+    /// invisible to lint matching).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src` completely. Whitespace is skipped; every other byte
+/// lands inside exactly one token.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_token(&mut cur, b);
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn scan_token(cur: &mut Cursor<'_>, first: u8) -> TokenKind {
+    match first {
+        b'/' if cur.peek_at(1) == Some(b'/') => {
+            cur.eat_while(|b| b != b'\n');
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek_at(1) == Some(b'*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break, // unterminated: extend to EOF
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'"' => {
+            scan_quoted(cur);
+            TokenKind::StringLit
+        }
+        b'\'' => scan_char_or_lifetime(cur),
+        b'r' | b'b' => scan_prefixed(cur),
+        b if b.is_ascii_digit() => {
+            scan_number(cur);
+            TokenKind::Number
+        }
+        b if is_ident_start(b) => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes a `"`-delimited literal with `\`-escapes, opening quote at
+/// the cursor.
+fn scan_quoted(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening "
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump(); // the escaped byte, whatever it is
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes `r"…"` / `r#*"…"#*`, the `r` (or `br`'s `r`) at the cursor.
+/// Returns false if what follows is not actually a raw string opener —
+/// the cursor is then untouched past the prefix decision point.
+fn scan_raw_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // r
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    // Caller guarantees a quote follows the hashes.
+    cur.bump(); // opening "
+    loop {
+        match cur.bump() {
+            None => return, // unterminated
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// True if the cursor (sitting on `r`) opens a raw string: `r` followed
+/// by zero or more `#` then `"`.
+fn raw_string_follows(cur: &Cursor<'_>) -> bool {
+    let mut ahead = 1;
+    while cur.peek_at(ahead) == Some(b'#') {
+        ahead += 1;
+    }
+    cur.peek_at(ahead) == Some(b'"')
+}
+
+/// Disambiguates the `r`/`b` prefix family: raw strings, byte strings,
+/// byte chars, raw identifiers, and plain identifiers starting with the
+/// letter.
+fn scan_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let first = cur.peek();
+    match (first, cur.peek_at(1)) {
+        (Some(b'r'), _) if raw_string_follows(cur) => {
+            scan_raw_string(cur);
+            TokenKind::StringLit
+        }
+        (Some(b'r'), Some(b'#')) => {
+            // Not a raw string, so `r#ident`.
+            cur.bump();
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokenKind::RawIdent
+        }
+        (Some(b'b'), Some(b'"')) => {
+            cur.bump(); // b
+            scan_quoted(cur);
+            TokenKind::StringLit
+        }
+        (Some(b'b'), Some(b'\'')) => {
+            cur.bump(); // b
+            cur.bump(); // opening '
+            if cur.peek() == Some(b'\\') {
+                cur.bump();
+                cur.bump();
+            } else {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::CharLit
+        }
+        (Some(b'b'), Some(b'r'))
+            if {
+                // `br"…"` / `br#"…"#`: raw byte string.
+                let mut ahead = 2;
+                while cur.peek_at(ahead) == Some(b'#') {
+                    ahead += 1;
+                }
+                cur.peek_at(ahead) == Some(b'"')
+            } =>
+        {
+            cur.bump(); // b
+            scan_raw_string(cur);
+            TokenKind::StringLit
+        }
+        _ => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Disambiguates `'x'` (char literal) from `'a` (lifetime). The opening
+/// `'` sits at the cursor.
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escape: definitely a char literal. `'\\'`, `'\''`, `'\u{…}'`.
+            cur.bump();
+            cur.bump(); // byte after the backslash
+            cur.eat_while(|b| b != b'\'');
+            cur.bump(); // closing '
+            TokenKind::CharLit
+        }
+        Some(b) if is_ident_start(b) && cur.peek_at(1) != Some(b'\'') => {
+            // `'a` not followed by a closing quote: lifetime.
+            cur.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        Some(_) => {
+            // `'"'`, `'x'`, `' '` — one unit then the closing quote.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::CharLit
+        }
+        None => TokenKind::CharLit, // dangling ' at EOF
+    }
+}
+
+/// Consumes a numeric literal: digits, `_`, alphanumeric suffix/radix,
+/// one fractional part. Exponent signs are left as trailing punctuation —
+/// good enough for span purposes, and no lint matches inside numbers.
+fn scan_number(cur: &mut Cursor<'_>) {
+    cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}

@@ -1,0 +1,603 @@
+//! The lint catalogue and the per-file matching engine.
+//!
+//! Lints run over the token stream from [`crate::lexer`], never over raw
+//! text, so a `HashMap` inside a string literal, a doc comment, or a
+//! `/* … */` block can never fire. Code that only exists under
+//! `#[cfg(test)]` (or lives in a `tests/` / `benches/` directory) is
+//! likewise invisible to lints: tests may time, panic, and unwrap freely.
+//!
+//! Suppression is explicit and auditable: a finding survives unless the
+//! offending line carries (or is immediately preceded by) a
+//! `// audit:allow(<lint>, reason = "…")` directive naming exactly that
+//! lint with a non-empty reason. Malformed or unused directives are
+//! themselves findings, so the allow list can only shrink to what is
+//! genuinely intentional.
+
+use crate::config::Tier;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::Finding;
+
+/// One lint: name, the tier it applies in, and the hint shown with every
+/// finding.
+#[derive(Debug, Clone, Copy)]
+pub struct LintSpec {
+    /// Kebab-case lint name, as used in `audit:allow(...)`.
+    pub name: &'static str,
+    /// Tier the lint enforces (`None` for meta lints, which apply in
+    /// every non-exempt tier).
+    pub tier: Option<Tier>,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+/// The full catalogue, including the meta lints the engine itself emits.
+pub const LINTS: &[LintSpec] = &[
+    LintSpec {
+        name: "hash-collections",
+        tier: Some(Tier::Deterministic),
+        hint: "HashMap/HashSet iteration order is randomized per process; \
+               use BTreeMap/BTreeSet (or a fixed-key hasher) so order can \
+               never leak into results",
+    },
+    LintSpec {
+        name: "wall-clock",
+        tier: Some(Tier::Deterministic),
+        hint: "Instant::now/SystemTime read the wall clock; simulated time \
+               must come from the scenario clock so replays are bit-identical",
+    },
+    LintSpec {
+        name: "ambient-rng",
+        tier: Some(Tier::Deterministic),
+        hint: "thread_rng/from_entropy draw OS entropy; draw from a seeded \
+               RngStream address instead",
+    },
+    LintSpec {
+        name: "process-env",
+        tier: Some(Tier::Deterministic),
+        hint: "std::env makes results depend on ambient process state; plumb \
+               configuration through explicit parameters",
+    },
+    LintSpec {
+        name: "unordered-float-sum",
+        tier: Some(Tier::Deterministic),
+        hint: ".sum::<f64>() hides the accumulation order; use \
+               rfid_stats::ordered_sum (explicit left-to-right) over an \
+               ordered source",
+    },
+    LintSpec {
+        name: "unchecked-unwrap",
+        tier: Some(Tier::Io),
+        hint: "unwrap/expect in wire-facing code turns a recoverable fault \
+               into a crash; propagate a typed error",
+    },
+    LintSpec {
+        name: "panic-in-prod",
+        tier: Some(Tier::Io),
+        hint: "panic! in wire-facing code kills the connection thread; \
+               return an error instead",
+    },
+    LintSpec {
+        name: "unsafe-without-justification",
+        tier: Some(Tier::Io),
+        hint: "every unsafe block must carry a `// audit: safety: …` comment \
+               stating the invariant that makes it sound",
+    },
+    LintSpec {
+        name: "bad-allow-directive",
+        tier: None,
+        hint: "audit:allow must be `audit:allow(<lint>, reason = \"…\")` with \
+               a known lint name and a non-empty reason",
+    },
+    LintSpec {
+        name: "unused-allow",
+        tier: None,
+        hint: "this allow directive suppresses nothing on its target line; \
+               delete it so the suppression list stays honest",
+    },
+    LintSpec {
+        name: "no-policy",
+        tier: None,
+        hint: "file matches no path prefix in audit.toml; add its crate to a \
+               [tier.*] paths list",
+    },
+];
+
+/// Looks up a lint by name.
+#[must_use]
+pub fn lint_by_name(name: &str) -> Option<&'static LintSpec> {
+    LINTS.iter().find(|l| l.name == name)
+}
+
+/// A parsed, validated `audit:allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Workspace-relative path of the file carrying the directive.
+    pub file: String,
+    /// Line the directive comment sits on.
+    pub line: usize,
+    /// Line the directive suppresses findings on.
+    pub target_line: usize,
+    /// Lint being allowed.
+    pub lint: &'static str,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Everything the engine extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived suppression.
+    pub findings: Vec<Finding>,
+    /// Valid allow directives (used or not).
+    pub allows: Vec<Allow>,
+}
+
+/// The single punctuation byte of a `Punct` token, if it is one.
+fn punct(t: &Token, src: &str) -> Option<u8> {
+    (t.kind == TokenKind::Punct).then(|| t.text(src).as_bytes()[0])
+}
+
+/// Scans one file's source under the given tier. `test_path` marks files
+/// whose whole compilation context is test-only (`tests/`, `benches/`).
+#[must_use]
+pub fn scan_file(rel_path: &str, src: &str, tier: Tier, test_path: bool) -> FileOutcome {
+    let tokens = lex(src);
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut out = FileOutcome::default();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // Allow directives are parsed in every tier so --list-allows is
+    // complete, but exempt files get no lint findings at all.
+    let (mut allows, mut bad_directives) = collect_allows(rel_path, &tokens, src);
+    if tier != Tier::Exempt {
+        raw.append(&mut bad_directives);
+    }
+
+    if tier != Tier::Exempt && !test_path {
+        let test_spans = test_regions(&sig, src);
+        let in_test = |t: &Token| test_spans.iter().any(|&(s, e)| t.start >= s && t.start < e);
+        match tier {
+            Tier::Deterministic => deterministic_lints(rel_path, src, &sig, &in_test, &mut raw),
+            Tier::Io => io_lints(rel_path, src, &sig, &tokens, &in_test, &mut raw),
+            Tier::Exempt => {}
+        }
+    }
+
+    // Apply suppression: a finding dies iff an allow of the same lint
+    // targets its line; the allow is then marked used.
+    for finding in raw {
+        let slot = allows
+            .iter_mut()
+            .find(|a| a.lint == finding.lint && a.target_line == finding.line);
+        match slot {
+            Some(allow) => allow.used = true,
+            None => out.findings.push(finding),
+        }
+    }
+    if tier != Tier::Exempt && !test_path {
+        for allow in allows.iter().filter(|a| !a.used) {
+            out.findings.push(Finding::new(
+                rel_path,
+                allow.line,
+                1,
+                "unused-allow",
+                format!("audit:allow({})", allow.lint),
+            ));
+        }
+    }
+    out.allows = allows;
+    out.findings.sort_by_key(|f| (f.line, f.col));
+    out
+}
+
+/// Matches the determinism lints over the significant-token stream.
+fn deterministic_lints(
+    path: &str,
+    src: &str,
+    sig: &[&Token],
+    in_test: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let is = |i: usize, s: &str| sig.get(i).is_some_and(|t| t.text(src) == s);
+    for i in 0..sig.len() {
+        let t = sig[i];
+        if t.kind != TokenKind::Ident || in_test(t) {
+            continue;
+        }
+        match t.text(src) {
+            name @ ("HashMap" | "HashSet") => {
+                out.push(Finding::new(path, t.line, t.col, "hash-collections", name));
+            }
+            "SystemTime" => {
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "wall-clock",
+                    "SystemTime",
+                ));
+            }
+            "Instant" if is(i + 1, ":") && is(i + 2, ":") && is(i + 3, "now") => {
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "wall-clock",
+                    "Instant::now",
+                ));
+            }
+            name @ ("thread_rng" | "from_entropy") => {
+                out.push(Finding::new(path, t.line, t.col, "ambient-rng", name));
+            }
+            "std" if is(i + 1, ":") && is(i + 2, ":") && is(i + 3, "env") => {
+                out.push(Finding::new(path, t.line, t.col, "process-env", "std::env"));
+            }
+            "env"
+                if is(i + 1, ":")
+                    && is(i + 2, ":")
+                    && sig.get(i + 3).is_some_and(|n| {
+                        matches!(n.text(src), "var" | "vars" | "var_os" | "args" | "args_os")
+                    })
+                    // `std::env::var` already fired on the `std` token.
+                    && !(i >= 3 && is(i - 1, ":") && is(i - 2, ":") && is(i - 3, "std")) =>
+            {
+                out.push(Finding::new(path, t.line, t.col, "process-env", "env::*"));
+            }
+            "sum"
+                if i >= 1
+                    && is(i - 1, ".")
+                    && is(i + 1, ":")
+                    && is(i + 2, ":")
+                    && is(i + 3, "<")
+                    && sig
+                        .get(i + 4)
+                        .is_some_and(|n| matches!(n.text(src), "f64" | "f32"))
+                    && is(i + 5, ">") =>
+            {
+                let ty = sig[i + 4].text(src);
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "unordered-float-sum",
+                    format!(".sum::<{ty}>()"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Matches the robustness lints over the significant-token stream.
+fn io_lints(
+    path: &str,
+    src: &str,
+    sig: &[&Token],
+    all: &[Token],
+    in_test: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let is = |i: usize, s: &str| sig.get(i).is_some_and(|t| t.text(src) == s);
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t) {
+            continue;
+        }
+        match t.text(src) {
+            name @ ("unwrap" | "expect") if i >= 1 && is(i - 1, ".") && is(i + 1, "(") => {
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "unchecked-unwrap",
+                    format!(".{name}("),
+                ));
+            }
+            "panic" if is(i + 1, "!") => {
+                out.push(Finding::new(path, t.line, t.col, "panic-in-prod", "panic!"));
+            }
+            "unsafe" if is(i + 1, "{") && !has_safety_comment(all, src, t.line) => {
+                out.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "unsafe-without-justification",
+                    "unsafe {",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True if a `// audit: safety: …` comment sits on the unsafe block's
+/// line or within the three lines above it.
+fn has_safety_comment(all: &[Token], src: &str, unsafe_line: usize) -> bool {
+    all.iter().any(|t| {
+        t.is_comment()
+            && t.line + 3 >= unsafe_line
+            && t.line <= unsafe_line
+            && t.text(src).contains("audit: safety:")
+    })
+}
+
+/// Extracts `audit:allow` directives from comment tokens. Returns the
+/// valid directives plus findings for malformed ones.
+fn collect_allows(path: &str, tokens: &[Token], src: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if !t.is_comment() || !t.text(src).contains("audit:allow") {
+            continue;
+        }
+        // Directives live in plain `//` comments only: doc comments
+        // (`///`, `//!`) and block comments are prose, so the grammar can
+        // be *documented* without being parsed as a directive.
+        let text = t.text(src);
+        if t.kind != TokenKind::LineComment || text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        match parse_allow(t.text(src)) {
+            Ok((lint, reason)) => {
+                let trailing = tokens[..idx]
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.line == t.line)
+                    .any(|p| !p.is_comment());
+                let target_line = if trailing {
+                    t.line
+                } else {
+                    // Standalone comment: applies to the next code line.
+                    tokens[idx + 1..]
+                        .iter()
+                        .find(|n| !n.is_comment())
+                        .map_or(t.line, |n| n.line)
+                };
+                allows.push(Allow {
+                    file: path.to_owned(),
+                    line: t.line,
+                    target_line,
+                    lint,
+                    reason,
+                    used: false,
+                });
+            }
+            Err(why) => {
+                bad.push(Finding::new(
+                    path,
+                    t.line,
+                    t.col,
+                    "bad-allow-directive",
+                    why,
+                ));
+            }
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `audit:allow(<lint>, reason = "…")` out of a comment's text.
+fn parse_allow(comment: &str) -> Result<(&'static str, String), String> {
+    let Some(rest) = comment
+        .split_once("audit:allow")
+        .map(|(_, rest)| rest.trim_start())
+    else {
+        return Err("missing audit:allow body".to_owned());
+    };
+    let Some(inner) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.split_once(')'))
+        .map(|(inner, _)| inner)
+    else {
+        return Err("missing (…) after audit:allow".to_owned());
+    };
+    let Some((name, reason_part)) = inner.split_once(',') else {
+        return Err(format!("`{inner}`: missing `, reason = \"…\"`"));
+    };
+    let name = name.trim();
+    let Some(lint) = lint_by_name(name) else {
+        return Err(format!("unknown lint `{name}`"));
+    };
+    let reason_part = reason_part.trim();
+    let Some(quoted) = reason_part
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim_start())
+    else {
+        return Err(format!("`{reason_part}`: expected `reason = \"…\"`"));
+    };
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|r| r.split_once('"'))
+        .map(|(reason, _)| reason.trim())
+        .unwrap_or_default();
+    if reason.is_empty() {
+        return Err("reason string is empty".to_owned());
+    }
+    Ok((lint.name, reason.to_owned()))
+}
+
+/// Computes byte spans of test-only code: any item annotated `#[test]`
+/// or with a `#[cfg(…)]` predicate that evaluates false in a non-test
+/// build (e.g. `#[cfg(test)]`, `#[cfg(all(test, unix))]`). Unknown
+/// predicate atoms (features, target flags) are treated as *enabled*, so
+/// only genuinely test-gated code is exempted.
+fn test_regions(sig: &[&Token], src: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if punct(sig[i], src) != Some(b'#') {
+            i += 1;
+            continue;
+        }
+        let start_byte = sig[i].start;
+        let Some((after, gates)) = parse_attribute(sig, src, i) else {
+            i += 1;
+            continue;
+        };
+        if !gates {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = after;
+        while sig.get(j).is_some_and(|t| punct(t, src) == Some(b'#')) {
+            match parse_attribute(sig, src, j) {
+                Some((end, _)) => j = end,
+                None => break,
+            }
+        }
+        // The item body ends at the matching `}` of its first brace
+        // block, or at a top-level `;` (e.g. `#[cfg(test)] use …;`).
+        let mut depth = 0i32;
+        let mut end = j;
+        let mut end_byte = usize::MAX; // truncated file: cover the rest
+        while end < sig.len() {
+            match punct(sig[end], src) {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        end_byte = sig[end].end;
+                        end += 1;
+                        break;
+                    }
+                }
+                Some(b';') if depth == 0 => {
+                    end_byte = sig[end].end;
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        spans.push((start_byte, end_byte));
+        i = end;
+    }
+    spans
+}
+
+/// Parses an attribute starting at `#` (`sig[i]`). Returns the index one
+/// past the closing `]` and whether the attribute gates the item out of
+/// non-test builds (`#[test]`, `#[bench]`, false-evaluating `#[cfg(…)]`).
+fn parse_attribute(sig: &[&Token], src: &str, i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    // Inner attributes `#![…]` never gate an item; still skip them.
+    let mut inner = false;
+    if sig.get(j).is_some_and(|t| punct(t, src) == Some(b'!')) {
+        inner = true;
+        j += 1;
+    }
+    if sig.get(j).is_none_or(|t| punct(t, src) != Some(b'[')) {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    while j < sig.len() {
+        match punct(sig[j], src) {
+            Some(b'[') => depth += 1,
+            Some(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= sig.len() {
+        return None;
+    }
+    let body = &sig[open + 1..j];
+    let gates = !inner && attribute_gates_tests(body, src);
+    Some((j + 1, gates))
+}
+
+/// True if the attribute body (tokens between `[` and `]`) is `test`,
+/// `bench`, or `cfg(<pred>)` with `<pred>` false in a non-test build.
+fn attribute_gates_tests(body: &[&Token], src: &str) -> bool {
+    let Some(head) = body.first() else {
+        return false;
+    };
+    if head.kind != TokenKind::Ident {
+        return false;
+    }
+    let name = head.text(src);
+    if body.len() == 1 && (name == "test" || name == "bench") {
+        return true;
+    }
+    if name != "cfg" || body.get(1).is_none_or(|t| punct(t, src) != Some(b'(')) {
+        return false;
+    }
+    let mut pos = 2; // past `cfg` `(`
+    !eval_cfg(body, src, &mut pos)
+}
+
+/// Recursive descent over a cfg predicate: `ident`, `not/all/any(list)`,
+/// `ident = "literal"`. Returns the predicate's value in a build with
+/// `test` off and all unknown atoms on. `pos` advances past the parsed
+/// predicate; list separators are handled by the enclosing loop.
+fn eval_cfg(body: &[&Token], src: &str, pos: &mut usize) -> bool {
+    let Some(head) = body.get(*pos) else {
+        return true;
+    };
+    if head.kind != TokenKind::Ident {
+        *pos += 1;
+        return true;
+    }
+    let name = head.text(src);
+    *pos += 1;
+    let call = body.get(*pos).is_some_and(|t| punct(t, src) == Some(b'('));
+    if call && matches!(name, "not" | "all" | "any") {
+        *pos += 1; // (
+        let mut values = Vec::new();
+        while *pos < body.len() {
+            match punct(body[*pos], src) {
+                Some(b')') => {
+                    *pos += 1;
+                    break;
+                }
+                Some(b',') => {
+                    *pos += 1;
+                }
+                _ => values.push(eval_cfg(body, src, pos)),
+            }
+        }
+        return match name {
+            "not" => !values.first().copied().unwrap_or(false),
+            "all" => values.iter().all(|&v| v),
+            _ => values.iter().any(|&v| v),
+        };
+    }
+    if call {
+        // Unrecognized call form, e.g. `target_has_atomic(…)`: skip it
+        // wholesale and assume enabled.
+        let mut depth = 0i32;
+        while *pos < body.len() {
+            match punct(body[*pos], src) {
+                Some(b'(') => depth += 1,
+                Some(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            *pos += 1;
+        }
+        return true;
+    }
+    // `ident = "value"`: skip the value, assume enabled.
+    if body.get(*pos).is_some_and(|t| punct(t, src) == Some(b'=')) {
+        *pos += 2;
+        return true;
+    }
+    name != "test"
+}

@@ -1,0 +1,276 @@
+//! Property and corpus tests for the auditor's hand-rolled lexer.
+//!
+//! The lexer is the load-bearing wall: every lint runs over its token
+//! stream, so a mis-tokenized raw string or nested comment would either
+//! produce false findings (noise erodes trust in the gate) or mask real
+//! ones (the gate silently stops proving anything). These tests pin the
+//! hard cases the ISSUE names — raw strings, nested block comments,
+//! char literals like `'"'` and `'\\'` — and the global invariant that
+//! lints never fire on forbidden tokens that appear only inside string
+//! literals, comments, or `#[cfg(test)]` code.
+
+use proptest::prelude::*;
+use rfid_audit::config::Tier;
+use rfid_audit::lexer::{lex, TokenKind};
+use rfid_audit::lints::scan_file;
+
+/// Shorthand: lex and return `(kind, text)` pairs.
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text(src).to_owned()))
+        .collect()
+}
+
+/// Shorthand: findings of a deterministic-tier scan of `src`.
+fn det_findings(src: &str) -> Vec<String> {
+    scan_file("x/src/lib.rs", src, Tier::Deterministic, false)
+        .findings
+        .into_iter()
+        .map(|f| format!("{}@{}", f.lint, f.line))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_their_content() {
+    for (src, guard) in [
+        (r####"let x = r"HashMap thread_rng";"####, 0),
+        (
+            r####"let x = r#"Instant::now() "quoted" SystemTime"#;"####,
+            1,
+        ),
+        (r####"let x = r##"ends with "# not here"##;"####, 2),
+        (r####"let x = br#"std::env bytes"#;"####, 1),
+        (r####"let x = b"HashSet";"####, 0),
+    ] {
+        let toks = kinds(src);
+        let strings: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::StringLit)
+            .collect();
+        assert_eq!(strings.len(), 1, "{src}: want one string, got {toks:?}");
+        assert!(
+            strings[0].1.matches('#').count() >= 2 * guard,
+            "{src}: guard hashes belong to the literal"
+        );
+        assert!(det_findings(src).is_empty(), "{src} must not lint");
+    }
+}
+
+#[test]
+fn nested_block_comments_stay_comments() {
+    let src = "/* outer /* inner HashMap */ still comment thread_rng */ let x = 1;";
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::BlockComment);
+    assert!(toks[0].1.contains("inner HashMap"));
+    assert!(toks[0].1.contains("still comment"));
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+        2, // let, x
+        "only the code after the comment tokenizes as idents: {toks:?}"
+    );
+    assert!(det_findings(src).is_empty());
+}
+
+#[test]
+fn char_literals_do_not_open_strings() {
+    // `'"'` — if the lexer read the quote as a string opener, the
+    // HashMap after it would vanish into a phantom literal (masking) or
+    // the one inside the next string would fire (noise).
+    let src = r#"let q = '"'; let m = "HashMap"; let esc = '\\'; let tick = '\''; let nl = '\n';"#;
+    let toks = kinds(src);
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::CharLit)
+        .map(|(_, s)| s.as_str())
+        .collect();
+    assert_eq!(chars, [r#"'"'"#, r"'\\'", r"'\''", r"'\n'"]);
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, _)| *k == TokenKind::StringLit)
+            .count(),
+        1
+    );
+    assert!(det_findings(src).is_empty());
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str, y: &'static u8) -> &'a str { x }";
+    let lifetimes: Vec<_> = kinds(src)
+        .into_iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .map(|(_, s)| s)
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a", "'static", "'a"]);
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    let src = "let r#match = r#move; let s = r#\"raw\"#;";
+    let toks = kinds(src);
+    let raw_idents: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::RawIdent)
+        .map(|(_, s)| s.as_str())
+        .collect();
+    assert_eq!(raw_idents, ["r#match", "r#move"]);
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, _)| *k == TokenKind::StringLit)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn doc_comments_with_forbidden_names_never_fire() {
+    let src = "//! Uses HashMap internally? No: Instant::now is forbidden.\n\
+               /// thread_rng would break replay; std::env too.\n\
+               pub fn clean() {}\n";
+    assert!(det_findings(src).is_empty());
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_but_cfg_not_test_is_not() {
+    let test_mod = "pub fn clean() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    use std::collections::HashMap;\n\
+                    #[test]\n\
+                    fn t() { let _ = std::time::Instant::now(); }\n\
+                    }\n";
+    assert!(det_findings(test_mod).is_empty(), "cfg(test) is test-only");
+
+    let not_test = "#[cfg(not(test))]\n\
+                    pub fn prod() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(
+        det_findings(not_test),
+        ["wall-clock@2"],
+        "cfg(not(test)) is production"
+    );
+
+    let all_gated = "#[cfg(all(test, unix))]\n\
+                     mod helpers { use std::collections::HashSet; }\n";
+    assert!(
+        det_findings(all_gated).is_empty(),
+        "all(test, …) is test-only"
+    );
+
+    let after_mod = "#[cfg(test)]\n\
+                     mod tests { fn t() {} }\n\
+                     pub fn prod() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(
+        det_findings(after_mod),
+        ["wall-clock@3"],
+        "exemption must end at the module's closing brace"
+    );
+}
+
+#[test]
+fn io_tier_spares_tests_and_honours_safety_comments() {
+    let src = "fn fallible() -> Option<u8> { None }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               #[test]\n\
+               fn t() { fallible().unwrap(); panic!(\"in test\"); }\n\
+               }\n";
+    let io = scan_file("io/src/lib.rs", src, Tier::Io, false);
+    assert!(io.findings.is_empty(), "{:?}", io.findings);
+
+    let justified = "pub fn f(p: *const u8) -> u8 {\n\
+                     // audit: safety: caller guarantees p is valid and aligned\n\
+                     unsafe { *p }\n\
+                     }\n";
+    assert!(scan_file("io/src/lib.rs", justified, Tier::Io, false)
+        .findings
+        .is_empty());
+
+    let bare = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let findings = scan_file("io/src/lib.rs", bare, Tier::Io, false).findings;
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].lint, "unsafe-without-justification");
+}
+
+/// Every forbidden construct, with the lint it must trigger.
+const SEEDS: &[(&str, &str)] = &[
+    ("HashMap", "hash-collections"),
+    ("HashSet", "hash-collections"),
+    ("Instant::now()", "wall-clock"),
+    ("SystemTime", "wall-clock"),
+    ("thread_rng()", "ambient-rng"),
+    ("from_entropy()", "ambient-rng"),
+    ("std::env::var(\"X\")", "process-env"),
+    ("xs.iter().sum::<f64>()", "unordered-float-sum"),
+];
+
+proptest! {
+    /// A forbidden construct wrapped in any quoting/commenting container
+    /// must never produce a finding; the same construct bare must.
+    #[test]
+    fn containers_shield_forbidden_tokens(
+        seed in 0usize..8,
+        container in 0usize..5,
+        pad in "[a-z ]{0,12}",
+    ) {
+        let (construct, lint) = SEEDS[seed];
+        let shielded = match container {
+            0 => format!("let s = \"{pad}{construct}{pad}\";"),
+            1 => format!("let s = r#\"{pad}{construct}\"#;"),
+            2 => format!("// {pad}{construct}"),
+            3 => format!("/* {pad}/* {construct} */ {pad}*/ let x = 1;"),
+            _ => format!("/// {construct}\npub fn f() {{}}"),
+        };
+        prop_assert!(
+            det_findings(&shielded).is_empty(),
+            "shielded `{}` in {} fired", construct, shielded
+        );
+        let bare = format!("pub fn f() {{ let _ = {construct}; }}");
+        let fired = det_findings(&bare);
+        prop_assert!(
+            fired.iter().any(|f| f.starts_with(lint)),
+            "bare `{}` must fire {}, got {:?}", construct, lint, fired
+        );
+    }
+
+    /// Tokens tile the input: strictly ordered, non-overlapping, and
+    /// every byte between tokens is whitespace. Holds for arbitrary
+    /// printable input (the lexer is total), so a finding's span is
+    /// always a real slice of the file.
+    #[test]
+    fn tokens_tile_arbitrary_input(src in "[ -~\t]{0,60}") {
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= pos, "overlap at {} in {:?}", t.start, src);
+            prop_assert!(t.end > t.start || t.start == src.len());
+            prop_assert!(
+                src[pos..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "gap {}..{} not whitespace in {:?}", pos, t.start, src
+            );
+            pos = t.end;
+        }
+        prop_assert!(
+            src[pos..].bytes().all(|b| b.is_ascii_whitespace()),
+            "tail {}.. not whitespace in {:?}", pos, src
+        );
+    }
+
+    /// Raw strings with 0–3 guard hashes swallow any inner payload that
+    /// does not contain the closing sequence.
+    #[test]
+    fn raw_string_guards_hold(hashes in 0usize..4, payload in "[a-zA-Z:. ]{0,20}") {
+        let guard = "#".repeat(hashes);
+        let src = format!("let x = r{guard}\"{payload}\"{guard}; let y = 1;");
+        let toks = lex(&src);
+        let lit: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::StringLit)
+            .collect();
+        prop_assert_eq!(lit.len(), 1, "src {:?}", &src);
+        let want = format!("r{guard}\"{payload}\"{guard}");
+        prop_assert_eq!(lit[0].text(&src), want.as_str());
+        // Whatever the payload spelled (e.g. `HashMap`), it must not lint.
+        prop_assert!(det_findings(&src).is_empty());
+    }
+}

@@ -104,14 +104,18 @@ fn measure(case: &Case) -> Measurement {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut out_path = None;
     let mut smoke = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
             other if out_path.is_none() => out_path = Some(other.to_string()),
-            other => panic!("unexpected argument: {other}"),
+            other => {
+                eprintln!("bench_snapshot: unexpected argument: {other}");
+                eprintln!("usage: bench_snapshot [OUT_PATH] [--smoke]");
+                return std::process::ExitCode::FAILURE;
+            }
         }
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_snapshot.json".to_string());
@@ -152,7 +156,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_snapshot: cannot write {out_path}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
 
     for m in &measurements {
         println!(
@@ -165,4 +172,5 @@ fn main() {
         );
     }
     println!("wrote {out_path}");
+    std::process::ExitCode::SUCCESS
 }

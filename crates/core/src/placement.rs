@@ -75,13 +75,11 @@ impl PlacementAdvisor {
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are finite"));
 
         let n = ranked.len() as f64;
-        let average_all =
-            Probability::clamped(ranked.iter().map(|(_, p)| p.value()).sum::<f64>() / n);
+        let average_all = Probability::clamped(
+            rfid_stats::ordered_sum(ranked.iter().map(|(_, p)| p.value())) / n,
+        );
         let average_avoiding_worst = Probability::clamped(
-            ranked[..ranked.len() - 1]
-                .iter()
-                .map(|(_, p)| p.value())
-                .sum::<f64>()
+            rfid_stats::ordered_sum(ranked[..ranked.len() - 1].iter().map(|(_, p)| p.value()))
                 / (n - 1.0),
         );
 

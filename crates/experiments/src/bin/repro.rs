@@ -33,6 +33,7 @@ fn parse_args() -> Result<Options, String> {
     let mut which = "all".to_owned();
     let mut trials = None;
     let mut seed = 2007;
+    // audit:allow(process-env, reason = "CLI argument parsing selects which experiment runs; seeds and trial counts stay explicit")
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -92,7 +92,7 @@ impl RoundLog {
     /// EPCs read this round, deduplicated in arrival order.
     #[must_use]
     pub fn unique_epcs(&self) -> Vec<Epc96> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.reads
             .iter()
             .filter(|r| seen.insert(r.epc))

@@ -63,5 +63,5 @@ pub use fading::{FadingProcess, Shadowing};
 pub use link::{LinkBudget, LinkReport, Obstruction, ReaderAntenna, TagAntenna};
 pub use materials::Material;
 pub use mounting::{mounting_loss, Mounting};
-pub use pathloss::{path_loss, wavelength};
+pub use pathloss::{path_loss, wavelength, SPEED_OF_LIGHT};
 pub use units::{Db, Dbm};

@@ -38,6 +38,7 @@ impl XmlNode {
     /// symmetry). Use [`XmlNode::try_leaf`] for fallible construction.
     #[must_use]
     pub fn leaf(name: &str, text: impl Into<String>) -> XmlNode {
+        // audit:allow(panic-in-prod, reason = "documented panicking constructor for static element names; wire-facing code uses try_leaf")
         Self::try_leaf(name, text).unwrap_or_else(|err| panic!("{err}"))
     }
 
@@ -49,6 +50,7 @@ impl XmlNode {
     /// [`XmlNode::try_branch`] for fallible construction.
     #[must_use]
     pub fn branch(name: &str, children: Vec<XmlNode>) -> XmlNode {
+        // audit:allow(panic-in-prod, reason = "documented panicking constructor for static element names; wire-facing code uses try_branch")
         Self::try_branch(name, children).unwrap_or_else(|err| panic!("{err}"))
     }
 

@@ -51,6 +51,7 @@ impl TrialExecutor {
     /// integer, else the machine's available parallelism.
     #[must_use]
     pub fn new() -> Self {
+        // audit:allow(process-env, reason = "selects only the thread count; results are property-tested bit-identical at every thread count")
         let threads = std::env::var(THREADS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())

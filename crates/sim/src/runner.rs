@@ -9,7 +9,7 @@ use crate::rng::RngStream;
 use crate::scenario::Scenario;
 use rfid_gen2::{Epc96, RoundLog, TagFsm};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// One successful tag read, attributed to its reader and antenna.
@@ -76,7 +76,7 @@ impl SimOutput {
 
     /// The set of distinct tags read.
     #[must_use]
-    pub fn tags_read(&self) -> HashSet<usize> {
+    pub fn tags_read(&self) -> BTreeSet<usize> {
         self.reads.iter().map(|r| r.tag).collect()
     }
 
@@ -148,6 +148,7 @@ fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u
         .world
         .validate()
         .expect("scenario world must be valid");
+    // audit:allow(wall-clock, reason = "perf counter only: elapsed wall time is recorded for diagnostics and never steers the simulation")
     let started = Instant::now();
     counters::record_trial();
     let trial = RngStream::new(seed);
@@ -207,6 +208,7 @@ fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u
         };
         let mut engine = scenario.engine.clone();
         let round_seed = trial.value(&[0x0F0F, ev.reader as u64, ev.round_no]);
+        // audit:allow(wall-clock, reason = "perf counter only: elapsed wall time is recorded for diagnostics and never steers the simulation")
         let round_started = Instant::now();
         let log = engine.run_round(&mut fsms, &mut channel, scenario.session, t, round_seed);
         counters::record_round(log.reads.len() as u64, round_started.elapsed());
@@ -277,6 +279,7 @@ pub fn run_single_round_with(
         .world
         .validate()
         .expect("scenario world must be valid");
+    // audit:allow(wall-clock, reason = "perf counter only: elapsed wall time is recorded for diagnostics and never steers the simulation")
     let started = Instant::now();
     counters::record_trial();
     let trial = RngStream::new(seed);
@@ -395,8 +398,8 @@ mod tests {
             ))))
             .build();
         let output = run_scenario(&scenario, 3);
-        let ports: HashSet<usize> = output.rounds.iter().map(|r| r.antenna).collect();
-        assert_eq!(ports, HashSet::from([0, 1]));
+        let ports: BTreeSet<usize> = output.rounds.iter().map(|r| r.antenna).collect();
+        assert_eq!(ports, BTreeSet::from([0, 1]));
         // Strict alternation.
         for pair in output.rounds.windows(2) {
             assert_ne!(pair[0].antenna, pair[1].antenna);

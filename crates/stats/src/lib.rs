@@ -33,6 +33,7 @@ mod histogram;
 mod online;
 mod proportion;
 mod quantile;
+mod sum;
 mod summary;
 mod table;
 
@@ -42,6 +43,7 @@ pub use error::StatsError;
 pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use proportion::{Interval, Proportion};
-pub use quantile::{median, quantile, quartiles, Quartiles};
+pub use quantile::{median, quantile, quantile_sorted, quartiles, Quartiles};
+pub use sum::ordered_sum;
 pub use summary::Summary;
 pub use table::{Align, Table};

@@ -1,0 +1,58 @@
+//! Order-explicit float accumulation.
+//!
+//! Floating-point addition is not associative, so the *order* of a sum is
+//! part of a result's identity: the repository's bit-replay guarantee
+//! (same seed ⇒ same bits at any thread count) only holds if every
+//! accumulation runs in a defined order. `Iterator::sum::<f64>()` happens
+//! to fold left-to-right today, but nothing in the signature says so, and
+//! the `rfid-audit` pass therefore forbids it in deterministic crates.
+//! [`ordered_sum`] is the sanctioned spelling: an explicit sequential
+//! left-to-right fold, bit-identical to `sum()` over the same iterator,
+//! with the ordering contract in its name and documentation.
+
+/// Sums `values` strictly left-to-right, one addition per element.
+///
+/// Bit-identical to `values.into_iter().sum::<f64>()`; exists so call
+/// sites state (and the audit gate can verify) that the iteration source
+/// is ordered — a slice, a `Vec`, a `BTreeMap` — never a hash table.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_stats::ordered_sum;
+///
+/// let xs = [0.1, 0.2, 0.3];
+/// assert_eq!(ordered_sum(xs), 0.1 + 0.2 + 0.3);
+/// assert_eq!(ordered_sum(xs.iter().copied()), ordered_sum(xs));
+/// assert_eq!(ordered_sum([]), 0.0);
+/// ```
+#[must_use]
+pub fn ordered_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_iterator_sum_bitwise() {
+        // Adversarial magnitudes: cancellation makes order visible, so
+        // bit-comparing against `sum()` proves the fold order matches.
+        let xs = [1e16, 1.0, -1e16, 1.0, 0.1, -0.1, 3.5e-20];
+        assert_eq!(
+            ordered_sum(xs).to_bits(),
+            xs.iter().copied().sum::<f64>().to_bits()
+        );
+    }
+
+    #[test]
+    fn respects_order() {
+        // 1e16 + 1 + (-1e16) loses the 1; reordering recovers it. The
+        // helper must follow the given order, not re-associate.
+        let forward = ordered_sum([1e16, 1.0, -1e16]);
+        let reordered = ordered_sum([1e16, -1e16, 1.0]);
+        assert_eq!(forward, 0.0);
+        assert_eq!(reordered, 1.0);
+    }
+}

@@ -51,9 +51,9 @@ impl Summary {
             return Err(StatsError::EmptyInput);
         }
         let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean = crate::ordered_sum(samples.iter().copied()) / n as f64;
         let var = if n > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+            crate::ordered_sum(samples.iter().map(|x| (x - mean).powi(2))) / (n - 1) as f64
         } else {
             0.0
         };

@@ -15,7 +15,7 @@
 
 use crate::registry::ObjectHandle;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An object seen (or inferred) at a zone at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,7 +66,7 @@ impl RouteConstraint {
     #[must_use]
     pub fn new(zones: Vec<usize>) -> Self {
         assert!(!zones.is_empty(), "route must have at least one zone");
-        let unique: HashSet<usize> = zones.iter().copied().collect();
+        let unique: BTreeSet<usize> = zones.iter().copied().collect();
         assert_eq!(unique.len(), zones.len(), "route zones must be distinct");
         Self { zones }
     }
@@ -85,7 +85,7 @@ impl RouteConstraint {
     /// Observations at zones not on the route are passed through untouched.
     #[must_use]
     pub fn correct(&self, observed: &[ZoneObservation]) -> Vec<ZoneObservation> {
-        let index_of: HashMap<usize, usize> = self
+        let index_of: BTreeMap<usize, usize> = self
             .zones
             .iter()
             .enumerate()
@@ -93,7 +93,9 @@ impl RouteConstraint {
             .collect();
 
         // Group by object, order by time.
-        let mut by_object: HashMap<usize, Vec<ZoneObservation>> = HashMap::new();
+        // BTreeMap, deliberately: `out` is built by iterating this map, so
+        // its order (ascending object index) is part of the function contract.
+        let mut by_object: BTreeMap<usize, Vec<ZoneObservation>> = BTreeMap::new();
         for obs in observed {
             by_object.entry(obs.object.index()).or_default().push(*obs);
         }
@@ -164,17 +166,18 @@ impl AccompanyConstraint {
     /// time. Already-seen members are returned untouched.
     #[must_use]
     pub fn correct(&self, observed: &[ZoneObservation], zone: usize) -> Vec<ZoneObservation> {
-        let members: HashSet<usize> = self.group.iter().map(|h| h.index()).collect();
+        let members: BTreeSet<usize> = self.group.iter().map(|h| h.index()).collect();
         let at_zone: Vec<&ZoneObservation> = observed
             .iter()
             .filter(|o| o.zone == zone && members.contains(&o.object.index()))
             .collect();
-        let seen: HashSet<usize> = at_zone.iter().map(|o| o.object.index()).collect();
+        let seen: BTreeSet<usize> = at_zone.iter().map(|o| o.object.index()).collect();
         let need = (self.quorum * self.group.len() as f64).ceil() as usize;
 
         let mut out: Vec<ZoneObservation> = observed.to_vec();
         if seen.len() >= need && !seen.is_empty() {
-            let mean_time = at_zone.iter().map(|o| o.time_s).sum::<f64>() / at_zone.len() as f64;
+            let mean_time =
+                rfid_stats::ordered_sum(at_zone.iter().map(|o| o.time_s)) / at_zone.len() as f64;
             for member in &self.group {
                 if !seen.contains(&member.index()) {
                     out.push(ZoneObservation {

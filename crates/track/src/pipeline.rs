@@ -3,7 +3,7 @@
 use crate::registry::{ObjectHandle, ObjectRegistry};
 use rfid_sim::ReadEvent;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One continuous sighting of an object at a portal: a maximal burst of
 /// reads of any of its tags with no gap larger than the pipeline's merge
@@ -96,7 +96,7 @@ impl SightingPipeline {
                 .expect("read times are finite")
         });
 
-        let mut open: HashMap<usize, Sighting> = HashMap::new();
+        let mut open: BTreeMap<usize, Sighting> = BTreeMap::new();
         let mut done: Vec<Sighting> = Vec::new();
 
         for read in sorted {
@@ -105,14 +105,14 @@ impl SightingPipeline {
             };
             let entry = open.entry(object.index());
             match entry {
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
                     if read.time_s - slot.get().last_s > self.merge_gap_s {
                         done.push(slot.insert(new_sighting(object, read)));
                     } else {
                         extend(slot.get_mut(), read);
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(slot) => {
+                std::collections::btree_map::Entry::Vacant(slot) => {
                     slot.insert(new_sighting(object, read));
                 }
             }

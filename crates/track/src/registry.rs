@@ -2,7 +2,7 @@
 
 use rfid_gen2::Epc96;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Opaque handle to a registered object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -48,7 +48,10 @@ impl ObjectHandle {
 pub struct ObjectRegistry {
     names: Vec<String>,
     tags: Vec<Vec<Epc96>>,
-    by_epc: HashMap<Epc96, usize>,
+    // BTreeMap keyed on Epc96 (Ord by raw 96-bit value): registry
+    // traversal order can never leak into reported read sequences, which a
+    // default-hasher HashMap would randomize per process.
+    by_epc: BTreeMap<Epc96, usize>,
 }
 
 impl ObjectRegistry {

@@ -12,7 +12,7 @@ use crate::constraints::ZoneObservation;
 use crate::registry::{ObjectHandle, ObjectRegistry};
 use rfid_sim::ReadEvent;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A site: named zones and the portals (reader/antenna pairs) that
 /// observe them.
@@ -43,7 +43,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Site {
     zone_names: Vec<String>,
-    portal_zone: HashMap<(usize, usize), usize>,
+    portal_zone: BTreeMap<(usize, usize), usize>,
 }
 
 impl Site {
@@ -129,7 +129,7 @@ impl Site {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LocationTracker {
     staleness_s: f64,
-    last: HashMap<usize, (usize, f64)>,
+    last: BTreeMap<usize, (usize, f64)>,
     history: Vec<ZoneObservation>,
 }
 
@@ -144,7 +144,7 @@ impl LocationTracker {
         assert!(staleness_s > 0.0, "staleness must be positive");
         Self {
             staleness_s,
-            last: HashMap::new(),
+            last: BTreeMap::new(),
             history: Vec::new(),
         }
     }
@@ -154,12 +154,12 @@ impl LocationTracker {
     pub fn observe(&mut self, observation: ZoneObservation) {
         let entry = self.last.entry(observation.object.index());
         match entry {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
                 if observation.time_s >= slot.get().1 {
                     slot.insert((observation.zone, observation.time_s));
                 }
             }
-            std::collections::hash_map::Entry::Vacant(slot) => {
+            std::collections::btree_map::Entry::Vacant(slot) => {
                 slot.insert((observation.zone, observation.time_s));
             }
         }

@@ -151,7 +151,7 @@ impl AdaptiveSmoother {
                 if gaps.is_empty() {
                     return self.min_window_s; // lone read: no flakiness evidence
                 }
-                let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                let mean_gap = rfid_stats::ordered_sum(gaps.iter().copied()) / gaps.len() as f64;
                 // Reads arrive about once per mean_gap: the per-epoch read
                 // probability over epochs of length mean_gap is ~1, but the
                 // *variability* of the gaps tells us how flaky the stream
