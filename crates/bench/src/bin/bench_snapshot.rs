@@ -17,12 +17,20 @@
 //! Both paths produce bit-identical `SimOutput`s (asserted here), so the
 //! ratio is pure engine overhead or win. `--smoke` shrinks trial counts
 //! so CI can exercise the binary in seconds.
+//!
+//! A third section measures the streaming data plane: events/second
+//! through the full online operator chains (reorder buffer into the
+//! sighting operator, and reorder into zone observation into the
+//! location tracker) over a synthetic two-portal read stream.
 
 use rfid_experiments::scenarios::{
     object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
 };
 use rfid_experiments::Calibration;
-use rfid_sim::{run_scenario_reference, Scenario, TrialExecutor};
+use rfid_gen2::Epc96;
+use rfid_sim::{run_scenario_reference, ReadEvent, Scenario, TrialExecutor};
+use rfid_track::stream::{ObservationStream, Operator, ReorderBuffer, SightingStream};
+use rfid_track::{LocationTracker, ObjectRegistry, Site};
 use std::time::Instant;
 
 struct Case {
@@ -104,6 +112,111 @@ fn measure(case: &Case) -> Measurement {
     }
 }
 
+struct StreamingMeasurement {
+    name: &'static str,
+    events: usize,
+    outputs: usize,
+    elapsed_s: f64,
+}
+
+impl StreamingMeasurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_s
+    }
+}
+
+/// A synthetic read stream shaped like a busy two-portal corridor:
+/// eight tags on four objects, reads every millisecond alternating
+/// readers and antennas, with a watermark every 1000 events (one
+/// polling window per second of stream time).
+fn synthetic_reads(events: usize) -> Vec<ReadEvent> {
+    (0..events)
+        .map(|i| ReadEvent {
+            time_s: i as f64 * 1e-3,
+            reader: i % 2,
+            antenna: (i / 2) % 2,
+            tag: i % 8,
+            epc: Epc96::from_u128(i as u128 % 8 + 1),
+        })
+        .collect()
+}
+
+fn streaming_world() -> (ObjectRegistry, Site) {
+    let mut registry = ObjectRegistry::new();
+    for object in 0..4u128 {
+        let handle = registry.register(format!("case-{object}"));
+        registry.attach_tag(handle, Epc96::from_u128(object * 2 + 1));
+        registry.attach_tag(handle, Epc96::from_u128(object * 2 + 2));
+    }
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, dock);
+    site.assign_portal(1, 0, aisle);
+    site.assign_portal(1, 1, aisle);
+    (registry, site)
+}
+
+/// Times `repeats` runs of a full operator chain over the synthetic
+/// stream (fastest repetition wins) and reports events/second. The
+/// chain is rebuilt inside `make` each repetition so state never leaks
+/// between runs.
+fn measure_streaming<Op, F>(
+    name: &'static str,
+    reads: &[ReadEvent],
+    repeats: u32,
+    make: F,
+) -> StreamingMeasurement
+where
+    Op: Operator<In = ReadEvent>,
+    F: Fn() -> Op,
+{
+    let mut elapsed_s = f64::INFINITY;
+    let mut outputs = 0;
+    for _ in 0..repeats {
+        let mut chain = make();
+        let mut produced = 0;
+        let start = Instant::now();
+        for (i, read) in reads.iter().enumerate() {
+            produced += chain.push(*read).len();
+            if i % 1000 == 999 {
+                produced += chain.advance_watermark(read.time_s).len();
+            }
+        }
+        produced += chain.finish().len();
+        elapsed_s = elapsed_s.min(start.elapsed().as_secs_f64());
+        outputs = produced;
+    }
+    assert!(outputs > 0, "{name}: the chain must emit something");
+    StreamingMeasurement {
+        name,
+        events: reads.len(),
+        outputs,
+        elapsed_s,
+    }
+}
+
+/// Streaming throughput of the two operator chains an application runs
+/// online: raw reads to object sightings, and raw reads through zone
+/// observation into the location tracker.
+fn measure_streaming_cases(smoke: bool) -> Vec<StreamingMeasurement> {
+    let events = if smoke { 20_000 } else { 400_000 };
+    let repeats = if smoke { 1 } else { 5 };
+    let reads = synthetic_reads(events);
+    let (registry, site) = streaming_world();
+    vec![
+        measure_streaming("reads_to_sightings", &reads, repeats, || {
+            ReorderBuffer::new().then(SightingStream::new(&registry, 0.5))
+        }),
+        measure_streaming("reads_to_zone_history", &reads, repeats, || {
+            ReorderBuffer::new()
+                .then(ObservationStream::new(&site, &registry))
+                .then(LocationTracker::new(5.0))
+        }),
+    ]
+}
+
 fn main() -> std::process::ExitCode {
     let mut out_path = None;
     let mut smoke = false;
@@ -139,6 +252,7 @@ fn main() -> std::process::ExitCode {
     ];
 
     let measurements: Vec<Measurement> = cases.iter().map(measure).collect();
+    let streaming = measure_streaming_cases(smoke);
 
     let mut json =
         String::from("{\n  \"benchmark\": \"memoized hot path vs unmemoized reference\",\n");
@@ -155,6 +269,19 @@ fn main() -> std::process::ExitCode {
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
+    json.push_str("  ],\n  \"streaming\": [\n");
+    for (i, m) in streaming.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"outputs\": {}, \
+             \"elapsed_s\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            m.name,
+            m.events,
+            m.outputs,
+            m.elapsed_s,
+            m.events_per_sec(),
+            if i + 1 < streaming.len() { "," } else { "" },
+        ));
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("bench_snapshot: cannot write {out_path}: {e}");
@@ -169,6 +296,16 @@ fn main() -> std::process::ExitCode {
             m.memoized_s,
             m.unmemoized_s,
             m.speedup(),
+        );
+    }
+    for m in &streaming {
+        println!(
+            "{}: {} events -> {} outputs in {:.3} s ({:.0} events/s)",
+            m.name,
+            m.events,
+            m.outputs,
+            m.elapsed_s,
+            m.events_per_sec(),
         );
     }
     println!("wrote {out_path}");

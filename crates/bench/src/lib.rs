@@ -13,5 +13,6 @@
 //! The `bench_snapshot` binary (`cargo run --release -p rfid-bench --bin
 //! bench_snapshot -- BENCH_<date>.json`) times the memoized hot path
 //! against the unmemoized reference on both a moving and a static
-//! scenario and records the speedups as JSON; `scripts/bench-snapshot.sh`
-//! wraps it with a dated default filename.
+//! scenario, measures streaming throughput (events/second) through the
+//! full online operator chains, and records everything as JSON;
+//! `scripts/bench-snapshot.sh` wraps it with a dated default filename.

@@ -57,6 +57,7 @@ mod net;
 mod protocol;
 mod retry;
 mod server;
+mod stream;
 mod wire;
 
 pub use client::{ClientError, InMemoryTransport, ReaderClient, Transport};
@@ -68,4 +69,5 @@ pub use net::{
 pub use protocol::{ReaderMode, Request, Response, StatusReport, TagRecord};
 pub use retry::{BackoffPolicy, RetryingTransport};
 pub use server::ReaderEmulator;
+pub use stream::{AdapterError, WireEventAdapter};
 pub use wire::{valid_name, WireError, XmlNode};

@@ -123,7 +123,12 @@ impl Response {
                             vec![
                                 XmlNode::leaf("epc", t.epc.clone()),
                                 XmlNode::leaf("antenna", t.antenna.to_string()),
-                                XmlNode::leaf("time", format!("{:.6}", t.time_s)),
+                                // Shortest-round-trip float text: the wire
+                                // must hand back the exact timestamp it was
+                                // fed, or the streaming data plane downstream
+                                // of the adapter diverges from the recorded
+                                // truth.
+                                XmlNode::leaf("time", format!("{}", t.time_s)),
                             ],
                         )
                     })
@@ -304,6 +309,20 @@ mod tests {
         let xml = error.to_xml();
         assert!(!xml.contains('\n'));
         assert_eq!(Response::from_xml(&xml).unwrap(), error);
+    }
+
+    #[test]
+    fn timestamps_round_trip_bit_exactly() {
+        // Regression: `{:.6}` formatting used to quantize timestamps to
+        // microseconds on the wire, so a replayed session diverged from
+        // the recorded truth downstream of the adapter.
+        let awkward = Response::Tags(vec![TagRecord {
+            epc: "AA00000000000000000000BB".into(),
+            antenna: 1,
+            time_s: 0.008_420_024_999_999_998,
+        }]);
+        let decoded = Response::from_xml(&awkward.to_xml()).unwrap();
+        assert_eq!(decoded, awkward);
     }
 
     #[test]

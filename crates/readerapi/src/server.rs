@@ -58,15 +58,22 @@ impl ReaderEmulator {
         }
     }
 
+    /// Feeds one simulator read, mapping the simulator's 0-based antenna
+    /// port to the reader's 1-based convention — the streaming face of
+    /// [`ReaderEmulator::feed_simulation`].
+    pub fn feed_sim_read(&mut self, read: &rfid_sim::ReadEvent) {
+        self.feed(TagRecord {
+            epc: read.epc.to_string(),
+            antenna: (read.antenna + 1) as u8,
+            time_s: read.time_s,
+        });
+    }
+
     /// Feeds every read of a simulation output, mapping the simulator's
     /// 0-based antenna ports to the reader's 1-based convention.
     pub fn feed_simulation(&mut self, output: &SimOutput) {
         for read in &output.reads {
-            self.feed(TagRecord {
-                epc: read.epc.to_string(),
-                antenna: (read.antenna + 1) as u8,
-                time_s: read.time_s,
-            });
+            self.feed_sim_read(read);
         }
     }
 

@@ -87,6 +87,36 @@ impl SimOutput {
     }
 }
 
+/// One event from a streaming scenario run, in emission order.
+///
+/// The callback entry points ([`run_scenario_streaming`] and
+/// [`run_scenario_streaming_with`]) deliver the simulation as a live
+/// event stream instead of a materialized [`SimOutput`], so trials can
+/// drive incremental consumers (the `rfid-track` streaming operators)
+/// without buffering every read.
+///
+/// Stream contract:
+///
+/// * `Watermark(t)` promises that every later event in the stream
+///   carries a time `>= t`. Watermarks are non-decreasing (they are the
+///   scheduler's event-queue pop times).
+/// * `Read` events between two watermarks may interleave out of time
+///   order — concurrent inventory rounds on different readers overlap —
+///   but never run behind the last watermark. Feed them through a
+///   reorder buffer keyed on the watermarks to recover global time
+///   order.
+/// * `Round` summaries arrive after the reads of their round, at the
+///   round's start watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimStreamEvent {
+    /// All later events have time at or after this.
+    Watermark(f64),
+    /// A successful tag read.
+    Read(ReadEvent),
+    /// A completed inventory round.
+    Round(RoundSummary),
+}
+
 /// A scheduled reader round.
 #[derive(Debug, Clone, Copy)]
 struct RoundEvent {
@@ -144,6 +174,59 @@ pub fn run_scenario_reference(scenario: &Scenario, seed: u64) -> SimOutput {
 /// Shared scenario loop: `cache = Some` runs the memoized production
 /// path, `cache = None` the naive reference path.
 fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u64) -> SimOutput {
+    let mut output = SimOutput {
+        duration_s: scenario.duration_s,
+        ..SimOutput::default()
+    };
+    run_scenario_core(scenario, cache, seed, &mut |event| match event {
+        SimStreamEvent::Read(read) => output.reads.push(read),
+        SimStreamEvent::Round(round) => output.rounds.push(round),
+        SimStreamEvent::Watermark(_) => {}
+    });
+    output.reads.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("read times are finite")
+    });
+    output
+}
+
+/// Runs a scenario as a live event stream: every read, round summary,
+/// and scheduler watermark is handed to `sink` the moment it happens,
+/// and nothing is buffered. See [`SimStreamEvent`] for the stream
+/// contract. [`run_scenario`] is exactly this with a `Vec`-collecting
+/// sink plus a final stable sort of the reads by time.
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation.
+pub fn run_scenario_streaming<F: FnMut(SimStreamEvent)>(scenario: &Scenario, seed: u64, sink: F) {
+    run_scenario_streaming_with(scenario, &ScenarioCache::new(scenario), seed, sink);
+}
+
+/// [`run_scenario_streaming`] sharing a precomputed [`ScenarioCache`],
+/// for repeated trials of the same scenario. The event stream is
+/// bit-identical to [`run_scenario_streaming`].
+///
+/// # Panics
+///
+/// Panics if the scenario's world fails validation.
+pub fn run_scenario_streaming_with<F: FnMut(SimStreamEvent)>(
+    scenario: &Scenario,
+    cache: &ScenarioCache,
+    seed: u64,
+    mut sink: F,
+) {
+    run_scenario_core(scenario, Some(cache), seed, &mut sink);
+}
+
+/// The one true scenario loop, parameterized over the event sink.
+fn run_scenario_core(
+    scenario: &Scenario,
+    cache: Option<&ScenarioCache>,
+    seed: u64,
+    sink: &mut dyn FnMut(SimStreamEvent),
+) {
     scenario
         .world
         .validate()
@@ -168,17 +251,15 @@ fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u
         );
     }
 
-    let mut output = SimOutput {
-        duration_s: scenario.duration_s,
-        ..SimOutput::default()
-    };
-
     while let Some((t, ev)) = queue.pop() {
         if t >= scenario.duration_s {
             // Events pop in time order, so everything still queued fires
             // at or after `t`: stop instead of draining the queue.
             break;
         }
+        // Pops are time-ordered and a round at `t` only produces reads at
+        // or after `t`, so each pop time is a valid watermark.
+        sink(SimStreamEvent::Watermark(t));
         let ports = world.readers[ev.reader].antennas.len();
         let next_port = (ev.port + 1) % ports;
 
@@ -212,7 +293,25 @@ fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u
         let round_started = Instant::now();
         let log = engine.run_round(&mut fsms, &mut channel, scenario.session, t, round_seed);
         counters::record_round(log.reads.len() as u64, round_started.elapsed());
-        record_round(&mut output, &log, ev.reader, ev.port, t);
+        for read in &log.reads {
+            sink(SimStreamEvent::Read(ReadEvent {
+                time_s: read.time_s,
+                reader: ev.reader,
+                antenna: ev.port,
+                tag: read.tag_index,
+                epc: read.epc,
+            }));
+        }
+        sink(SimStreamEvent::Round(RoundSummary {
+            reader: ev.reader,
+            antenna: ev.port,
+            start_s: t,
+            duration_s: log.duration_s,
+            slots: log.slots,
+            collisions: log.collisions,
+            empties: log.empties,
+            reads: log.reads.len() as u32,
+        }));
 
         queue.schedule(
             t + log.duration_s.max(1e-4),
@@ -224,13 +323,7 @@ fn run_scenario_impl(scenario: &Scenario, cache: Option<&ScenarioCache>, seed: u
         );
     }
 
-    output.reads.sort_by(|a, b| {
-        a.time_s
-            .partial_cmp(&b.time_s)
-            .expect("read times are finite")
-    });
     counters::record_scenario_time(started.elapsed());
-    output
 }
 
 /// Runs exactly one inventory round on one antenna at time `t` — the
@@ -308,28 +401,6 @@ pub fn run_single_round_with(
     counters::record_round(log.reads.len() as u64, started.elapsed());
     counters::record_scenario_time(started.elapsed());
     log
-}
-
-fn record_round(output: &mut SimOutput, log: &RoundLog, reader: usize, port: usize, start: f64) {
-    for read in &log.reads {
-        output.reads.push(ReadEvent {
-            time_s: read.time_s,
-            reader,
-            antenna: port,
-            tag: read.tag_index,
-            epc: read.epc,
-        });
-    }
-    output.rounds.push(RoundSummary {
-        reader,
-        antenna: port,
-        start_s: start,
-        duration_s: log.duration_s,
-        slots: log.slots,
-        collisions: log.collisions,
-        empties: log.empties,
-        reads: log.reads.len() as u32,
-    });
 }
 
 #[cfg(test)]
@@ -454,6 +525,40 @@ mod tests {
             reads_double < reads_single,
             "two legacy readers: {reads_double}/8 vs one: {reads_single}/8"
         );
+    }
+
+    #[test]
+    fn streaming_events_rebuild_the_batch_output() {
+        let scenario = pass_by().build();
+        let batch = run_scenario(&scenario, 11);
+
+        let mut streamed = SimOutput {
+            duration_s: scenario.duration_s,
+            ..SimOutput::default()
+        };
+        let mut last_watermark = f64::NEG_INFINITY;
+        run_scenario_streaming(&scenario, 11, |event| match event {
+            SimStreamEvent::Watermark(t) => {
+                assert!(t >= last_watermark, "watermarks must be non-decreasing");
+                last_watermark = t;
+            }
+            SimStreamEvent::Read(read) => {
+                assert!(
+                    read.time_s >= last_watermark,
+                    "read at {} behind watermark {last_watermark}",
+                    read.time_s
+                );
+                streamed.reads.push(read);
+            }
+            SimStreamEvent::Round(round) => streamed.rounds.push(round),
+        });
+        streamed.reads.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("read times are finite")
+        });
+        assert_eq!(streamed, batch);
+        assert!(!streamed.reads.is_empty());
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! redundancy is compared in the experiment harness.
 
 use crate::registry::ObjectHandle;
+use crate::stream::Operator;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
 
 /// An object seen (or inferred) at a zone at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +31,27 @@ pub struct ZoneObservation {
     /// Whether the observation was inferred by a constraint rather than
     /// read from a tag.
     pub inferred: bool,
+}
+
+impl ZoneObservation {
+    /// The canonical total order on observations:
+    /// `(time_s, object, inferred, zone)`. Two observations comparing
+    /// equal under this order are equal outright, so it is the ordering
+    /// contract the batch constraint APIs pin their output to and the
+    /// order streaming results are compared under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either observation time is NaN.
+    #[must_use]
+    pub fn canonical_cmp(&self, other: &Self) -> Ordering {
+        self.time_s
+            .partial_cmp(&other.time_s)
+            .expect("observation times are finite")
+            .then_with(|| self.object.index().cmp(&other.object.index()))
+            .then_with(|| self.inferred.cmp(&other.inferred))
+            .then_with(|| self.zone.cmp(&other.zone))
+    }
 }
 
 /// The route constraint: a linear sequence of zones every object follows
@@ -83,51 +106,21 @@ impl RouteConstraint {
     /// interpolated time.
     ///
     /// Observations at zones not on the route are passed through untouched.
+    ///
+    /// # Ordering contract
+    ///
+    /// Input may arrive in any order (it is sorted internally; equal
+    /// timestamps keep their input order per object). Output is in
+    /// [`ZoneObservation::canonical_cmp`] order — the same multiset a
+    /// [`RouteStream`](crate::stream::RouteStream) emits causally,
+    /// re-sorted canonically.
     #[must_use]
     pub fn correct(&self, observed: &[ZoneObservation]) -> Vec<ZoneObservation> {
-        let index_of: BTreeMap<usize, usize> = self
-            .zones
-            .iter()
-            .enumerate()
-            .map(|(i, &z)| (z, i))
-            .collect();
-
-        // Group by object, order by time.
-        // BTreeMap, deliberately: `out` is built by iterating this map, so
-        // its order (ascending object index) is part of the function contract.
-        let mut by_object: BTreeMap<usize, Vec<ZoneObservation>> = BTreeMap::new();
-        for obs in observed {
-            by_object.entry(obs.object.index()).or_default().push(*obs);
-        }
-
-        let mut out: Vec<ZoneObservation> = Vec::new();
-        for (_, mut sightings) in by_object {
-            sightings.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
-            for i in 0..sightings.len() {
-                out.push(sightings[i]);
-                if i + 1 >= sightings.len() {
-                    continue;
-                }
-                let (a, b) = (sightings[i], sightings[i + 1]);
-                let (Some(&ia), Some(&ib)) = (index_of.get(&a.zone), index_of.get(&b.zone)) else {
-                    continue;
-                };
-                if ib <= ia + 1 {
-                    continue; // adjacent or backwards: nothing to infer
-                }
-                let missing = ib - ia - 1;
-                for (k, zone_idx) in (ia + 1..ib).enumerate() {
-                    let frac = (k + 1) as f64 / (missing + 1) as f64;
-                    out.push(ZoneObservation {
-                        object: a.object,
-                        zone: self.zones[zone_idx],
-                        time_s: a.time_s + (b.time_s - a.time_s) * frac,
-                        inferred: true,
-                    });
-                }
-            }
-        }
-        out.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        let mut sorted = observed.to_vec();
+        sorted.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("times are finite"));
+        let mut op = crate::stream::RouteStream::new(self.clone());
+        let mut out = op.run_batch(sorted);
+        out.sort_by(ZoneObservation::canonical_cmp);
         out
     }
 }
@@ -160,36 +153,28 @@ impl AccompanyConstraint {
         &self.group
     }
 
+    /// The quorum fraction.
+    #[must_use]
+    pub fn quorum(&self) -> f64 {
+        self.quorum
+    }
+
     /// Infers missing group members at a zone: if at least
     /// `ceil(quorum * |group|)` members appear among `observed` at `zone`,
     /// the remaining members are inferred present at the mean sighting
     /// time. Already-seen members are returned untouched.
+    ///
+    /// # Ordering contract
+    ///
+    /// Order-agnostic and order-preserving: the input passes through in
+    /// its given order (no sort — the quorum is a whole-stream
+    /// aggregate), with inferred members appended in group order.
+    /// Bit-identical to pushing the observations through an
+    /// [`AccompanyStream`](crate::stream::AccompanyStream).
     #[must_use]
     pub fn correct(&self, observed: &[ZoneObservation], zone: usize) -> Vec<ZoneObservation> {
-        let members: BTreeSet<usize> = self.group.iter().map(|h| h.index()).collect();
-        let at_zone: Vec<&ZoneObservation> = observed
-            .iter()
-            .filter(|o| o.zone == zone && members.contains(&o.object.index()))
-            .collect();
-        let seen: BTreeSet<usize> = at_zone.iter().map(|o| o.object.index()).collect();
-        let need = (self.quorum * self.group.len() as f64).ceil() as usize;
-
-        let mut out: Vec<ZoneObservation> = observed.to_vec();
-        if seen.len() >= need && !seen.is_empty() {
-            let mean_time =
-                rfid_stats::ordered_sum(at_zone.iter().map(|o| o.time_s)) / at_zone.len() as f64;
-            for member in &self.group {
-                if !seen.contains(&member.index()) {
-                    out.push(ZoneObservation {
-                        object: *member,
-                        zone,
-                        time_s: mean_time,
-                        inferred: true,
-                    });
-                }
-            }
-        }
-        out
+        let mut op = crate::stream::AccompanyStream::new(self.clone(), zone);
+        op.run_batch(observed.iter().copied())
     }
 }
 
@@ -261,6 +246,27 @@ mod tests {
         let inferred: Vec<_> = corrected.iter().filter(|o| o.inferred).collect();
         assert_eq!(inferred.len(), 1);
         assert_eq!(inferred[0].object, objs[0]);
+    }
+
+    #[test]
+    fn route_accepts_unsorted_input() {
+        let (_, objs) = objects(1);
+        let route = RouteConstraint::new(vec![1, 2, 3, 4]);
+        let observed = vec![seen(objs[0], 4, 3.0), seen(objs[0], 1, 0.0)];
+        let corrected = route.correct(&observed);
+        assert_eq!(corrected.len(), 4, "sorted internally, zones inferred");
+        assert!(corrected.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+    }
+
+    #[test]
+    fn duplicate_timestamps_order_canonically() {
+        let (_, objs) = objects(2);
+        let route = RouteConstraint::new(vec![1, 2]);
+        let observed = vec![seen(objs[1], 1, 1.0), seen(objs[0], 1, 1.0)];
+        let corrected = route.correct(&observed);
+        assert_eq!(corrected.len(), 2);
+        assert_eq!(corrected[0].object, objs[0], "ties break by object index");
+        assert_eq!(corrected[1].object, objs[1]);
     }
 
     #[test]

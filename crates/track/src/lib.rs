@@ -18,6 +18,11 @@
 //! * [`TrackingMetrics`] — miss/false-positive accounting against ground
 //!   truth.
 //!
+//! Every processing API above is a thin batch wrapper over the
+//! incremental operators in [`stream`], which expose the same logic as
+//! an online, bounded-memory data plane (push events, advance the
+//! watermark, receive results as windows close).
+//!
 //! [`ReadEvent`]: rfid_sim::ReadEvent
 
 #![forbid(unsafe_code)]
@@ -29,6 +34,7 @@ mod pipeline;
 mod registry;
 mod site;
 mod smoothing;
+pub mod stream;
 
 pub use constraints::{AccompanyConstraint, RouteConstraint, ZoneObservation};
 pub use metrics::{GroundTruthPass, TrackingMetrics};
@@ -36,3 +42,4 @@ pub use pipeline::{Sighting, SightingPipeline};
 pub use registry::{ObjectHandle, ObjectRegistry};
 pub use site::{LocationTracker, Site};
 pub use smoothing::{AdaptiveSmoother, PresenceInterval, SmoothingWindow};
+pub use stream::ZoneTransition;

@@ -1,9 +1,9 @@
 //! From raw reads to per-object portal sightings.
 
 use crate::registry::{ObjectHandle, ObjectRegistry};
+use crate::stream::{Operator, SightingStream};
 use rfid_sim::ReadEvent;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One continuous sighting of an object at a portal: a maximal burst of
 /// reads of any of its tags with no gap larger than the pipeline's merge
@@ -83,69 +83,28 @@ impl SightingPipeline {
         self.merge_gap_s
     }
 
-    /// Processes a read stream into sightings, ordered by start time.
+    /// Processes a read stream into sightings.
     ///
     /// Reads whose EPC is not in the registry are ignored (foreign tags in
     /// the field of view).
+    ///
+    /// # Ordering contract
+    ///
+    /// Input may arrive in any order (it is sorted internally; reads with
+    /// equal timestamps keep their input order, which decides which
+    /// antennas/tags lists they land in first). Output is ordered by
+    /// `(first_s, object index)` — bit-identical to pushing the sorted
+    /// reads through a [`SightingStream`] under any watermark schedule.
     #[must_use]
     pub fn process(&self, registry: &ObjectRegistry, reads: &[ReadEvent]) -> Vec<Sighting> {
-        let mut sorted: Vec<&ReadEvent> = reads.iter().collect();
+        let mut sorted: Vec<ReadEvent> = reads.to_vec();
         sorted.sort_by(|a, b| {
             a.time_s
                 .partial_cmp(&b.time_s)
                 .expect("read times are finite")
         });
-
-        let mut open: BTreeMap<usize, Sighting> = BTreeMap::new();
-        let mut done: Vec<Sighting> = Vec::new();
-
-        for read in sorted {
-            let Some(object) = registry.object_of(read.epc) else {
-                continue;
-            };
-            let entry = open.entry(object.index());
-            match entry {
-                std::collections::btree_map::Entry::Occupied(mut slot) => {
-                    if read.time_s - slot.get().last_s > self.merge_gap_s {
-                        done.push(slot.insert(new_sighting(object, read)));
-                    } else {
-                        extend(slot.get_mut(), read);
-                    }
-                }
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(new_sighting(object, read));
-                }
-            }
-        }
-        done.extend(open.into_values());
-        done.sort_by(|a, b| {
-            a.first_s
-                .partial_cmp(&b.first_s)
-                .expect("read times are finite")
-        });
-        done
-    }
-}
-
-fn new_sighting(object: ObjectHandle, read: &ReadEvent) -> Sighting {
-    Sighting {
-        object,
-        first_s: read.time_s,
-        last_s: read.time_s,
-        reads: 1,
-        antennas: vec![(read.reader, read.antenna)],
-        tags: vec![read.tag],
-    }
-}
-
-fn extend(sighting: &mut Sighting, read: &ReadEvent) {
-    sighting.last_s = read.time_s;
-    sighting.reads += 1;
-    if !sighting.antennas.contains(&(read.reader, read.antenna)) {
-        sighting.antennas.push((read.reader, read.antenna));
-    }
-    if !sighting.tags.contains(&read.tag) {
-        sighting.tags.push(read.tag);
+        let mut op = SightingStream::new(registry, self.merge_gap_s);
+        op.run_batch(sorted)
     }
 }
 
@@ -215,6 +174,19 @@ mod tests {
         assert_eq!(sightings.len(), 2);
         assert!(sightings[0].first_s < sightings[1].first_s);
         assert_eq!(sightings[0].reads, 2);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_input_order() {
+        let (reg, _) = registry_with_two_tag_object();
+        // Two reads at the same instant: the stable sort keeps input
+        // order, which decides the antennas/tags contribution order.
+        let reads = vec![read(1.0, 2, 1), read(1.0, 1, 0)];
+        let sightings = SightingPipeline::new(1.0).process(&reg, &reads);
+        assert_eq!(sightings.len(), 1);
+        assert_eq!(sightings[0].reads, 2);
+        assert_eq!(sightings[0].antennas, vec![(0, 1), (0, 0)]);
+        assert_eq!(sightings[0].tags, vec![2, 1]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::constraints::ZoneObservation;
 use crate::registry::{ObjectHandle, ObjectRegistry};
+use crate::stream::Operator;
 use rfid_sim::ReadEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -93,32 +94,28 @@ impl Site {
     }
 
     /// Maps raw reads to zone observations. Reads from unassigned portals
-    /// or unknown tags are dropped; the result is time-ordered.
+    /// or unknown tags are dropped.
+    ///
+    /// # Ordering contract
+    ///
+    /// Input may arrive in any order (it is sorted internally; equal
+    /// timestamps keep their input order). The result is time-ordered —
+    /// bit-identical to pushing the sorted reads through an
+    /// [`ObservationStream`](crate::stream::ObservationStream).
     #[must_use]
     pub fn observations(
         &self,
         registry: &ObjectRegistry,
         reads: &[ReadEvent],
     ) -> Vec<ZoneObservation> {
-        let mut out: Vec<ZoneObservation> = reads
-            .iter()
-            .filter_map(|read| {
-                let zone = self.zone_of_portal(read.reader, read.antenna)?;
-                let object = registry.object_of(read.epc)?;
-                Some(ZoneObservation {
-                    object,
-                    zone,
-                    time_s: read.time_s,
-                    inferred: false,
-                })
-            })
-            .collect();
-        out.sort_by(|a, b| {
+        let mut sorted: Vec<ReadEvent> = reads.to_vec();
+        sorted.sort_by(|a, b| {
             a.time_s
                 .partial_cmp(&b.time_s)
                 .expect("read times are finite")
         });
-        out
+        let mut op = crate::stream::ObservationStream::new(self, registry);
+        op.run_batch(sorted)
     }
 }
 
@@ -173,13 +170,29 @@ impl LocationTracker {
         }
     }
 
+    /// The latest `(zone, time)` known for an object, if any — the live
+    /// estimate the streaming operator face diffs against.
+    pub(crate) fn last_zone_time(&self, object: usize) -> Option<(usize, f64)> {
+        self.last.get(&object).copied()
+    }
+
     /// The object's zone as of `now_s`: the most recent observation at
     /// or before `now_s`, or `None` if there is none or it has gone
     /// stale. Queries are point-in-time — observations from the future
     /// of `now_s` are ignored, so the tracker answers historical
     /// questions correctly.
+    ///
+    /// Live queries (`now_s` at or past the object's newest
+    /// observation) are answered in `O(log objects)` from the running
+    /// estimate; historical queries fall back to a history scan.
     #[must_use]
     pub fn location_of(&self, object: ObjectHandle, now_s: f64) -> Option<usize> {
+        let (zone, time_s) = self.last_zone_time(object.index())?;
+        if now_s >= time_s {
+            // The newest observation is already at or before now_s, so it
+            // is the maximum the scan below would find.
+            return (now_s - time_s <= self.staleness_s).then_some(zone);
+        }
         let latest = self
             .history
             .iter()
@@ -267,6 +280,22 @@ mod tests {
         assert_eq!(observations[0].zone, dock);
         assert_eq!(observations[1].zone, aisle);
         assert!(observations[0].time_s < observations[1].time_s);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_input_order() {
+        let (site, dock, aisle) = site_with_two_zones();
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        registry.attach_tag(case, Epc96::from_u128(5));
+
+        // Same instant at two portals: the stable sort preserves input
+        // order, so the aisle read stays first.
+        let reads = [read(2.0, 1, 0, 5), read(2.0, 0, 0, 5)];
+        let observations = site.observations(&registry, &reads);
+        assert_eq!(observations.len(), 2);
+        assert_eq!(observations[0].zone, aisle);
+        assert_eq!(observations[1].zone, dock);
     }
 
     #[test]

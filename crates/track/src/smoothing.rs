@@ -15,6 +15,7 @@
 //! These stream cleaners are the *software-only* alternative to the
 //! paper's physical redundancy, and the experiment harness compares them.
 
+use crate::stream::Operator;
 use serde::{Deserialize, Serialize};
 
 /// A closed time interval during which a tag is inferred present.
@@ -75,12 +76,22 @@ impl SmoothingWindow {
         self.window_s
     }
 
-    /// Smooths a sorted-or-unsorted list of read timestamps into presence
-    /// intervals. Each read asserts presence for `window_s` after it;
-    /// overlapping assertions merge.
+    /// Smooths a list of read timestamps into presence intervals. Each
+    /// read asserts presence for `window_s` after it; overlapping
+    /// assertions merge.
+    ///
+    /// # Ordering contract
+    ///
+    /// Input may arrive in any order (it is sorted internally; equal
+    /// timestamps keep their input order). Output intervals are
+    /// disjoint and ordered by start time — bit-identical to pushing
+    /// the sorted times through a
+    /// [`SmoothingStream`](crate::stream::SmoothingStream) under any
+    /// watermark schedule.
     #[must_use]
     pub fn smooth(&self, read_times: &[f64]) -> Vec<PresenceInterval> {
-        merge_with_windows(read_times, |_| self.window_s)
+        let mut op = crate::stream::SmoothingStream::new(self.window_s);
+        op.run_batch(sorted_times(read_times))
     }
 }
 
@@ -119,72 +130,32 @@ impl Default for AdaptiveSmoother {
 impl AdaptiveSmoother {
     /// Smooths read timestamps with a per-read adaptive window.
     ///
+    /// # Ordering contract
+    ///
+    /// Input may arrive in any order (it is sorted internally; equal
+    /// timestamps keep their input order). Output intervals are
+    /// disjoint and ordered by start time — bit-identical to pushing
+    /// the sorted times through an
+    /// [`AdaptiveStream`](crate::stream::AdaptiveStream) under any
+    /// watermark schedule.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (`delta` outside `(0, 1)`,
     /// empty history, or inverted window bounds).
     #[must_use]
     pub fn smooth(&self, read_times: &[f64]) -> Vec<PresenceInterval> {
-        assert!(
-            self.delta > 0.0 && self.delta < 1.0,
-            "delta must be in (0, 1)"
-        );
-        assert!(self.history > 0, "history must be positive");
-        assert!(
-            self.min_window_s > 0.0 && self.min_window_s <= self.max_window_s,
-            "window bounds must be positive and ordered"
-        );
-
-        let mut sorted = read_times.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("read times are finite"));
-
-        let ln_inv_delta = (1.0 / self.delta).ln();
-        let windows: Vec<f64> = (0..sorted.len())
-            .map(|i| {
-                // Centered gap history: offline cleaning may look ahead.
-                let start = i.saturating_sub(self.history);
-                let end = (i + self.history).min(sorted.len() - 1);
-                let gaps: Vec<f64> = sorted[start..=end]
-                    .windows(2)
-                    .map(|w| (w[1] - w[0]).max(1e-3))
-                    .collect();
-                if gaps.is_empty() {
-                    return self.min_window_s; // lone read: no flakiness evidence
-                }
-                let mean_gap = rfid_stats::ordered_sum(gaps.iter().copied()) / gaps.len() as f64;
-                // Reads arrive about once per mean_gap: the per-epoch read
-                // probability over epochs of length mean_gap is ~1, but the
-                // *variability* of the gaps tells us how flaky the stream
-                // is. Use the max observed gap as the pessimistic epoch.
-                let worst_gap = gaps.iter().cloned().fold(0.0, f64::max);
-                (worst_gap.max(mean_gap) * ln_inv_delta).clamp(self.min_window_s, self.max_window_s)
-            })
-            .collect();
-
-        merge_with_windows(&sorted, |i| windows[i])
+        let mut op = crate::stream::AdaptiveStream::new(*self);
+        op.run_batch(sorted_times(read_times))
     }
 }
 
-/// Merges reads into intervals where read `i` asserts presence for
-/// `window(i)` seconds after it.
-fn merge_with_windows<F: Fn(usize) -> f64>(read_times: &[f64], window: F) -> Vec<PresenceInterval> {
-    let mut sorted: Vec<(usize, f64)> = read_times.iter().copied().enumerate().collect();
-    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("read times are finite"));
-
-    let mut out: Vec<PresenceInterval> = Vec::new();
-    for (idx, t) in sorted {
-        let end = t + window(idx);
-        match out.last_mut() {
-            Some(last) if t <= last.end_s => {
-                last.end_s = last.end_s.max(end);
-            }
-            _ => out.push(PresenceInterval {
-                start_s: t,
-                end_s: end,
-            }),
-        }
-    }
-    out
+/// Stable-sorts timestamps (equal times keep input order), the shared
+/// batch-entry normalization step.
+fn sorted_times(read_times: &[f64]) -> Vec<f64> {
+    let mut sorted = read_times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("read times are finite"));
+    sorted
 }
 
 #[cfg(test)]
@@ -256,6 +227,21 @@ mod tests {
         // Tiny gaps: window floors at min.
         let out = smoother.smooth(&[0.0, 0.001, 0.002]);
         assert!(out[0].end_s - 0.002 >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_timestamps_are_normalized() {
+        let s = SmoothingWindow::new(1.0);
+        let shuffled = s.smooth(&[3.0, 0.0, 0.5, 3.0, 0.5]);
+        let sorted = s.smooth(&[0.0, 0.5, 0.5, 3.0, 3.0]);
+        assert_eq!(shuffled, sorted, "batch entry sorts and dedups nothing");
+        assert_eq!(shuffled.len(), 2);
+
+        let adaptive = AdaptiveSmoother::default();
+        assert_eq!(
+            adaptive.smooth(&[5.0, 1.0, 1.0, 2.0]),
+            adaptive.smooth(&[1.0, 1.0, 2.0, 5.0]),
+        );
     }
 
     #[test]

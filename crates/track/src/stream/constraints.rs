@@ -1,0 +1,234 @@
+//! Online constraint-based missed-read correction.
+
+use crate::constraints::{AccompanyConstraint, RouteConstraint, ZoneObservation};
+use crate::stream::smoothing::OrderGuard;
+use crate::stream::Operator;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The incremental route-constraint checker: the streaming engine behind
+/// [`RouteConstraint::correct`].
+///
+/// Keeps one pending observation per object (bounded by the live object
+/// population). Each push emits *causally*: first the inferred
+/// observations for route zones the object must have crossed since its
+/// previous observation, then the observation itself. Inferred
+/// observations carry interpolated timestamps **earlier than the push
+/// that produced them** — that is inherent to after-the-fact inference —
+/// so the operator is not watermark-preserving; compare streams to the
+/// batch output under [`ZoneObservation::canonical_cmp`] order.
+#[derive(Debug, Clone)]
+pub struct RouteStream {
+    route: RouteConstraint,
+    index_of: BTreeMap<usize, usize>,
+    /// Most recent observation per object index.
+    last: BTreeMap<usize, ZoneObservation>,
+    guard: OrderGuard,
+}
+
+impl RouteStream {
+    /// Creates the streaming checker for a route.
+    #[must_use]
+    pub fn new(route: RouteConstraint) -> Self {
+        let index_of = route
+            .zones()
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| (z, i))
+            .collect();
+        Self {
+            route,
+            index_of,
+            last: BTreeMap::new(),
+            guard: OrderGuard::new(),
+        }
+    }
+}
+
+impl Operator for RouteStream {
+    type In = ZoneObservation;
+    type Out = ZoneObservation;
+
+    fn push(&mut self, input: ZoneObservation) -> Vec<ZoneObservation> {
+        self.guard.admit(input.time_s);
+        let mut out = Vec::new();
+        if let Some(previous) = self.last.insert(input.object.index(), input) {
+            let on_route = (
+                self.index_of.get(&previous.zone),
+                self.index_of.get(&input.zone),
+            );
+            if let (Some(&ia), Some(&ib)) = on_route {
+                if ib > ia + 1 {
+                    let missing = ib - ia - 1;
+                    for (k, zone_idx) in (ia + 1..ib).enumerate() {
+                        let frac = (k + 1) as f64 / (missing + 1) as f64;
+                        out.push(ZoneObservation {
+                            object: previous.object,
+                            zone: self.route.zones()[zone_idx],
+                            time_s: previous.time_s + (input.time_s - previous.time_s) * frac,
+                            inferred: true,
+                        });
+                    }
+                }
+            }
+        }
+        out.push(input);
+        out
+    }
+
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<ZoneObservation> {
+        self.guard.advance(watermark_s);
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<ZoneObservation> {
+        Vec::new()
+    }
+}
+
+/// The incremental accompany-constraint checker: the streaming engine
+/// behind [`AccompanyConstraint::correct`].
+///
+/// Observations pass through unchanged as they are pushed; the quorum
+/// decision is a whole-stream aggregate, so inferred group members are
+/// emitted at [`Operator::finish`] — in group order, timestamped at the
+/// mean sighting time, exactly as the batch API appends them. Inferred
+/// timestamps lie in the past, so the operator is not
+/// watermark-preserving.
+#[derive(Debug, Clone)]
+pub struct AccompanyStream {
+    constraint: AccompanyConstraint,
+    zone: usize,
+    /// Times of group-member sightings at the zone, in push order (the
+    /// mean is an ordered sum, so order is part of the contract).
+    at_zone_times: Vec<f64>,
+    seen: BTreeSet<usize>,
+}
+
+impl AccompanyStream {
+    /// Creates the streaming checker for one group watching one zone.
+    #[must_use]
+    pub fn new(constraint: AccompanyConstraint, zone: usize) -> Self {
+        Self {
+            constraint,
+            zone,
+            at_zone_times: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+}
+
+impl Operator for AccompanyStream {
+    type In = ZoneObservation;
+    type Out = ZoneObservation;
+
+    fn push(&mut self, input: ZoneObservation) -> Vec<ZoneObservation> {
+        let is_member = self
+            .constraint
+            .members()
+            .iter()
+            .any(|m| m.index() == input.object.index());
+        if input.zone == self.zone && is_member {
+            self.at_zone_times.push(input.time_s);
+            self.seen.insert(input.object.index());
+        }
+        vec![input]
+    }
+
+    fn advance_watermark(&mut self, _watermark_s: f64) -> Vec<ZoneObservation> {
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<ZoneObservation> {
+        let members = self.constraint.members();
+        let need = (self.constraint.quorum() * members.len() as f64).ceil() as usize;
+        if self.seen.is_empty() || self.seen.len() < need {
+            return Vec::new();
+        }
+        let mean_time = rfid_stats::ordered_sum(self.at_zone_times.iter().copied())
+            / self.at_zone_times.len() as f64;
+        members
+            .iter()
+            .filter(|member| !self.seen.contains(&member.index()))
+            .map(|&member| ZoneObservation {
+                object: member,
+                zone: self.zone,
+                time_s: mean_time,
+                inferred: true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ObjectHandle, ObjectRegistry};
+
+    fn objects(n: usize) -> Vec<ObjectHandle> {
+        let mut reg = ObjectRegistry::new();
+        (0..n).map(|i| reg.register(format!("o{i}"))).collect()
+    }
+
+    fn seen(object: ObjectHandle, zone: usize, time_s: f64) -> ZoneObservation {
+        ZoneObservation {
+            object,
+            zone,
+            time_s,
+            inferred: false,
+        }
+    }
+
+    #[test]
+    fn route_stream_emits_inferences_causally() {
+        let objs = objects(1);
+        let mut op = RouteStream::new(RouteConstraint::new(vec![1, 2, 3, 4]));
+        assert_eq!(op.push(seen(objs[0], 1, 0.0)).len(), 1);
+        let out = op.push(seen(objs[0], 4, 3.0));
+        assert_eq!(out.len(), 3, "two inferences then the observation");
+        assert!(out[0].inferred && out[1].inferred && !out[2].inferred);
+        assert_eq!(out[0].zone, 2);
+        assert_eq!(out[1].zone, 3);
+        assert!(op.finish().is_empty());
+    }
+
+    #[test]
+    fn route_stream_matches_batch_under_canonical_order() {
+        let objs = objects(2);
+        let observed = vec![
+            seen(objs[0], 1, 0.0),
+            seen(objs[1], 1, 0.1),
+            seen(objs[0], 3, 2.0),
+        ];
+        let route = RouteConstraint::new(vec![1, 2, 3]);
+        let batch = route.correct(&observed);
+        let mut streamed = RouteStream::new(route).run_batch(observed);
+        streamed.sort_by(ZoneObservation::canonical_cmp);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn accompany_stream_infers_at_finish_only() {
+        let objs = objects(4);
+        let constraint = AccompanyConstraint::new(objs.clone(), 0.5);
+        let observed = vec![seen(objs[0], 7, 1.0), seen(objs[1], 7, 3.0)];
+        let batch = constraint.correct(&observed, 7);
+        let mut op = AccompanyStream::new(constraint, 7);
+        assert_eq!(op.push(observed[0]), vec![observed[0]], "pass-through");
+        assert_eq!(op.push(observed[1]), vec![observed[1]]);
+        let inferred = op.finish();
+        assert_eq!(inferred.len(), 2);
+        let mut streamed = observed;
+        streamed.extend(inferred);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn accompany_stream_below_quorum_is_silent() {
+        let objs = objects(4);
+        let constraint = AccompanyConstraint::new(objs.clone(), 0.75);
+        let mut op = AccompanyStream::new(constraint, 7);
+        op.push(seen(objs[0], 7, 1.0));
+        op.push(seen(objs[1], 7, 3.0));
+        assert!(op.finish().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The streaming operator contract and composition.
+
+/// An incremental stream operator with bounded working state.
+///
+/// The batch processing APIs of this crate ([`crate::SmoothingWindow`],
+/// [`crate::SightingPipeline`], [`crate::Site::observations`], ...) are
+/// thin wrappers over implementations of this trait: feed the whole
+/// input through [`Operator::push`] and close with [`Operator::finish`].
+/// Live deployments instead interleave pushes with
+/// [`Operator::advance_watermark`], so results stream out while the
+/// portal is still reading.
+///
+/// # Time and ordering contract
+///
+/// * Events are pushed in non-decreasing event time (equal timestamps
+///   are allowed; their push order is the tie-break). Operators whose
+///   semantics depend on time assert this.
+/// * `advance_watermark(t)` is a promise that every later push carries
+///   an event time `>= t`. Operators use it to flush windows that can no
+///   longer change. Watermarks must be non-decreasing; a regressing
+///   watermark is clamped to the current one.
+/// * `finish` is the promise that no further events exist at all; it
+///   flushes everything still pending. After `finish`, the operator
+///   must not be pushed again.
+///
+/// Each operator documents its *emission order* — the order outputs
+/// leave the operator — and its batch wrapper pins the batch output to
+/// exactly that order, so batch and streaming runs of the same events
+/// are bit-identical element for element.
+pub trait Operator {
+    /// The event type consumed.
+    type In;
+    /// The result type emitted.
+    type Out;
+
+    /// Feeds one event; returns every output this event completed.
+    fn push(&mut self, input: Self::In) -> Vec<Self::Out>;
+
+    /// Promises that all later events have time `>= watermark_s`,
+    /// returning outputs whose windows the promise closes.
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<Self::Out>;
+
+    /// Declares the stream over and flushes all remaining outputs.
+    fn finish(&mut self) -> Vec<Self::Out>;
+
+    /// Whether outputs emitted after `advance_watermark(t)` are
+    /// guaranteed to carry times `>= t`. Pass-through operators (the
+    /// reorder buffer, zone mapping) preserve the watermark; windowed
+    /// operators (smoothing, sightings) do not, because a window opened
+    /// before the watermark can close after it. [`Chain`] only forwards
+    /// watermarks downstream when the upstream operator preserves them.
+    fn watermark_preserving(&self) -> bool {
+        false
+    }
+
+    /// Composes `self` with a downstream operator consuming its output.
+    fn then<B>(self, next: B) -> Chain<Self, B>
+    where
+        Self: Sized,
+        B: Operator<In = Self::Out>,
+    {
+        Chain {
+            first: self,
+            second: next,
+        }
+    }
+
+    /// The batch entry point: pushes every input, then finishes.
+    fn run_batch<I>(&mut self, inputs: I) -> Vec<Self::Out>
+    where
+        Self: Sized,
+        I: IntoIterator<Item = Self::In>,
+    {
+        let mut out = Vec::new();
+        for input in inputs {
+            out.extend(self.push(input));
+        }
+        out.extend(self.finish());
+        out
+    }
+}
+
+/// Two operators fused into one: everything the first emits is pushed
+/// into the second.
+///
+/// Watermarks always reach the first operator; they are forwarded to
+/// the second only when the first is
+/// [watermark-preserving](Operator::watermark_preserving), because a
+/// non-preserving first stage may still emit outputs timestamped before
+/// the watermark, which the second stage's ordering contract would
+/// reject. Downstream stages of a non-preserving operator still flush
+/// on data pushes and at `finish`.
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Chain<A, B> {
+    /// The upstream operator.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The downstream operator.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A, B> Operator for Chain<A, B>
+where
+    A: Operator,
+    B: Operator<In = A::Out>,
+{
+    type In = A::In;
+    type Out = B::Out;
+
+    fn push(&mut self, input: Self::In) -> Vec<Self::Out> {
+        let mut out = Vec::new();
+        for mid in self.first.push(input) {
+            out.extend(self.second.push(mid));
+        }
+        out
+    }
+
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<Self::Out> {
+        let mut out = Vec::new();
+        for mid in self.first.advance_watermark(watermark_s) {
+            out.extend(self.second.push(mid));
+        }
+        if self.first.watermark_preserving() {
+            out.extend(self.second.advance_watermark(watermark_s));
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<Self::Out> {
+        let mut out = Vec::new();
+        for mid in self.first.finish() {
+            out.extend(self.second.push(mid));
+        }
+        out.extend(self.second.finish());
+        out
+    }
+
+    fn watermark_preserving(&self) -> bool {
+        self.first.watermark_preserving() && self.second.watermark_preserving()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles every input; pass-through timing.
+    struct Doubler;
+    impl Operator for Doubler {
+        type In = f64;
+        type Out = f64;
+        fn push(&mut self, input: f64) -> Vec<f64> {
+            vec![input * 2.0]
+        }
+        fn advance_watermark(&mut self, _watermark_s: f64) -> Vec<f64> {
+            Vec::new()
+        }
+        fn finish(&mut self) -> Vec<f64> {
+            Vec::new()
+        }
+        fn watermark_preserving(&self) -> bool {
+            true
+        }
+    }
+
+    /// Buffers everything until finish.
+    #[derive(Default)]
+    struct Hoarder {
+        held: Vec<f64>,
+    }
+    impl Operator for Hoarder {
+        type In = f64;
+        type Out = f64;
+        fn push(&mut self, input: f64) -> Vec<f64> {
+            self.held.push(input);
+            Vec::new()
+        }
+        fn advance_watermark(&mut self, _watermark_s: f64) -> Vec<f64> {
+            Vec::new()
+        }
+        fn finish(&mut self) -> Vec<f64> {
+            std::mem::take(&mut self.held)
+        }
+    }
+
+    #[test]
+    fn chain_pipes_pushes_and_finish() {
+        let mut chain = Doubler.then(Hoarder::default());
+        assert!(chain.push(1.0).is_empty());
+        assert!(chain.push(2.0).is_empty());
+        assert_eq!(chain.finish(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn chain_watermark_preservation_is_conjunctive() {
+        assert!(Doubler.then(Doubler).watermark_preserving());
+        assert!(!Doubler.then(Hoarder::default()).watermark_preserving());
+    }
+
+    #[test]
+    fn run_batch_is_push_all_plus_finish() {
+        let mut op = Hoarder::default();
+        assert_eq!(op.run_batch([3.0, 1.0]), vec![3.0, 1.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Online grouping of raw reads into per-object sightings.
+
+use crate::pipeline::Sighting;
+use crate::registry::ObjectRegistry;
+use crate::stream::smoothing::OrderGuard;
+use crate::stream::Operator;
+use rfid_sim::ReadEvent;
+use std::collections::BTreeMap;
+
+/// The incremental engine behind [`crate::SightingPipeline`]: merges
+/// time-ordered reads into [`Sighting`]s and emits each one as soon as
+/// time (pushes or the watermark) proves it can no longer grow.
+///
+/// Emission order is `(first_s, object index)` — a total order, since
+/// two sightings of the same object can never share a start time — and
+/// is exactly the order [`crate::SightingPipeline::process`] returns.
+///
+/// Working state is bounded by the number of objects concurrently at
+/// the portal, not the stream length: one open sighting per active
+/// object plus the finished sightings held back for ordered emission.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_gen2::Epc96;
+/// use rfid_sim::ReadEvent;
+/// use rfid_track::stream::{Operator, SightingStream};
+/// use rfid_track::ObjectRegistry;
+///
+/// let mut registry = ObjectRegistry::new();
+/// let case = registry.register("case-1");
+/// registry.attach_tag(case, Epc96::from_u128(5));
+///
+/// let mut op = SightingStream::new(&registry, 2.0);
+/// let read = |time_s| ReadEvent {
+///     time_s, reader: 0, antenna: 0, tag: 0, epc: Epc96::from_u128(5),
+/// };
+/// assert!(op.push(read(1.0)).is_empty());
+/// assert!(op.push(read(1.2)).is_empty());
+/// let done = op.push(read(9.0)); // the gap closes the first pass
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].reads, 2);
+/// assert_eq!(op.finish().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SightingStream<'r> {
+    registry: &'r ObjectRegistry,
+    merge_gap_s: f64,
+    /// Open sighting per object index.
+    open: BTreeMap<usize, Sighting>,
+    /// Finished sightings not yet emitted, sorted by
+    /// `(first_s, object index)`.
+    held: Vec<Sighting>,
+    guard: OrderGuard,
+}
+
+impl<'r> SightingStream<'r> {
+    /// Creates a streaming sighting grouper over a tag registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `merge_gap_s` is not strictly positive.
+    #[must_use]
+    pub fn new(registry: &'r ObjectRegistry, merge_gap_s: f64) -> Self {
+        assert!(merge_gap_s > 0.0, "merge gap must be positive");
+        Self {
+            registry,
+            merge_gap_s,
+            open: BTreeMap::new(),
+            held: Vec::new(),
+            guard: OrderGuard::new(),
+        }
+    }
+
+    fn hold(&mut self, sighting: Sighting) {
+        let key = (sighting.first_s, sighting.object.index());
+        let at = self
+            .held
+            .partition_point(|s| (s.first_s, s.object.index()) < key);
+        self.held.insert(at, sighting);
+    }
+
+    /// Moves every open sighting no future read can extend into the
+    /// held list, then emits the held prefix that is safely ordered.
+    fn drain(&mut self) -> Vec<Sighting> {
+        let lb = self.guard.future_lower_bound();
+        // An open sighting is final once every admissible future read
+        // (time >= lb) would start a new one instead of extending it.
+        let final_objects: Vec<usize> = self
+            .open
+            .iter()
+            .filter(|(_, s)| lb > s.last_s + self.merge_gap_s)
+            .map(|(&object, _)| object)
+            .collect();
+        for object in final_objects {
+            let sighting = self.open.remove(&object).expect("object is open");
+            self.hold(sighting);
+        }
+
+        // The earliest key a not-yet-held sighting could still take:
+        // open sightings keep their creation key; new sightings start at
+        // or after lb with any object index.
+        let open_floor = self
+            .open
+            .values()
+            .map(|s| (s.first_s, s.object.index()))
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let mut emitted = 0;
+        while emitted < self.held.len() {
+            let key = (
+                self.held[emitted].first_s,
+                self.held[emitted].object.index(),
+            );
+            let before_future = key.0 < lb;
+            let before_open = open_floor.is_none_or(|floor| key < floor);
+            if before_future && before_open {
+                emitted += 1;
+            } else {
+                break;
+            }
+        }
+        self.held.drain(..emitted).collect()
+    }
+}
+
+impl Operator for SightingStream<'_> {
+    type In = ReadEvent;
+    type Out = Sighting;
+
+    fn push(&mut self, input: ReadEvent) -> Vec<Sighting> {
+        self.guard.admit(input.time_s);
+        if let Some(object) = self.registry.object_of(input.epc) {
+            match self.open.entry(object.index()) {
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    if input.time_s - slot.get().last_s > self.merge_gap_s {
+                        let closed = slot.insert(new_sighting(object, &input));
+                        self.hold(closed);
+                    } else {
+                        extend(slot.get_mut(), &input);
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(new_sighting(object, &input));
+                }
+            }
+        }
+        self.drain()
+    }
+
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<Sighting> {
+        self.guard.advance(watermark_s);
+        self.drain()
+    }
+
+    fn finish(&mut self) -> Vec<Sighting> {
+        let open = std::mem::take(&mut self.open);
+        for (_, sighting) in open {
+            self.hold(sighting);
+        }
+        std::mem::take(&mut self.held)
+    }
+}
+
+pub(crate) fn new_sighting(object: crate::registry::ObjectHandle, read: &ReadEvent) -> Sighting {
+    Sighting {
+        object,
+        first_s: read.time_s,
+        last_s: read.time_s,
+        reads: 1,
+        antennas: vec![(read.reader, read.antenna)],
+        tags: vec![read.tag],
+    }
+}
+
+pub(crate) fn extend(sighting: &mut Sighting, read: &ReadEvent) {
+    sighting.last_s = read.time_s;
+    sighting.reads += 1;
+    if !sighting.antennas.contains(&(read.reader, read.antenna)) {
+        sighting.antennas.push((read.reader, read.antenna));
+    }
+    if !sighting.tags.contains(&read.tag) {
+        sighting.tags.push(read.tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+
+    fn read(time_s: f64, epc: u128) -> ReadEvent {
+        ReadEvent {
+            time_s,
+            reader: 0,
+            antenna: 0,
+            tag: epc as usize,
+            epc: Epc96::from_u128(epc),
+        }
+    }
+
+    fn registry() -> ObjectRegistry {
+        let mut reg = ObjectRegistry::new();
+        for i in 1..=3u128 {
+            let obj = reg.register(format!("o{i}"));
+            reg.attach_tag(obj, Epc96::from_u128(i));
+        }
+        reg
+    }
+
+    #[test]
+    fn watermark_flushes_completed_sightings() {
+        let reg = registry();
+        let mut op = SightingStream::new(&reg, 1.0);
+        op.push(read(1.0, 1));
+        assert!(
+            op.advance_watermark(1.5).is_empty(),
+            "a read at 1.5 could still merge"
+        );
+        let done = op.advance_watermark(2.5);
+        assert_eq!(done.len(), 1, "watermark past last_s + gap closes it");
+        assert!(op.finish().is_empty());
+    }
+
+    #[test]
+    fn emission_holds_back_for_earlier_open_sightings() {
+        let reg = registry();
+        let mut op = SightingStream::new(&reg, 1.0);
+        op.push(read(1.0, 1)); // object 0 opens first and stays alive
+        op.push(read(1.5, 2)); // object 1 opens second
+        op.push(read(1.9, 1));
+        // This read keeps object 0 alive and proves object 1's sighting
+        // final (1.5 + gap < 2.8) — but object 0's still-open sighting
+        // started earlier, so object 1 must be held back.
+        assert!(op.push(read(2.8, 1)).is_empty());
+        assert!(op.advance_watermark(3.0).is_empty());
+        let rest = op.finish();
+        assert_eq!(rest.len(), 2, "emitted in (first_s, object) order");
+        assert_eq!(rest[0].object.index(), 0);
+        assert_eq!(rest[1].object.index(), 1);
+    }
+
+    #[test]
+    fn streamed_equals_batch_process() {
+        let reg = registry();
+        let reads = vec![
+            read(1.0, 1),
+            read(1.2, 2),
+            read(1.4, 1),
+            read(4.0, 1),
+            read(4.1, 3),
+            read(9.0, 2),
+        ];
+        let batch = crate::SightingPipeline::new(2.0).process(&reg, &reads);
+        let mut op = SightingStream::new(&reg, 2.0);
+        let streamed = op.run_batch(reads);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn unknown_tags_are_ignored_but_advance_time() {
+        let mut reg = ObjectRegistry::new();
+        let obj = reg.register("o");
+        reg.attach_tag(obj, Epc96::from_u128(1));
+        let mut op = SightingStream::new(&reg, 1.0);
+        op.push(read(1.0, 1));
+        // The foreign tag's read proves time has moved past the gap.
+        let out = op.push(read(5.0, 99));
+        assert_eq!(out.len(), 1, "foreign read still closes the window");
+    }
+}

@@ -1,0 +1,382 @@
+//! Online smoothing-window cleaners.
+//!
+//! These are the incremental engines behind [`crate::SmoothingWindow`]
+//! and [`crate::AdaptiveSmoother`]: reads are pushed in time order and
+//! [`PresenceInterval`]s are emitted as soon as the watermark (or a
+//! later read) proves an interval can no longer be extended. The batch
+//! APIs are thin wrappers — sort, push everything, finish — and are
+//! bit-identical to a streaming run of the same reads under any
+//! chunking or watermark schedule.
+
+use crate::smoothing::{AdaptiveSmoother, PresenceInterval};
+use crate::stream::Operator;
+use std::collections::VecDeque;
+
+/// Shared interval-merging core: each read asserts presence for its
+/// window; overlapping assertions merge. Used by both smoothers once
+/// per-read windows are known.
+#[derive(Debug, Clone, Default)]
+struct MergeState {
+    open: Option<PresenceInterval>,
+}
+
+impl MergeState {
+    /// Feeds one `(time, window)` pair; returns the interval this read
+    /// closed, if any.
+    fn feed(&mut self, t: f64, window_s: f64) -> Option<PresenceInterval> {
+        let end = t + window_s;
+        match &mut self.open {
+            Some(last) if t <= last.end_s => {
+                last.end_s = last.end_s.max(end);
+                None
+            }
+            _ => self.open.replace(PresenceInterval {
+                start_s: t,
+                end_s: end,
+            }),
+        }
+    }
+
+    /// Whether the open interval (if any) can no longer be extended by
+    /// reads at or after `lower_bound_s`.
+    fn open_is_closed_by(&self, lower_bound_s: f64) -> bool {
+        self.open.is_some_and(|iv| lower_bound_s > iv.end_s)
+    }
+
+    fn take_open(&mut self) -> Option<PresenceInterval> {
+        self.open.take()
+    }
+}
+
+/// Validates that pushes arrive in order and ahead of the watermark;
+/// shared by the time-ordered operators in this module tree.
+#[derive(Debug, Clone)]
+pub(crate) struct OrderGuard {
+    last_s: f64,
+    watermark_s: f64,
+}
+
+impl OrderGuard {
+    pub(crate) fn new() -> Self {
+        Self {
+            last_s: f64::NEG_INFINITY,
+            watermark_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Admits one event time, panicking on NaN, time regression, or a
+    /// push behind the watermark.
+    pub(crate) fn admit(&mut self, t: f64) {
+        assert!(!t.is_nan(), "event time must not be NaN");
+        assert!(
+            t >= self.last_s,
+            "events must be pushed in non-decreasing time order: {t} s after {} s",
+            self.last_s
+        );
+        assert!(
+            t >= self.watermark_s,
+            "event at {t} s arrived behind the watermark {} s",
+            self.watermark_s
+        );
+        self.last_s = t;
+    }
+
+    /// Advances the watermark (regressions clamp).
+    pub(crate) fn advance(&mut self, watermark_s: f64) {
+        assert!(!watermark_s.is_nan(), "watermark must not be NaN");
+        self.watermark_s = self.watermark_s.max(watermark_s);
+    }
+
+    /// The earliest time any future event may carry: events are
+    /// non-decreasing and at or after the watermark.
+    pub(crate) fn future_lower_bound(&self) -> f64 {
+        self.last_s.max(self.watermark_s)
+    }
+}
+
+/// Online fixed-window smoothing: the incremental form of
+/// [`crate::SmoothingWindow`].
+///
+/// Reads are pushed in non-decreasing time order. A closed interval is
+/// emitted as soon as a read opens the next one, or when the watermark
+/// passes its end. Emission order is interval start order (intervals
+/// are disjoint, so this is total).
+///
+/// # Examples
+///
+/// ```
+/// use rfid_track::stream::{Operator, SmoothingStream};
+///
+/// let mut op = SmoothingStream::new(1.0);
+/// assert!(op.push(0.0).is_empty());
+/// assert!(op.push(0.5).is_empty());        // merges
+/// let closed = op.push(5.0);                // gap: first interval closes
+/// assert_eq!(closed.len(), 1);
+/// assert_eq!(closed[0].end_s, 1.5);
+/// assert_eq!(op.finish().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmoothingStream {
+    window_s: f64,
+    merge: MergeState,
+    guard: OrderGuard,
+}
+
+impl SmoothingStream {
+    /// Creates a fixed-window streaming smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive.
+    #[must_use]
+    pub fn new(window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        Self {
+            window_s,
+            merge: MergeState::default(),
+            guard: OrderGuard::new(),
+        }
+    }
+}
+
+impl Operator for SmoothingStream {
+    type In = f64;
+    type Out = PresenceInterval;
+
+    fn push(&mut self, input: f64) -> Vec<PresenceInterval> {
+        self.guard.admit(input);
+        self.merge
+            .feed(input, self.window_s)
+            .map_or_else(Vec::new, |iv| vec![iv])
+    }
+
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<PresenceInterval> {
+        self.guard.advance(watermark_s);
+        if self
+            .merge
+            .open_is_closed_by(self.guard.future_lower_bound())
+        {
+            self.merge.take_open().map_or_else(Vec::new, |iv| vec![iv])
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn finish(&mut self) -> Vec<PresenceInterval> {
+        self.merge.take_open().map_or_else(Vec::new, |iv| vec![iv])
+    }
+}
+
+/// Online SMURF-style adaptive smoothing: the incremental form of
+/// [`crate::AdaptiveSmoother`].
+///
+/// The adaptive window of read *i* is estimated from the gaps among its
+/// `history` neighbours on **both** sides, so the operator holds a
+/// sliding buffer of up to `2 * history + 1` reads: a read's window is
+/// sized once `history` later reads have arrived (or at `finish`, where
+/// the remaining reads use the stream tail, exactly as the batch
+/// cleaner's clipped neighbourhood does). Memory is bounded by the
+/// history length, not the stream length.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStream {
+    config: AdaptiveSmoother,
+    ln_inv_delta: f64,
+    /// Reads with indices `>= base`, covering every read that may still
+    /// contribute to an unsized window's gap neighbourhood.
+    times: VecDeque<f64>,
+    /// Global index of `times[0]`.
+    base: usize,
+    /// Global index of the next read whose window is not yet sized.
+    next_unsized: usize,
+    /// Total reads pushed.
+    pushed: usize,
+    merge: MergeState,
+    guard: OrderGuard,
+}
+
+impl AdaptiveStream {
+    /// Creates an adaptive streaming smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`delta` outside `(0, 1)`,
+    /// empty history, or inverted window bounds).
+    #[must_use]
+    pub fn new(config: AdaptiveSmoother) -> Self {
+        assert!(
+            config.delta > 0.0 && config.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
+        assert!(config.history > 0, "history must be positive");
+        assert!(
+            config.min_window_s > 0.0 && config.min_window_s <= config.max_window_s,
+            "window bounds must be positive and ordered"
+        );
+        Self {
+            ln_inv_delta: (1.0 / config.delta).ln(),
+            config,
+            times: VecDeque::new(),
+            base: 0,
+            next_unsized: 0,
+            pushed: 0,
+            merge: MergeState::default(),
+            guard: OrderGuard::new(),
+        }
+    }
+
+    /// Sizes the window for global read index `i`, whose gap
+    /// neighbourhood `[i - history, min(i + history, n - 1)]` is fully
+    /// buffered. Bit-identical to the batch cleaner's per-read window.
+    fn window_for(&self, i: usize, last_index: usize) -> f64 {
+        let start = i.saturating_sub(self.config.history);
+        let end = (i + self.config.history).min(last_index);
+        let gaps: Vec<f64> = (start..end)
+            .map(|j| (self.times[j + 1 - self.base] - self.times[j - self.base]).max(1e-3))
+            .collect();
+        if gaps.is_empty() {
+            return self.config.min_window_s; // lone read: no flakiness evidence
+        }
+        let mean_gap = rfid_stats::ordered_sum(gaps.iter().copied()) / gaps.len() as f64;
+        let worst_gap = gaps.iter().copied().fold(0.0, f64::max);
+        (worst_gap.max(mean_gap) * self.ln_inv_delta)
+            .clamp(self.config.min_window_s, self.config.max_window_s)
+    }
+
+    /// Sizes and merges every read whose neighbourhood is complete,
+    /// then drops buffered reads no unsized window can reach.
+    fn drain_sized(&mut self, out: &mut Vec<PresenceInterval>, stream_over: bool) {
+        let last_index = self.pushed - 1; // callers guarantee pushed > 0
+        while self.next_unsized <= last_index
+            && (stream_over || self.next_unsized + self.config.history <= last_index)
+        {
+            let i = self.next_unsized;
+            let window = self.window_for(i, last_index);
+            let t = self.times[i - self.base];
+            if let Some(closed) = self.merge.feed(t, window) {
+                out.push(closed);
+            }
+            self.next_unsized += 1;
+        }
+        while self.base + self.config.history < self.next_unsized {
+            self.times.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+impl Operator for AdaptiveStream {
+    type In = f64;
+    type Out = PresenceInterval;
+
+    fn push(&mut self, input: f64) -> Vec<PresenceInterval> {
+        self.guard.admit(input);
+        self.times.push_back(input);
+        self.pushed += 1;
+        let mut out = Vec::new();
+        self.drain_sized(&mut out, false);
+        out
+    }
+
+    fn advance_watermark(&mut self, watermark_s: f64) -> Vec<PresenceInterval> {
+        self.guard.advance(watermark_s);
+        // The open interval may only be flushed if neither a future read
+        // (time >= the guard's lower bound) nor an already-buffered but
+        // still unsized read can merge into it.
+        let earliest_unsized = (self.next_unsized >= self.base)
+            .then(|| self.times.get(self.next_unsized - self.base).copied())
+            .flatten();
+        let lower_bound = match earliest_unsized {
+            Some(t) => self.guard.future_lower_bound().min(t),
+            None => self.guard.future_lower_bound(),
+        };
+        if self.merge.open_is_closed_by(lower_bound) {
+            self.merge.take_open().map_or_else(Vec::new, |iv| vec![iv])
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn finish(&mut self) -> Vec<PresenceInterval> {
+        let mut out = Vec::new();
+        if self.pushed > 0 {
+            self.drain_sized(&mut out, true);
+        }
+        out.extend(self.merge.take_open());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmoothingWindow;
+
+    #[test]
+    fn streaming_matches_batch_fixed() {
+        let times = [0.0, 0.4, 0.9, 5.0, 5.2, 9.0];
+        let batch = SmoothingWindow::new(1.0).smooth(&times);
+        let mut op = SmoothingStream::new(1.0);
+        let streamed = op.run_batch(times);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn watermark_flushes_closed_intervals_early() {
+        let mut op = SmoothingStream::new(1.0);
+        op.push(0.0);
+        assert!(
+            op.advance_watermark(0.5).is_empty(),
+            "interval still extendable"
+        );
+        let flushed = op.advance_watermark(1.5);
+        assert_eq!(flushed.len(), 1, "watermark past end closes the window");
+        assert!(op.finish().is_empty());
+    }
+
+    #[test]
+    fn watermark_at_interval_end_does_not_flush() {
+        let mut op = SmoothingStream::new(1.0);
+        op.push(0.0);
+        // A future read AT the end time would still merge.
+        assert!(op.advance_watermark(1.0).is_empty());
+        assert_eq!(op.push(1.0).len(), 0, "read at the boundary merges");
+        let out = op.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].end_s, 2.0);
+    }
+
+    #[test]
+    fn adaptive_streaming_matches_batch() {
+        let smoother = AdaptiveSmoother::default();
+        let times = [0.0, 1.0, 1.1, 2.3, 3.5, 3.6, 4.8, 20.0, 20.5];
+        let batch = smoother.smooth(&times);
+        let mut op = AdaptiveStream::new(smoother);
+        let streamed = op.run_batch(times);
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn adaptive_buffer_stays_bounded() {
+        let smoother = AdaptiveSmoother {
+            history: 4,
+            ..AdaptiveSmoother::default()
+        };
+        let mut op = AdaptiveStream::new(smoother);
+        for i in 0..1000 {
+            op.push(i as f64 * 0.1);
+            assert!(
+                op.times.len() <= 2 * 4 + 1,
+                "buffer exceeded 2h+1: {}",
+                op.times.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing time order")]
+    fn out_of_order_pushes_panic() {
+        let mut op = SmoothingStream::new(1.0);
+        op.push(2.0);
+        op.push(1.0);
+    }
+}

@@ -1,148 +1,189 @@
-//! Drives the AR400-style emulated reader exactly like the paper's Java
-//! harness: start buffered (continuous) mode, feed it a simulated portal
-//! pass, poll the XML tag list, and post-process into object sightings.
+//! Streams a live reader session into tracking, end to end: two
+//! AR400-style emulated readers served over real TCP sockets, one
+//! buffered-mode client session per portal, and every drained XML tag
+//! record converted straight into the streaming operator chain
+//!
+//! ```text
+//! wire record -> WireEventAdapter -> ReorderBuffer -> ObservationStream -> LocationTracker
+//! ```
+//!
+//! No intermediate `Vec<ReadEvent>` is ever materialized — zone
+//! transitions print the moment the watermark lets them out, while the
+//! cases are still mid-corridor. The same reads run through the batch
+//! pipeline at the end to show the streamed zone history is identical.
 //!
 //! ```text
 //! cargo run --release --example reader_emulation
 //! ```
 
+use rfid_repro::gen2::{ReaderRf, Session};
 use rfid_repro::geom::{Pose, Rotation, Vec3};
 use rfid_repro::readerapi::{
-    counters, BackoffPolicy, FaultPlan, FaultTransport, InMemoryTransport, ReaderClient,
-    ReaderEmulator, RetryingTransport,
+    serve, BackoffPolicy, ReaderClient, ReaderEmulator, RetryingTransport, ServeOptions,
+    TcpTransport, WireEventAdapter,
 };
-use rfid_repro::sim::{run_scenario, Motion, RngStream, ScenarioBuilder};
-use rfid_repro::track::{ObjectRegistry, SightingPipeline};
+use rfid_repro::sim::{
+    run_scenario, Antenna, Motion, ReadEvent, RngStream, ScenarioBuilder, SimReader,
+};
+use rfid_repro::track::stream::{ObservationStream, Operator, ReorderBuffer};
+use rfid_repro::track::{LocationTracker, ObjectRegistry, Site};
+use std::net::TcpListener;
+use std::sync::Mutex;
+
+/// A dense-mode portal on its own RF channel so the two portals can
+/// inventory concurrently (legacy readers sharing a channel jam the
+/// downstream portal).
+fn dense_portal(x: f64, ports: usize, channel: u8) -> SimReader {
+    let antennas = (0..ports)
+        .map(|i| {
+            let offset = (i as f64 - (ports as f64 - 1.0) / 2.0) * 2.0;
+            Antenna::portal(Pose::from_translation(Vec3::new(x + offset, 0.0, 1.0)))
+        })
+        .collect();
+    let mut reader = SimReader::ar400(antennas);
+    reader.rf = ReaderRf::dense(channel);
+    reader
+}
 
 fn main() {
-    // Simulate a two-tag case passing the portal.
+    // Two cases carted down a two-portal corridor: dock then aisle.
     let facing = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
     let scenario = ScenarioBuilder::new()
-        .duration_s(5.0)
-        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+        .duration_s(8.0)
+        .session(Session::S0)
+        .reader(dense_portal(0.0, 2, 0))
+        .reader(dense_portal(4.0, 1, 1))
         .free_tag(Motion::linear(
-            Pose::new(Vec3::new(-2.5, 1.0, 1.0), facing),
+            Pose::new(Vec3::new(-1.5, 1.0, 1.0), facing),
             Vec3::new(1.0, 0.0, 0.0),
             0.0,
-            5.0,
+            8.0,
         ))
         .free_tag(Motion::linear(
-            Pose::new(Vec3::new(-2.5, 1.0, 1.25), facing),
+            Pose::new(Vec3::new(-1.5, 1.0, 1.25), facing),
             Vec3::new(1.0, 0.0, 0.0),
             0.0,
-            5.0,
+            8.0,
         ))
         .build();
-    let output = run_scenario(&scenario, 9);
+    let output = run_scenario(&scenario, 21);
     println!("simulation produced {} raw reads", output.reads.len());
 
-    // Feed the RF truth into the reader emulator and talk to it over the
-    // XML wire format, like the paper's software did over HTTP.
-    let mut emulator = ReaderEmulator::new();
-    let mut client = ReaderClient::new(InMemoryTransport::new(emulator.clone()));
-    client
-        .start_buffered()
-        .expect("reader accepts the mode change");
-    client
-        .transport_mut()
-        .emulator_mut()
-        .feed_simulation(&output);
-
-    let status = client.status().expect("status round-trips");
-    println!(
-        "reader status: mode {:?}, power {} dBm, {} buffered reads",
-        status.mode, status.power_dbm, status.buffered
-    );
-
-    let records = client.get_tags().expect("tag list round-trips");
-    println!(
-        "client fetched {} tag records over XML; first few:",
-        records.len()
-    );
-    for record in records.iter().take(3) {
-        println!(
-            "  epc {} antenna {} at t = {:.2} s",
-            record.epc, record.antenna, record.time_s
-        );
-    }
-
-    // Back-end processing: EPC -> object, burst of reads -> one sighting.
+    // The tracking world: one registered case per tag, two zones.
     let mut registry = ObjectRegistry::new();
-    let case = registry.register("case-0042");
-    for tag in &scenario.world.tags {
+    for (index, tag) in scenario.world.tags.iter().enumerate() {
+        let case = registry.register(format!("case-{index}"));
         registry.attach_tag(case, tag.epc);
     }
-    let sightings = SightingPipeline::new(1.0).process(&registry, &output.reads);
-    for sighting in &sightings {
-        println!(
-            "sighting: {} seen {:.2}-{:.2} s ({} reads, {} antennas, {} tags)",
-            registry.name_of(sighting.object),
-            sighting.first_s,
-            sighting.last_s,
-            sighting.reads,
-            sighting.antennas.len(),
-            sighting.tags.len()
-        );
-    }
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, dock);
+    site.assign_portal(1, 0, aisle);
 
-    // The polled path (the paper's read-range methodology).
-    emulator.poll_window(Vec::new());
-    println!("polled mode after stop-buffered serves an empty list until the next inventory");
+    // One real TCP server per reader, exactly like the paper's harness
+    // talking to two AR400s on the LAN.
+    let emulators: Vec<Mutex<ReaderEmulator>> =
+        (0..2).map(|_| Mutex::new(ReaderEmulator::new())).collect();
+    let listeners: Vec<TcpListener> = (0..2)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("bound address"))
+        .collect();
 
-    // The paper's harness ran over a flaky network link to the AR400.
-    // Reproduce that: the same session through a seed-deterministic
-    // chaos transport (drops, disconnects, garbled and truncated
-    // frames, delays), recovered by bounded retry with deterministic
-    // backoff. The application code is identical — reliability lives in
-    // the transport stack.
-    counters::reset();
-    let chaos = FaultTransport::new(
-        InMemoryTransport::new(ReaderEmulator::new()),
-        FaultPlan::noisy(),
-        RngStream::new(3),
-    );
-    let mut hardened = ReaderClient::new(RetryingTransport::new(
-        chaos,
-        BackoffPolicy::default(),
-        RngStream::new(400),
-    ));
-    hardened
-        .start_buffered()
-        .expect("retry rides out injected faults");
-    // Poll in windows like the paper's harness did, so the chaos layer
-    // gets a realistic stream of exchanges to fault.
-    let mut recovered = Vec::new();
-    for window in output.reads.chunks(1) {
-        let emulator = hardened
-            .transport_mut()
-            .inner_mut()
-            .inner_mut()
-            .emulator_mut();
-        for read in window {
-            emulator.feed(rfid_repro::readerapi::TagRecord {
-                epc: read.epc.to_string(),
-                antenna: (read.antenna + 1) as u8,
-                time_s: read.time_s,
+    std::thread::scope(|scope| {
+        for (listener, emulator) in listeners.iter().zip(&emulators) {
+            scope.spawn(move || {
+                let options = ServeOptions {
+                    max_connections: Some(1),
+                    ..ServeOptions::default()
+                };
+                serve(listener, emulator, options).expect("serve the session");
             });
         }
-        recovered.extend(
-            hardened
-                .get_tags()
-                .expect("the faulted wire still drains every read"),
+
+        // One retrying client session per portal, in buffered mode.
+        let mut clients: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .map(|(reader, addr)| {
+                let tcp = TcpTransport::connect(addr).expect("connect to the reader");
+                let mut client = ReaderClient::new(RetryingTransport::new(
+                    tcp,
+                    BackoffPolicy::immediate(4),
+                    RngStream::new(400 + reader as u64),
+                ));
+                client.start_buffered().expect("enter buffered mode");
+                client
+            })
+            .collect();
+        let adapters: Vec<_> = (0..2)
+            .map(|reader| WireEventAdapter::for_world(reader, &scenario.world))
+            .collect();
+
+        // The streaming data plane. Records drain off the wire, convert,
+        // and flow straight through the operators — no batch anywhere.
+        let mut reorder: ReorderBuffer<ReadEvent> = ReorderBuffer::new();
+        let mut chain = ObservationStream::new(&site, &registry).then(LocationTracker::new(5.0));
+        let mut emitted = 0usize;
+
+        let step = 0.5;
+        let windows = (scenario.duration_s / step).ceil() as usize + 1;
+        let mut next = 0;
+        for window in 1..=windows {
+            let boundary = window as f64 * step;
+            // RF truth reaching each reader during this polling window.
+            while next < output.reads.len() && output.reads[next].time_s < boundary {
+                let read = &output.reads[next];
+                emulators[read.reader]
+                    .lock()
+                    .expect("feed the emulator")
+                    .feed_sim_read(read);
+                next += 1;
+            }
+            // Drain every session; a full drain licenses the watermark.
+            for (reader, client) in clients.iter_mut().enumerate() {
+                for record in client.get_tags().expect("drain the session") {
+                    let event = adapters[reader].convert(&record).expect("wire record");
+                    reorder.push(event);
+                }
+            }
+            for event in reorder.advance_watermark(boundary) {
+                for transition in chain.push(event) {
+                    emitted += 1;
+                    println!(
+                        "t = {:.2} s  {} {} -> {}",
+                        transition.time_s,
+                        registry.name_of(transition.object),
+                        transition
+                            .from
+                            .map_or("(new)".to_owned(), |z| site.zone_name(z).to_owned()),
+                        site.zone_name(transition.to),
+                    );
+                }
+            }
+        }
+        for event in reorder.finish() {
+            emitted += chain.push(event).len();
+        }
+        chain.finish();
+
+        // The streamed zone history is the batch pipeline's, exactly.
+        let mut batch_tracker = LocationTracker::new(5.0);
+        batch_tracker.observe_all(site.observations(&registry, &output.reads));
+        assert_eq!(
+            chain.second(),
+            &batch_tracker,
+            "streaming and batch zone histories must be identical"
         );
-    }
-    let stats = hardened.transport_mut().inner_mut().stats();
-    println!(
-        "through a noisy wire ({} faults injected: {} drops, {} disconnects, \
-         {} garbles, {} truncates, {} delays) the client still drained {} records",
-        stats.total_faults(),
-        stats.drops,
-        stats.disconnects,
-        stats.garbles,
-        stats.truncates,
-        stats.delays,
-        recovered.len(),
-    );
-    assert_eq!(recovered.len(), records.len(), "no read lost to the wire");
-    println!("wire counters: {}", counters::snapshot());
+        println!(
+            "{} zone transitions streamed over {} TCP sessions; final history matches batch",
+            emitted,
+            clients.len(),
+        );
+        drop(clients); // hang up so the serve threads exit
+    });
 }

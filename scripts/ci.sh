@@ -16,7 +16,17 @@ cargo run -q -p rfid-audit -- --list-allows
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
+cargo build --release --examples
 cargo test --workspace -q
+
+# Drive the runnable demos end-to-end under a wall-clock budget:
+# `quickstart` is the front-door experience, and `reader_emulation`
+# exercises the full streaming data plane (live TCP sessions through the
+# wire adapter and reorder buffer into the location tracker, asserting
+# the streamed zone history matches batch). A hang or panic in either
+# fails the gate instead of wedging the runner.
+timeout 120 cargo run --release -q --example quickstart >/dev/null
+timeout 120 cargo run --release -q --example reader_emulation >/dev/null
 
 # Re-run the wire-path failure suites under a hard wall-clock budget.
 # These tests exist to prove a stalled or faulted peer cannot hang the
@@ -31,3 +41,4 @@ smoke_out="$(mktemp)"
 trap 'rm -f "$smoke_out"' EXIT
 scripts/bench-snapshot.sh "$smoke_out" --smoke
 grep -q '"speedup"' "$smoke_out"
+grep -q '"events_per_sec"' "$smoke_out"

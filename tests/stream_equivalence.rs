@@ -1,0 +1,346 @@
+//! Batch ≡ streaming: property tests pinning every batch API to its
+//! streaming operator, bit-identically, under arbitrary event chunkings
+//! and watermark schedules — and, for the simulator event stream,
+//! across executor thread counts.
+//!
+//! Each batch entry point documents its ordering contract; these tests
+//! are the proof that driving the underlying operator any legal way
+//! (any chunk sizes, any valid watermark placement, any thread count)
+//! yields the same output sequence.
+
+use proptest::prelude::*;
+use rfid_gen2::Epc96;
+use rfid_geom::{Pose, Vec3};
+use rfid_sim::{
+    run_scenario_streaming_with, run_scenario_with, Motion, ReadEvent, ScenarioBuilder,
+    ScenarioCache, SimOutput, SimStreamEvent, TrialExecutor,
+};
+use rfid_track::stream::{
+    AccompanyStream, AdaptiveStream, ObservationStream, Operator, ReorderBuffer, RouteStream,
+    SightingStream, SmoothingStream,
+};
+use rfid_track::{
+    AccompanyConstraint, AdaptiveSmoother, LocationTracker, ObjectRegistry, RouteConstraint,
+    SightingPipeline, Site, SmoothingWindow, ZoneObservation,
+};
+
+/// A streaming drive plan: `(chunk_len, watermark_frac)` pairs. Events
+/// are pushed `chunk_len` at a time; between chunks the watermark
+/// advances to `last + (next - last) * frac`, which is always legal for
+/// time-sorted input (the next push is never behind it).
+type Plan = Vec<(usize, f64)>;
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    proptest::collection::vec((1usize..4, 0.0f64..=1.0), 1..24)
+}
+
+/// Drives `op` over time-sorted `events` according to `plan`,
+/// concatenating everything it emits; leftover events (plan exhausted)
+/// are pushed unchunked, then the operator is finished.
+fn drive<Op, F>(op: &mut Op, events: &[Op::In], plan: &Plan, time_of: F) -> Vec<Op::Out>
+where
+    Op: Operator,
+    Op::In: Clone,
+    F: Fn(&Op::In) -> f64,
+{
+    let mut out = Vec::new();
+    let mut idx = 0;
+    for &(len, frac) in plan {
+        if idx >= events.len() {
+            break;
+        }
+        let end = (idx + len).min(events.len());
+        for event in &events[idx..end] {
+            out.extend(op.push(event.clone()));
+        }
+        idx = end;
+        if idx > 0 && idx < events.len() {
+            let last = time_of(&events[idx - 1]);
+            let next = time_of(&events[idx]);
+            out.extend(op.advance_watermark(last + (next - last) * frac));
+        }
+    }
+    for event in &events[idx..] {
+        out.extend(op.push(event.clone()));
+    }
+    out.extend(op.finish());
+    out
+}
+
+/// Quarter-second grid timestamps: sorted, with frequent exact ties.
+fn sorted_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..240, 0..40).prop_map(|raw| {
+        let mut times: Vec<f64> = raw.into_iter().map(|t| f64::from(t) * 0.25).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("grid times are finite"));
+        times
+    })
+}
+
+/// Two objects with two tags each (EPCs 1-4); EPC 5 is a foreign tag.
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    for obj in 0..2u128 {
+        let handle = reg.register(format!("obj{obj}"));
+        reg.attach_tag(handle, Epc96::from_u128(obj * 2 + 1));
+        reg.attach_tag(handle, Epc96::from_u128(obj * 2 + 2));
+    }
+    reg
+}
+
+/// Raw reads on the quarter-second grid; tag index 4 is the foreign EPC.
+fn reads_strategy(sorted: bool) -> impl Strategy<Value = Vec<ReadEvent>> {
+    proptest::collection::vec((0u32..240, 0usize..5, 0usize..2, 0usize..2), 0..40).prop_map(
+        move |raw| {
+            let mut reads: Vec<ReadEvent> = raw
+                .into_iter()
+                .map(|(t, tag, antenna, reader)| ReadEvent {
+                    time_s: f64::from(t) * 0.25,
+                    reader,
+                    antenna,
+                    tag,
+                    epc: Epc96::from_u128(tag as u128 + 1),
+                })
+                .collect();
+            if sorted {
+                reads.sort_by(|a, b| {
+                    a.time_s
+                        .partial_cmp(&b.time_s)
+                        .expect("grid times are finite")
+                });
+            }
+            reads
+        },
+    )
+}
+
+/// A site whose portals cover some but not all (reader, antenna) pairs.
+fn site() -> Site {
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, aisle);
+    site.assign_portal(1, 0, aisle);
+    site
+}
+
+/// Zone observations over three objects; zone 99 is off every route.
+fn observations_strategy() -> impl Strategy<Value = Vec<ZoneObservation>> {
+    let mut reg = ObjectRegistry::new();
+    let handles: Vec<_> = (0..3).map(|i| reg.register(format!("o{i}"))).collect();
+    proptest::collection::vec((0u32..240, 0usize..3, 0usize..5), 0..40).prop_map(move |raw| {
+        let mut observations: Vec<ZoneObservation> = raw
+            .into_iter()
+            .map(|(t, obj, zone_idx)| ZoneObservation {
+                object: handles[obj],
+                zone: [1, 2, 3, 4, 99][zone_idx],
+                time_s: f64::from(t) * 0.25,
+                inferred: false,
+            })
+            .collect();
+        observations.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("grid times are finite")
+        });
+        observations
+    })
+}
+
+proptest! {
+    #[test]
+    fn fixed_smoothing_batch_equals_streaming(
+        times in sorted_times(),
+        plan in plan_strategy(),
+        window in 0.1f64..5.0,
+    ) {
+        let batch = SmoothingWindow::new(window).smooth(&times);
+        let mut op = SmoothingStream::new(window);
+        let streamed = drive(&mut op, &times, &plan, |&t| t);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn adaptive_smoothing_batch_equals_streaming(
+        times in sorted_times(),
+        plan in plan_strategy(),
+        history in 1usize..5,
+    ) {
+        let smoother = AdaptiveSmoother { history, ..AdaptiveSmoother::default() };
+        let batch = smoother.smooth(&times);
+        let mut op = AdaptiveStream::new(smoother);
+        let streamed = drive(&mut op, &times, &plan, |&t| t);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn sightings_batch_equals_streaming(
+        reads in reads_strategy(true),
+        plan in plan_strategy(),
+        gap in 0.1f64..5.0,
+    ) {
+        let reg = registry();
+        let batch = SightingPipeline::new(gap).process(&reg, &reads);
+        let mut op = SightingStream::new(&reg, gap);
+        let streamed = drive(&mut op, &reads, &plan, |r| r.time_s);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn site_observations_and_tracker_batch_equal_streaming(
+        reads in reads_strategy(true),
+        plan in plan_strategy(),
+    ) {
+        let site = site();
+        let reg = registry();
+        let batch = site.observations(&reg, &reads);
+        let mut op = ObservationStream::new(&site, &reg);
+        let streamed = drive(&mut op, &reads, &plan, |r| r.time_s);
+        prop_assert_eq!(&streamed, &batch);
+
+        // Feeding the same reads through the chained tracker leaves it in
+        // exactly the state batch observe_all produces.
+        let mut batch_tracker = LocationTracker::new(5.0);
+        batch_tracker.observe_all(batch);
+        let mut chain = ObservationStream::new(&site, &reg).then(LocationTracker::new(5.0));
+        let transitions = drive(&mut chain, &reads, &plan, |r| r.time_s);
+        prop_assert_eq!(chain.second(), &batch_tracker);
+        // Transitions are exactly the zone changes visible in the stream.
+        let mut replay = LocationTracker::new(5.0);
+        let expected: Vec<_> = streamed.into_iter().flat_map(|o| replay.push(o)).collect();
+        prop_assert_eq!(transitions, expected);
+    }
+
+    #[test]
+    fn route_batch_equals_canonically_sorted_stream(
+        observations in observations_strategy(),
+        plan in plan_strategy(),
+    ) {
+        let route = RouteConstraint::new(vec![1, 2, 3, 4]);
+        let batch = route.correct(&observations);
+        let mut op = RouteStream::new(route);
+        let mut streamed = drive(&mut op, &observations, &plan, |o| o.time_s);
+        streamed.sort_by(ZoneObservation::canonical_cmp);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn accompany_batch_equals_streaming(
+        observations in observations_strategy(),
+        quorum in 0.1f64..=1.0,
+    ) {
+        let mut reg = ObjectRegistry::new();
+        let group: Vec<_> = (0..3).map(|i| reg.register(format!("o{i}"))).collect();
+        let constraint = AccompanyConstraint::new(group, quorum);
+        let batch = constraint.correct(&observations, 2);
+        let mut op = AccompanyStream::new(constraint, 2);
+        let streamed = op.run_batch(observations);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn reorder_buffer_recovers_the_stable_time_sort(
+        reads in reads_strategy(false),
+    ) {
+        let mut expected = reads.clone();
+        expected.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("grid times are finite")
+        });
+        let mut op = ReorderBuffer::new();
+        let streamed = op.run_batch(reads);
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn reordered_wire_stream_equals_batch_sightings(
+        reads in reads_strategy(false),
+        gap in 0.1f64..5.0,
+    ) {
+        // Out-of-order arrivals, watermarked with the tightest promise a
+        // producer could make (the minimum of everything still to come):
+        // the reorder buffer must hand the sighting operator exactly the
+        // batch pipeline's sorted order.
+        let reg = registry();
+        let batch = SightingPipeline::new(gap).process(&reg, &reads);
+        let mut chain = ReorderBuffer::new().then(SightingStream::new(&reg, gap));
+        let mut out = Vec::new();
+        for (i, read) in reads.iter().enumerate() {
+            out.extend(chain.push(*read));
+            let remaining = reads[i + 1..]
+                .iter()
+                .map(|r| r.time_s)
+                .fold(f64::INFINITY, f64::min);
+            if remaining.is_finite() {
+                out.extend(chain.advance_watermark(remaining));
+            }
+        }
+        out.extend(chain.finish());
+        prop_assert_eq!(out, batch);
+    }
+}
+
+/// A two-reader portal pass, the scenario used for the simulator-side
+/// equivalence checks.
+fn two_reader_pass() -> rfid_sim::Scenario {
+    ScenarioBuilder::new()
+        .duration_s(3.0)
+        .portal_reader(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2)
+        .portal_reader(Pose::from_translation(Vec3::new(1.0, 0.0, 1.0)), 1)
+        .free_tag(Motion::linear(
+            Pose::from_translation(Vec3::new(-1.5, 1.0, 1.0)),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            3.0,
+        ))
+        .build()
+}
+
+#[test]
+fn sim_event_stream_is_bit_identical_across_thread_counts() {
+    let scenario = two_reader_pass();
+    let cache = ScenarioCache::new(&scenario);
+    let streamed_trial = |seed: u64| {
+        let mut events = Vec::new();
+        run_scenario_streaming_with(&scenario, &cache, seed, |event| events.push(event));
+        events
+    };
+    let serial = TrialExecutor::serial().run_trials(4, |i| streamed_trial(300 + i));
+    for threads in [2, 4] {
+        let parallel =
+            TrialExecutor::with_threads(threads).run_trials(4, |i| streamed_trial(300 + i));
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+    assert!(
+        serial
+            .iter()
+            .any(|events| events.iter().any(|e| matches!(e, SimStreamEvent::Read(_)))),
+        "the pass should produce at least one read in some trial"
+    );
+}
+
+#[test]
+fn sim_event_stream_rebuilds_the_batch_output() {
+    let scenario = two_reader_pass();
+    let cache = ScenarioCache::new(&scenario);
+    for seed in 300..304 {
+        let batch = run_scenario_with(&scenario, &cache, seed);
+        let mut streamed = SimOutput {
+            duration_s: scenario.duration_s,
+            ..SimOutput::default()
+        };
+        // The watermark-keyed reorder buffer recovers the batch output's
+        // stable time sort without ever holding the full read list.
+        let mut reorder: ReorderBuffer<ReadEvent> = ReorderBuffer::new();
+        run_scenario_streaming_with(&scenario, &cache, seed, |event| match event {
+            SimStreamEvent::Watermark(t) => streamed.reads.extend(reorder.advance_watermark(t)),
+            SimStreamEvent::Read(read) => {
+                reorder.push(read);
+            }
+            SimStreamEvent::Round(round) => streamed.rounds.push(round),
+        });
+        streamed.reads.extend(reorder.finish());
+        assert_eq!(streamed, batch, "seed {seed}");
+    }
+}
