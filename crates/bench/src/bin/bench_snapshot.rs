@@ -22,6 +22,13 @@
 //! through the full online operator chains (reorder buffer into the
 //! sighting operator, and reorder into zone observation into the
 //! location tracker) over a synthetic two-portal read stream.
+//!
+//! A fourth section loads the live site server: N portals dial in over
+//! real TCP and drain M tags' recorded sessions while a query client
+//! measures sustained ingest (events/second to full ingestion) and
+//! query latency (p50/p99 over sequential `location_of` round-trips).
+//! The drained tracker is asserted bit-identical to a batch replay, so
+//! the numbers are only reported for a *correct* run.
 
 use rfid_experiments::scenarios::{
     object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
@@ -29,9 +36,14 @@ use rfid_experiments::scenarios::{
 use rfid_experiments::Calibration;
 use rfid_gen2::Epc96;
 use rfid_sim::{run_scenario_reference, ReadEvent, Scenario, TrialExecutor};
+use rfid_site_server::{
+    recorded_reads, run_portal, synthetic_world, QueryClient, ServerConfig, SiteServer,
+};
 use rfid_track::stream::{ObservationStream, Operator, ReorderBuffer, SightingStream};
 use rfid_track::{LocationTracker, ObjectRegistry, Site};
-use std::time::Instant;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 struct Case {
     name: &'static str,
@@ -217,6 +229,151 @@ fn measure_streaming_cases(smoke: bool) -> Vec<StreamingMeasurement> {
     ]
 }
 
+/// Raises the server shutdown flag when dropped, so an error return
+/// from the load scope unwinds the daemon instead of deadlocking.
+struct RaiseOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for RaiseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+struct SiteServerMeasurement {
+    portals: usize,
+    tags: usize,
+    events: usize,
+    ingest_s: f64,
+    queries: usize,
+    query_p50_ms: f64,
+    query_p99_ms: f64,
+}
+
+impl SiteServerMeasurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.ingest_s
+    }
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[index.min(sorted.len() - 1)] * 1e3
+}
+
+/// Boots a live site server on ephemeral ports, dials in `portals`
+/// concurrent reader sessions replaying a recorded set of `tags`
+/// crossing every zone, and measures sustained ingest plus query
+/// latency from a real TCP query client. Correctness gate: the drained
+/// tracker must equal the batch replay bit for bit.
+fn measure_site_server(smoke: bool) -> Result<SiteServerMeasurement, String> {
+    let portals = 4;
+    let tags = 8;
+    let steps = if smoke { 40 } else { 400 };
+    let query_count = if smoke { 50 } else { 500 };
+    let world = synthetic_world(portals, tags);
+    let reads = recorded_reads(portals, tags, steps);
+    let per_portal: Vec<Vec<ReadEvent>> = (0..portals)
+        .map(|p| reads.iter().copied().filter(|r| r.reader == p).collect())
+        .collect();
+    let token = "bench-token";
+    let config = ServerConfig::new(token);
+    let staleness_s = config.staleness_s;
+    let server = SiteServer::new(&world.site, &world.registry, &world.adapters, config);
+    let reader_listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind reader port: {e}"))?;
+    let query_listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind query port: {e}"))?;
+    let reader_addr = reader_listener
+        .local_addr()
+        .map_err(|e| format!("reader addr: {e}"))?;
+    let query_addr = query_listener
+        .local_addr()
+        .map_err(|e| format!("query addr: {e}"))?;
+    let shutdown = AtomicBool::new(false);
+
+    let (report, ingest_s, mut latencies_s) = std::thread::scope(|scope| -> Result<_, String> {
+        let _guard = RaiseOnDrop(&shutdown);
+        let daemon = scope.spawn(|| server.run(&reader_listener, &query_listener, &shutdown));
+        let start = Instant::now();
+        let portal_threads: Vec<_> = (0..portals)
+            .map(|p| {
+                let chunk = &per_portal[p];
+                scope.spawn(move || run_portal(reader_addr, p, chunk, Duration::ZERO))
+            })
+            .collect();
+        let mut client =
+            QueryClient::connect(query_addr, token).map_err(|e| format!("query connect: {e}"))?;
+        let total = reads.len() as u64;
+        let mut ingested = 0;
+        let mut ingest_s = 0.0;
+        for _ in 0..20_000 {
+            ingested = client
+                .counter("events_ingested")
+                .map_err(|e| format!("counters query: {e}"))?;
+            ingest_s = start.elapsed().as_secs_f64();
+            if ingested == total {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if ingested != total {
+            return Err(format!("ingest stalled at {ingested}/{total}"));
+        }
+        // Query latency under a drained-but-live server: sequential
+        // location_of round-trips spread across the tag population.
+        let mut latencies_s = Vec::with_capacity(query_count);
+        for q in 0..query_count {
+            let epc = world.epcs[q % tags].to_string();
+            let begin = Instant::now();
+            client
+                .location_of(&epc)
+                .map_err(|e| format!("location_of: {e}"))?;
+            latencies_s.push(begin.elapsed().as_secs_f64());
+        }
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown rpc: {e}"))?;
+        for (p, handle) in portal_threads.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => return Err(format!("portal {p}: {e}")),
+                Err(_) => return Err(format!("portal {p} thread panicked")),
+            }
+        }
+        match daemon.join() {
+            Ok(Ok(report)) => Ok((report, ingest_s, latencies_s)),
+            Ok(Err(e)) => Err(format!("server run: {e}")),
+            Err(_) => Err("server thread panicked".to_owned()),
+        }
+    })?;
+
+    // Correctness gate: load numbers only count for a bit-exact run.
+    let mut batch = LocationTracker::new(staleness_s);
+    batch.observe_all(world.site.observations(&world.registry, &reads));
+    if report.tracker != batch {
+        return Err("site server diverged from the batch replay under load".to_owned());
+    }
+    if report.counters.session_errors != 0 {
+        return Err(format!(
+            "{} session errors under load",
+            report.counters.session_errors
+        ));
+    }
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(SiteServerMeasurement {
+        portals,
+        tags,
+        events: reads.len(),
+        ingest_s,
+        queries: query_count,
+        query_p50_ms: percentile_ms(&latencies_s, 0.50),
+        query_p99_ms: percentile_ms(&latencies_s, 0.99),
+    })
+}
+
 fn main() -> std::process::ExitCode {
     let mut out_path = None;
     let mut smoke = false;
@@ -253,6 +410,13 @@ fn main() -> std::process::ExitCode {
 
     let measurements: Vec<Measurement> = cases.iter().map(measure).collect();
     let streaming = measure_streaming_cases(smoke);
+    let site_server = match measure_site_server(smoke) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_snapshot: site_server load section failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
 
     let mut json =
         String::from("{\n  \"benchmark\": \"memoized hot path vs unmemoized reference\",\n");
@@ -282,7 +446,21 @@ fn main() -> std::process::ExitCode {
             if i + 1 < streaming.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"site_server\": {{\"portals\": {}, \"tags\": {}, \"events\": {}, \
+         \"ingest_s\": {:.6}, \"events_per_sec\": {:.0}, \"queries\": {}, \
+         \"query_p50_ms\": {:.3}, \"query_p99_ms\": {:.3}}}\n",
+        site_server.portals,
+        site_server.tags,
+        site_server.events,
+        site_server.ingest_s,
+        site_server.events_per_sec(),
+        site_server.queries,
+        site_server.query_p50_ms,
+        site_server.query_p99_ms,
+    ));
+    json.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("bench_snapshot: cannot write {out_path}: {e}");
         return std::process::ExitCode::FAILURE;
@@ -308,6 +486,18 @@ fn main() -> std::process::ExitCode {
             m.events_per_sec(),
         );
     }
+    println!(
+        "site_server: {} portals x {} tags, {} events ingested in {:.3} s \
+         ({:.0} events/s), {} queries p50 {:.3} ms p99 {:.3} ms",
+        site_server.portals,
+        site_server.tags,
+        site_server.events,
+        site_server.ingest_s,
+        site_server.events_per_sec(),
+        site_server.queries,
+        site_server.query_p50_ms,
+        site_server.query_p99_ms,
+    );
     println!("wrote {out_path}");
     std::process::ExitCode::SUCCESS
 }

@@ -205,6 +205,19 @@ impl<T: Transport> ReaderClient<T> {
         }
     }
 
+    /// Asks the reader which portal it is (reverse-connection
+    /// deployments route sessions by this index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on transport, wire, or reader failures.
+    pub fn identify(&mut self) -> Result<usize, ClientError> {
+        match self.call(&Request::Identify)? {
+            Response::Identity(reader) => Ok(reader),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Sets transmit power.
     ///
     /// # Errors
@@ -242,6 +255,13 @@ mod tests {
         assert_eq!(tags[0].epc, "AA00000000000000000000BB");
         client.stop_buffered().unwrap();
         assert_eq!(client.status().unwrap().mode, ReaderMode::Polled);
+    }
+
+    #[test]
+    fn identify_round_trips_the_portal_index() {
+        let mut client =
+            ReaderClient::new(InMemoryTransport::new(ReaderEmulator::with_reader_id(4)));
+        assert_eq!(client.identify().unwrap(), 4);
     }
 
     #[test]

@@ -19,6 +19,8 @@ static REQUESTS: AtomicU64 = AtomicU64::new(0);
 static RETRIES: AtomicU64 = AtomicU64::new(0);
 static TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static MALFORMED_FRAMES: AtomicU64 = AtomicU64::new(0);
+static TRUNCATIONS: AtomicU64 = AtomicU64::new(0);
+static DISCONNECTS: AtomicU64 = AtomicU64::new(0);
 static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
 static CONNECTIONS: AtomicU64 = AtomicU64::new(0);
 static CONNECTION_ERRORS: AtomicU64 = AtomicU64::new(0);
@@ -37,6 +39,14 @@ pub(crate) fn record_timeout() {
 
 pub(crate) fn record_malformed_frame() {
     MALFORMED_FRAMES.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn record_truncation() {
+    TRUNCATIONS.fetch_add(1, Relaxed);
+}
+
+pub(crate) fn record_disconnect() {
+    DISCONNECTS.fetch_add(1, Relaxed);
 }
 
 pub(crate) fn record_fault_injected() {
@@ -64,6 +74,13 @@ pub struct WireCounters {
     /// Frames that arrived but failed wire-format validation
     /// (client-side garbled responses and server-side garbled requests).
     pub malformed_frames: u64,
+    /// Frames cut mid-line by a peer dying while writing, on either
+    /// side of the wire (also tallied under `malformed_frames` for the
+    /// client path, which predates this counter).
+    pub truncations: u64,
+    /// Peers that vanished abortively (reset, broken pipe) or closed
+    /// while a response was owed.
+    pub disconnects: u64,
     /// Faults a chaos transport injected on purpose.
     pub faults_injected: u64,
     /// Connections accepted by a serve loop.
@@ -87,6 +104,8 @@ impl WireCounters {
             malformed_frames: self
                 .malformed_frames
                 .saturating_sub(earlier.malformed_frames),
+            truncations: self.truncations.saturating_sub(earlier.truncations),
+            disconnects: self.disconnects.saturating_sub(earlier.disconnects),
             faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
             connections: self.connections.saturating_sub(earlier.connections),
             connection_errors: self
@@ -101,11 +120,14 @@ impl std::fmt::Display for WireCounters {
         write!(
             f,
             "{} requests ({} retries), {} timeouts, {} malformed frames, \
-             {} faults injected, {} connections ({} errored)",
+             {} truncations, {} disconnects, {} faults injected, \
+             {} connections ({} errored)",
             self.requests,
             self.retries,
             self.timeouts,
             self.malformed_frames,
+            self.truncations,
+            self.disconnects,
             self.faults_injected,
             self.connections,
             self.connection_errors,
@@ -121,6 +143,8 @@ pub fn snapshot() -> WireCounters {
         retries: RETRIES.load(Relaxed),
         timeouts: TIMEOUTS.load(Relaxed),
         malformed_frames: MALFORMED_FRAMES.load(Relaxed),
+        truncations: TRUNCATIONS.load(Relaxed),
+        disconnects: DISCONNECTS.load(Relaxed),
         faults_injected: FAULTS_INJECTED.load(Relaxed),
         connections: CONNECTIONS.load(Relaxed),
         connection_errors: CONNECTION_ERRORS.load(Relaxed),
@@ -133,6 +157,8 @@ pub fn reset() {
     RETRIES.store(0, Relaxed);
     TIMEOUTS.store(0, Relaxed);
     MALFORMED_FRAMES.store(0, Relaxed);
+    TRUNCATIONS.store(0, Relaxed);
+    DISCONNECTS.store(0, Relaxed);
     FAULTS_INJECTED.store(0, Relaxed);
     CONNECTIONS.store(0, Relaxed);
     CONNECTION_ERRORS.store(0, Relaxed);
@@ -152,6 +178,8 @@ mod tests {
         record_retry();
         record_timeout();
         record_malformed_frame();
+        record_truncation();
+        record_disconnect();
         record_fault_injected();
         record_connection();
         record_connection_error();
@@ -160,6 +188,8 @@ mod tests {
         assert!(delta.retries >= 1);
         assert!(delta.timeouts >= 1);
         assert!(delta.malformed_frames >= 1);
+        assert!(delta.truncations >= 1);
+        assert!(delta.disconnects >= 1);
         assert!(delta.faults_injected >= 1);
         assert!(delta.connections >= 1);
         assert!(delta.connection_errors >= 1);
@@ -185,6 +215,8 @@ mod tests {
             retries: 17,
             timeouts: 9,
             malformed_frames: 5,
+            truncations: 3,
+            disconnects: 2,
             faults_injected: 31,
             connections: 4,
             connection_errors: 1,
@@ -194,6 +226,8 @@ mod tests {
         assert!(text.contains("17 retries"));
         assert!(text.contains("9 timeouts"));
         assert!(text.contains("5 malformed frames"));
+        assert!(text.contains("3 truncations"));
+        assert!(text.contains("2 disconnects"));
         assert!(text.contains("31 faults injected"));
         assert!(text.contains("4 connections (1 errored)"));
     }

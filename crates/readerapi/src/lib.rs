@@ -64,7 +64,8 @@ pub use client::{ClientError, InMemoryTransport, ReaderClient, Transport};
 pub use error::TransportError;
 pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use net::{
-    serve, serve_connection, serve_once, ServeOptions, ServeSummary, TcpTransport, DEFAULT_DEADLINE,
+    serve, serve_connection, serve_once, serve_shared, ServeOptions, ServeSummary, TcpTransport,
+    DEFAULT_DEADLINE,
 };
 pub use protocol::{ReaderMode, Request, Response, StatusReport, TagRecord};
 pub use retry::{BackoffPolicy, RetryingTransport};

@@ -61,6 +61,23 @@ impl TcpTransport {
         Self::from_stream(stream, deadline)
     }
 
+    /// Wraps an already-accepted connection as a transport, arming
+    /// `deadline` on every read and write.
+    ///
+    /// This is the server-side mirror of [`TcpTransport::connect`]: a
+    /// daemon that lets readers dial *in* (reverse sessions) accepts the
+    /// stream and then speaks the protocol as the client over it. Note
+    /// that [`Transport::reset`] on such a transport reconnects *out*
+    /// to the recorded peer address, which an inbound-only reader will
+    /// refuse — wrap with retry only when the peer also listens.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-option error.
+    pub fn from_accepted(stream: TcpStream, deadline: Option<Duration>) -> io::Result<Self> {
+        Self::from_stream(stream, deadline)
+    }
+
     fn from_stream(stream: TcpStream, deadline: Option<Duration>) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(deadline)?;
@@ -101,8 +118,11 @@ impl TcpTransport {
 
     fn classify(&self, err: &io::Error) -> TransportError {
         let classified = TransportError::from_io(err, self.deadline);
-        if matches!(classified, TransportError::Timeout { .. }) {
-            counters::record_timeout();
+        match classified {
+            TransportError::Timeout { .. } => counters::record_timeout(),
+            TransportError::Disconnected => counters::record_disconnect(),
+            TransportError::Truncated => counters::record_truncation(),
+            _ => {}
         }
         classified
     }
@@ -118,10 +138,14 @@ impl Transport for TcpTransport {
             .map_err(|err| self.classify(&err))?;
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
-            Ok(0) => Err(TransportError::Disconnected),
+            Ok(0) => {
+                counters::record_disconnect();
+                Err(TransportError::Disconnected)
+            }
             Ok(_) if !line.ends_with('\n') => {
                 // EOF arrived mid-frame: the peer died while writing.
                 counters::record_malformed_frame();
+                counters::record_truncation();
                 Err(TransportError::Truncated)
             }
             Ok(_) => Ok(line.trim_end().to_owned()),
@@ -142,29 +166,93 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Tallies a peer that vanished abortively mid-session, then hands the
+/// error back for the serve loop's per-connection accounting.
+fn classify_serve_error(err: io::Error) -> io::Error {
+    match err.kind() {
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::NotConnected => counters::record_disconnect(),
+        io::ErrorKind::UnexpectedEof => counters::record_truncation(),
+        _ => {}
+    }
+    err
+}
+
+/// The request/response loop shared by every serve entry point.
+///
+/// Frames are read with an explicit `read_line` loop rather than
+/// `BufRead::lines()`: `lines()` yields a final *unterminated* partial
+/// line as `Ok`, which silently promoted a client that died mid-frame
+/// into a complete request. Here a frame without its closing newline is
+/// a typed truncation — counted in [`crate::counters`] and surfaced as
+/// an `UnexpectedEof` connection error — while EOF at a frame boundary
+/// stays a clean disconnect.
+fn serve_stream(stream: TcpStream, mut handle: impl FnMut(&str) -> String) -> io::Result<()> {
+    // Request/response frames are tiny; without nodelay, Nagle plus
+    // delayed ACKs adds ~40 ms to every exchange.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // clean disconnect at a frame boundary
+            Ok(_) if !line.ends_with('\n') => {
+                counters::record_truncation();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "client disconnected mid-frame",
+                ));
+            }
+            Ok(_) => {
+                let request = line.trim();
+                if request.is_empty() {
+                    continue;
+                }
+                let response = handle(request);
+                writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .map_err(classify_serve_error)?;
+            }
+            Err(err) => return Err(classify_serve_error(err)),
+        }
+    }
+}
+
 /// Serves one client connection: reads newline-framed XML requests and
 /// writes XML responses until the peer disconnects.
 ///
 /// # Errors
 ///
-/// Returns I/O errors other than a clean disconnect.
+/// Returns I/O errors other than a clean disconnect; a client dying
+/// mid-frame is an `UnexpectedEof` error (and a counted truncation),
+/// not a silent success.
 pub fn serve_connection(stream: TcpStream, emulator: &mut ReaderEmulator) -> io::Result<()> {
-    // Request/response frames are tiny; without nodelay, Nagle plus
-    // delayed ACKs adds ~40 ms to every exchange.
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let request = line?;
-        if request.trim().is_empty() {
-            continue;
-        }
-        let response = emulator.handle_xml(&request);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-    }
-    Ok(())
+    serve_stream(stream, |request| emulator.handle_xml(request))
+}
+
+/// Serves one client connection against an emulator shared with other
+/// threads, locking only for the duration of each request — the
+/// per-connection body of [`serve`], exposed so daemons can run the
+/// same loop over connections they accepted themselves (e.g. a portal
+/// process dialing out to a site server).
+///
+/// # Errors
+///
+/// Returns I/O errors other than a clean disconnect, including typed
+/// mid-frame truncations.
+pub fn serve_shared(stream: TcpStream, emulator: &Mutex<ReaderEmulator>) -> io::Result<()> {
+    serve_stream(stream, |request| {
+        emulator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .handle_xml(request)
+    })
 }
 
 /// Accepts exactly one connection on `listener` and serves it to
@@ -236,7 +324,7 @@ pub fn serve(
             scope.spawn(move || {
                 let outcome = stream
                     .set_read_timeout(options.read_timeout)
-                    .and_then(|()| serve_client(stream, emulator));
+                    .and_then(|()| serve_shared(stream, emulator));
                 if outcome.is_err() {
                     errors.fetch_add(1, Relaxed);
                     counters::record_connection_error();
@@ -249,28 +337,6 @@ pub fn serve(
         connections: connections.load(Relaxed),
         connection_errors: errors.load(Relaxed),
     })
-}
-
-/// One connection's request loop against the shared emulator, locking
-/// only for the duration of each request.
-fn serve_client(stream: TcpStream, emulator: &Mutex<ReaderEmulator>) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let request = line?;
-        if request.trim().is_empty() {
-            continue;
-        }
-        let response = emulator
-            .lock()
-            .map_err(|_| io::Error::other("emulator lock poisoned"))?
-            .handle_xml(&request);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-    }
-    Ok(())
 }
 
 #[cfg(test)]

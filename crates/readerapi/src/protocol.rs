@@ -50,6 +50,11 @@ pub enum Request {
     Status,
     /// Set transmit power in dBm.
     SetPower(f64),
+    /// Ask the reader which portal it is. Reverse-connection
+    /// deployments (readers dialing in to a site server) use this as
+    /// the first exchange so the server can route the session's reads
+    /// to the right portal lane.
+    Identify,
 }
 
 impl Request {
@@ -63,6 +68,7 @@ impl Request {
             Request::ClearBuffer => XmlNode::branch("clear-buffer", Vec::new()),
             Request::Status => XmlNode::branch("status", Vec::new()),
             Request::SetPower(dbm) => XmlNode::leaf("set-power", format!("{dbm}")),
+            Request::Identify => XmlNode::branch("identify", Vec::new()),
         };
         XmlNode::branch("request", vec![body]).to_xml()
     }
@@ -89,6 +95,7 @@ impl Request {
                 .parse()
                 .map(Request::SetPower)
                 .map_err(|_| WireError::new("set-power requires a number")),
+            "identify" => Ok(Request::Identify),
             other => Err(WireError::new(format!("unknown command <{other}>"))),
         }
     }
@@ -103,6 +110,8 @@ pub enum Response {
     Tags(Vec<TagRecord>),
     /// Status snapshot.
     Status(StatusReport),
+    /// The reader's portal index, answering [`Request::Identify`].
+    Identity(usize),
     /// Command failed.
     Error(String),
 }
@@ -114,6 +123,7 @@ impl Response {
         let body = match self {
             Response::Ok => XmlNode::branch("ok", Vec::new()),
             Response::Error(message) => XmlNode::leaf("error", message.clone()),
+            Response::Identity(reader) => XmlNode::leaf("identity", reader.to_string()),
             Response::Tags(tags) => XmlNode::branch(
                 "tags",
                 tags.iter()
@@ -166,6 +176,11 @@ impl Response {
         match body.name.as_str() {
             "ok" => Ok(Response::Ok),
             "error" => Ok(Response::Error(body.text.clone())),
+            "identity" => body
+                .text
+                .parse()
+                .map(Response::Identity)
+                .map_err(|_| WireError::new("identity requires a reader index")),
             "tags" => {
                 let mut tags = Vec::new();
                 for tag in &body.children {
@@ -228,6 +243,7 @@ mod tests {
             Request::ClearBuffer,
             Request::Status,
             Request::SetPower(27.5),
+            Request::Identify,
         ] {
             let xml = request.to_xml();
             assert_eq!(Request::from_xml(&xml).unwrap(), request, "{xml}");
@@ -256,6 +272,8 @@ mod tests {
                 power_dbm: 30.0,
                 buffered: 17,
             }),
+            Response::Identity(0),
+            Response::Identity(7),
         ];
         for response in responses {
             let xml = response.to_xml();

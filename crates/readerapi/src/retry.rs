@@ -60,15 +60,26 @@ impl BackoffPolicy {
 
     /// The deterministic delay before retry `attempt` (1-based) of
     /// logical exchange `call`.
+    ///
+    /// Implements the documented `min(cap, base * 2^(attempt-1))`
+    /// exactly for every attempt number: the exponent is grown by
+    /// saturating doubling (never a shift), stopping as soon as it
+    /// reaches `cap`, so `attempt > 20` cannot overflow and a `cap`
+    /// below `base` clamps the very first retry. `attempt = 0` is
+    /// treated as the first retry (`2^0`), so callers counting from
+    /// either convention get a well-defined, bounded delay.
     #[must_use]
     pub fn delay(&self, rng: &RngStream, call: u64, attempt: u32) -> Duration {
         if self.base.is_zero() {
             return Duration::ZERO;
         }
-        let exp = self
-            .base
-            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
-            .min(self.cap);
+        let mut exp = self.base;
+        let mut doublings = attempt.saturating_sub(1);
+        while doublings > 0 && exp < self.cap {
+            exp = exp.saturating_mul(2);
+            doublings -= 1;
+        }
+        let exp = exp.min(self.cap);
         let jitter = 0.5 + 0.5 * rng.uniform(&[call, u64::from(attempt)]);
         exp.mul_f64(jitter)
     }
@@ -269,6 +280,59 @@ mod tests {
             policy.delay(&RngStream::new(100), 3, 1),
             policy.delay(&rng, 3, 1),
             "different seeds draw different jitter"
+        );
+    }
+
+    #[test]
+    fn cap_below_base_clamps_every_retry() {
+        let policy = BackoffPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(4),
+        };
+        let rng = RngStream::new(11);
+        for attempt in [0, 1, 2, 7, 40] {
+            let delay = policy.delay(&rng, 0, attempt);
+            let cap = policy.cap;
+            assert!(
+                delay >= cap.mul_f64(0.5) && delay < cap,
+                "attempt {attempt}: min(cap, base*2^(n-1)) = cap when cap < base"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_attempt_numbers_cannot_overflow_the_exponent() {
+        // attempt - 1 > 20 used to clamp the shift at 2^20; the doubling
+        // loop honors the documented formula all the way to saturation.
+        let policy = BackoffPolicy {
+            max_attempts: u32::MAX,
+            base: Duration::from_millis(1),
+            cap: Duration::MAX,
+        };
+        let rng = RngStream::new(11);
+        for attempt in [21, 64, 1_000, u32::MAX] {
+            let delay = policy.delay(&rng, 1, attempt);
+            assert!(delay <= policy.cap, "attempt {attempt} stays bounded");
+        }
+        // Past the old 2^20 clamp the formula keeps doubling: attempt 25
+        // must wait jitter * base * 2^24, not jitter * base * 2^20.
+        let exp = Duration::from_millis(1 << 24);
+        let delay = policy.delay(&rng, 1, 25);
+        assert!(
+            delay >= exp.mul_f64(0.5) && delay < exp,
+            "attempt 25 honors base*2^24 ({delay:?} vs {exp:?})"
+        );
+    }
+
+    #[test]
+    fn attempt_zero_is_well_defined() {
+        let policy = BackoffPolicy::default();
+        let rng = RngStream::new(11);
+        let delay = policy.delay(&rng, 0, 0);
+        assert!(
+            delay >= policy.base.mul_f64(0.5) && delay < policy.base,
+            "attempt 0 behaves as the first retry (2^0 exponent)"
         );
     }
 

@@ -18,18 +18,40 @@ pub struct ReaderEmulator {
     mode: ReaderMode,
     power_dbm: f64,
     buffer: Vec<TagRecord>,
+    reader_id: usize,
 }
 
 impl ReaderEmulator {
     /// Creates a reader in polled mode at 30 dBm (the paper's default
-    /// power).
+    /// power), identifying as portal 0.
     #[must_use]
     pub fn new() -> Self {
         Self {
             mode: ReaderMode::Polled,
             power_dbm: 30.0,
             buffer: Vec::new(),
+            reader_id: 0,
         }
+    }
+
+    /// Creates a reader identifying as portal `reader_id` — the index a
+    /// site server routes this session's reads under.
+    #[must_use]
+    pub fn with_reader_id(reader_id: usize) -> Self {
+        let mut reader = Self::new();
+        reader.reader_id = reader_id;
+        reader
+    }
+
+    /// The portal index served to [`Request::Identify`].
+    #[must_use]
+    pub fn reader_id(&self) -> usize {
+        self.reader_id
+    }
+
+    /// Re-labels the portal index served to [`Request::Identify`].
+    pub fn set_reader_id(&mut self, reader_id: usize) {
+        self.reader_id = reader_id;
     }
 
     /// Current mode.
@@ -104,6 +126,7 @@ impl ReaderEmulator {
                 power_dbm: self.power_dbm,
                 buffered: self.buffer.len(),
             }),
+            Request::Identify => Response::Identity(self.reader_id),
             Request::SetPower(dbm) => {
                 if (10.0..=33.0).contains(dbm) {
                     self.power_dbm = *dbm;
@@ -198,6 +221,17 @@ mod tests {
             Response::Error(_)
         ));
         assert_eq!(reader.power_dbm(), 27.0);
+    }
+
+    #[test]
+    fn identify_serves_the_configured_portal_index() {
+        let mut reader = ReaderEmulator::new();
+        assert_eq!(reader.handle(&Request::Identify), Response::Identity(0));
+        let mut portal = ReaderEmulator::with_reader_id(3);
+        assert_eq!(portal.reader_id(), 3);
+        assert_eq!(portal.handle(&Request::Identify), Response::Identity(3));
+        portal.set_reader_id(5);
+        assert_eq!(portal.handle(&Request::Identify), Response::Identity(5));
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum AdapterError {
     UnknownEpc(Epc96),
     /// The antenna field was 0: the wire convention is 1-based.
     BadAntenna,
+    /// The timestamp was `NaN` or infinite. Non-finite times parse
+    /// cleanly off the wire but poison every downstream ordering
+    /// structure (watermarks, reorder heaps), so the adapter is the
+    /// last safe place to reject them. Carries the offending value
+    /// rendered as text.
+    NonFiniteTime(String),
 }
 
 impl fmt::Display for AdapterError {
@@ -36,6 +42,9 @@ impl fmt::Display for AdapterError {
             }
             AdapterError::UnknownEpc(epc) => write!(f, "EPC {epc} is not a known tag"),
             AdapterError::BadAntenna => write!(f, "antenna 0 on the wire (ports are 1-based)"),
+            AdapterError::NonFiniteTime(time) => {
+                write!(f, "non-finite timestamp {time} on the wire")
+            }
         }
     }
 }
@@ -107,7 +116,7 @@ impl WireEventAdapter {
     /// # Errors
     ///
     /// Returns [`AdapterError`] for an unparseable EPC, an EPC naming no
-    /// known tag, or a 0 antenna port.
+    /// known tag, a 0 antenna port, or a non-finite timestamp.
     pub fn convert(&self, record: &TagRecord) -> Result<ReadEvent, AdapterError> {
         let epc: Epc96 = record.epc.parse().map_err(|err| AdapterError::BadEpc {
             epc: record.epc.clone(),
@@ -116,6 +125,9 @@ impl WireEventAdapter {
         let tag = *self.tag_of.get(&epc).ok_or(AdapterError::UnknownEpc(epc))?;
         if record.antenna == 0 {
             return Err(AdapterError::BadAntenna);
+        }
+        if !record.time_s.is_finite() {
+            return Err(AdapterError::NonFiniteTime(format!("{}", record.time_s)));
         }
         Ok(ReadEvent {
             time_s: record.time_s,
@@ -178,6 +190,21 @@ mod tests {
             .convert(&record("0000000000000000000000AA", 0, 0.0))
             .expect_err("0 is not a wire port");
         assert_eq!(err, AdapterError::BadAntenna);
+    }
+
+    #[test]
+    fn rejects_non_finite_timestamps() {
+        for (text, time_s) in [
+            ("NaN", f64::NAN),
+            ("inf", f64::INFINITY),
+            ("-inf", f64::NEG_INFINITY),
+        ] {
+            let err = adapter()
+                .convert(&record("0000000000000000000000AA", 1, time_s))
+                .expect_err("non-finite time must not convert");
+            assert_eq!(err, AdapterError::NonFiniteTime(text.to_owned()));
+            assert!(format!("{err}").contains(text));
+        }
     }
 
     #[test]

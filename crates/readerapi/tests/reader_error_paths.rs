@@ -142,6 +142,52 @@ fn client_error_display_and_source_cover_every_variant() {
     }
 }
 
+/// Regression: `BufRead::lines()` used to yield a final *unterminated*
+/// line as `Ok`, so a client that died mid-frame had its partial frame
+/// promoted to a complete request and the disconnect vanished into a
+/// response written to a dead socket. A mid-frame EOF must now surface
+/// as a typed truncation in the wire counters and count the connection
+/// as errored — while a healthy connection still completes.
+#[test]
+fn mid_frame_disconnect_during_serve_surfaces_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        let emulator = Mutex::new(ReaderEmulator::new());
+        let options = ServeOptions {
+            max_connections: Some(2),
+            read_timeout: Some(Duration::from_secs(2)),
+        };
+        serve(&listener, &emulator, options).expect("serve loop")
+    });
+    let before = rfid_readerapi::counters::snapshot();
+
+    // Connection 1: starts a request frame, then dies before the
+    // newline terminator.
+    let mut dying = TcpStream::connect(addr).expect("connect dying client");
+    dying
+        .write_all(b"<request><status/></requ")
+        .expect("send partial frame");
+    drop(dying);
+
+    // Connection 2: a healthy session is unaffected.
+    let mut client = ReaderClient::new(TcpTransport::connect(addr).expect("connect healthy"));
+    client.status().expect("healthy session completes");
+    drop(client);
+
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.connections, 2);
+    assert_eq!(
+        summary.connection_errors, 1,
+        "the mid-frame death must be an error, not a silent drop: {summary:?}"
+    );
+    let delta = rfid_readerapi::counters::snapshot().since(&before);
+    assert!(
+        delta.truncations >= 1,
+        "the truncation must be tallied in the wire counters: {delta:?}"
+    );
+}
+
 /// The multi-connection serve loop: a client sending malformed XML gets
 /// an in-band `<error>` answer, a client that stalls past the read
 /// deadline gets dropped and counted — and in both cases a healthy

@@ -1,0 +1,446 @@
+//! The shared ingest plane: many sessions, one tracker, one lock.
+//!
+//! Every reader session thread pushes its drained wire records here.
+//! Inside a single mutex the records convert through the session's
+//! [`WireEventAdapter`], merge through the watermark-keyed
+//! [`SessionMerge`] into the canonical event order, and flow through
+//! `ObservationStream → LocationTracker` — the same operator chain the
+//! batch pipeline is proven bit-identical to. Queries read the same
+//! state under the same lock, so a query observes a prefix of the
+//! canonical stream, never a torn interleaving.
+//!
+//! Hostile input discipline: a record that fails conversion (garbage
+//! EPC, non-finite time) or merge admission (out of order, behind the
+//! watermark) is *counted and dropped* — one bad frame must never take
+//! down the daemon or poison the tracker.
+
+use crate::counters::IngestCounters;
+use rfid_readerapi::{TagRecord, WireEventAdapter};
+use rfid_sim::ReadEvent;
+use rfid_track::stream::{MergeError, ObservationStream, Operator, SessionMerge, ZoneTransition};
+use rfid_track::{LocationTracker, ObjectRegistry, Site};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// What one `ingest_records` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestOutcome {
+    /// Records accepted into the merge.
+    pub accepted: usize,
+    /// Records rejected (adapter or merge) and dropped.
+    pub rejected: usize,
+}
+
+/// The final state a server run hands back, for bit-exact comparison
+/// against a batch replay of the same recorded session set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// The tracker exactly as the streaming chain left it.
+    pub tracker: LocationTracker,
+    /// Every zone transition, in canonical stream order.
+    pub transitions: Vec<ZoneTransition>,
+    /// Ingest/query counters at shutdown.
+    pub counters: IngestCounters,
+}
+
+struct IngestState<'a> {
+    merge: SessionMerge<ReadEvent>,
+    observe: ObservationStream<'a>,
+    tracker: LocationTracker,
+    transitions: Vec<ZoneTransition>,
+    counters: IngestCounters,
+    /// Highest released event time: the "now" queries evaluate at.
+    now_s: f64,
+}
+
+impl IngestState<'_> {
+    /// Routes merge-released events through the operator chain.
+    fn route(&mut self, released: Vec<ReadEvent>) {
+        for event in released {
+            self.now_s = self.now_s.max(event.time_s);
+            self.counters.events_released += 1;
+            for observation in self.observe.push(event) {
+                let emitted = self.tracker.push(observation);
+                self.counters.transitions += emitted.len() as u64;
+                self.transitions.extend(emitted);
+            }
+        }
+    }
+}
+
+/// The shared ingest plane. One per server run; borrow it from every
+/// session and query thread.
+pub struct SharedIngest<'a> {
+    site: &'a Site,
+    registry: &'a ObjectRegistry,
+    adapters: &'a [WireEventAdapter],
+    state: Mutex<IngestState<'a>>,
+}
+
+impl<'a> SharedIngest<'a> {
+    /// Creates the plane: one merge lane and one adapter per portal,
+    /// a fresh tracker with the given staleness horizon.
+    #[must_use]
+    pub fn new(
+        site: &'a Site,
+        registry: &'a ObjectRegistry,
+        adapters: &'a [WireEventAdapter],
+        staleness_s: f64,
+    ) -> Self {
+        Self {
+            site,
+            registry,
+            adapters,
+            state: Mutex::new(IngestState {
+                merge: SessionMerge::new(adapters.len()),
+                observe: ObservationStream::new(site, registry),
+                tracker: LocationTracker::new(staleness_s),
+                transitions: Vec::new(),
+                counters: IngestCounters::default(),
+                now_s: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    /// Number of portal lanes.
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        self.adapters.len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, IngestState<'a>> {
+        // A panicking session thread must not brick the daemon: the
+        // state is counters + operator structs whose invariants hold
+        // between pushes, so recover the guard and keep serving.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims a portal lane for a live session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MergeError::UnknownSession`] /
+    /// [`MergeError::SessionBusy`]; both are counted.
+    pub fn attach(&self, session: usize) -> Result<(), MergeError> {
+        let mut state = self.lock();
+        match state.merge.attach(session) {
+            Ok(()) => {
+                state.counters.sessions_attached += 1;
+                Ok(())
+            }
+            Err(err) => {
+                state.counters.session_rejects += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Releases a portal lane (watermark and queue survive for the
+    /// next session on the same portal).
+    pub fn detach(&self, session: usize) {
+        let mut state = self.lock();
+        if state.merge.detach(session).is_ok() {
+            state.counters.sessions_detached += 1;
+        }
+    }
+
+    /// Ingests one drained batch of wire records for a session, then
+    /// advances the session's watermark to the highest accepted time
+    /// and routes whatever the merge releases.
+    pub fn ingest_records(&self, session: usize, records: &[TagRecord]) -> IngestOutcome {
+        let mut outcome = IngestOutcome::default();
+        let mut state = self.lock();
+        state.counters.records_drained += records.len() as u64;
+        let mut high: Option<f64> = None;
+        for record in records {
+            let Some(adapter) = self.adapters.get(session) else {
+                state.counters.merge_rejects += 1;
+                outcome.rejected += 1;
+                continue;
+            };
+            let event = match adapter.convert(record) {
+                Ok(event) => event,
+                Err(_) => {
+                    state.counters.adapter_rejects += 1;
+                    outcome.rejected += 1;
+                    continue;
+                }
+            };
+            match state.merge.push(session, event) {
+                Ok(()) => {
+                    state.counters.events_ingested += 1;
+                    outcome.accepted += 1;
+                    high = Some(high.map_or(event.time_s, |h: f64| h.max(event.time_s)));
+                }
+                Err(_) => {
+                    state.counters.merge_rejects += 1;
+                    outcome.rejected += 1;
+                }
+            }
+        }
+        if let Some(watermark_s) = high {
+            if let Ok(released) = state.merge.advance(session, watermark_s) {
+                state.route(released);
+            }
+        }
+        outcome
+    }
+
+    /// Ends every lane and flushes the remaining events through the
+    /// chain — the drain step of a graceful shutdown.
+    pub fn finish(&self) {
+        let mut state = self.lock();
+        let released = state.merge.finish();
+        state.route(released);
+        let tail: Vec<_> = state.observe.finish();
+        for observation in tail {
+            let emitted = state.tracker.push(observation);
+            state.counters.transitions += emitted.len() as u64;
+            state.transitions.extend(emitted);
+        }
+        let last = state.tracker.finish();
+        state.counters.transitions += last.len() as u64;
+        state.transitions.extend(last);
+    }
+
+    /// Counter snapshot (also the `counters` RPC payload).
+    #[must_use]
+    pub fn counters(&self) -> IngestCounters {
+        self.lock().counters
+    }
+
+    /// Tallies a served query.
+    pub fn record_query(&self) {
+        self.lock().counters.queries_served += 1;
+    }
+
+    /// Tallies a rejected auth token.
+    pub fn record_auth_failure(&self) {
+        self.lock().counters.auth_failures += 1;
+    }
+
+    /// Tallies a malformed or unanswerable RPC request.
+    pub fn record_rpc_error(&self) {
+        self.lock().counters.rpc_errors += 1;
+    }
+
+    /// Tallies a session that ended in a transport error.
+    pub fn record_session_error(&self) {
+        self.lock().counters.session_errors += 1;
+    }
+
+    /// Resolves an EPC (24 hex digits) to its registered object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason (bad hex, unknown tag).
+    pub fn resolve(&self, epc_text: &str) -> Result<rfid_track::ObjectHandle, String> {
+        let epc: rfid_gen2::Epc96 = epc_text
+            .parse()
+            .map_err(|err| format!("unparseable EPC {epc_text:?}: {err}"))?;
+        self.registry
+            .object_of(epc)
+            .ok_or_else(|| format!("EPC {epc_text} is not a registered tag"))
+    }
+
+    /// Point-in-time location query at the canonical stream's "now"
+    /// (the highest released event time): `(zone index, zone name)`,
+    /// or `None` if the object is unseen or stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for an unresolvable EPC.
+    pub fn location_of(&self, epc_text: &str) -> Result<Option<(usize, String)>, String> {
+        let object = self.resolve(epc_text)?;
+        let state = self.lock();
+        Ok(state
+            .tracker
+            .location_of(object, state.now_s)
+            .map(|zone| (zone, self.site.zone_name(zone).to_owned())))
+    }
+
+    /// Full zone history of an object: `(zone index, zone name,
+    /// time, inferred)` per observation, in canonical stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for an unresolvable EPC.
+    #[allow(clippy::type_complexity)]
+    pub fn zone_history(&self, epc_text: &str) -> Result<Vec<(usize, String, f64, bool)>, String> {
+        let object = self.resolve(epc_text)?;
+        let state = self.lock();
+        Ok(state
+            .tracker
+            .history_of(object)
+            .map(|obs| {
+                (
+                    obs.zone,
+                    self.site.zone_name(obs.zone).to_owned(),
+                    obs.time_s,
+                    obs.inferred,
+                )
+            })
+            .collect())
+    }
+
+    /// The object's display name.
+    #[must_use]
+    pub fn name_of(&self, object: rfid_track::ObjectHandle) -> &str {
+        self.registry.name_of(object)
+    }
+
+    /// Consumes the plane into its final report. Call after
+    /// [`SharedIngest::finish`] once every session has detached.
+    #[must_use]
+    pub fn into_report(self) -> ServerReport {
+        let state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        ServerReport {
+            tracker: state.tracker,
+            transitions: state.transitions,
+            counters: state.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+
+    fn world() -> (Site, ObjectRegistry, Vec<Epc96>) {
+        let mut site = Site::new();
+        let dock = site.add_zone("dock");
+        let aisle = site.add_zone("aisle");
+        site.assign_portal(0, 0, dock);
+        site.assign_portal(1, 0, aisle);
+        let mut registry = ObjectRegistry::new();
+        let epcs = vec![Epc96::from_u128(0xA1), Epc96::from_u128(0xB2)];
+        for (index, epc) in epcs.iter().enumerate() {
+            let object = registry.register(format!("case-{index}"));
+            registry.attach_tag(object, *epc);
+        }
+        (site, registry, epcs)
+    }
+
+    fn record(epc: Epc96, time_s: f64) -> TagRecord {
+        TagRecord {
+            epc: epc.to_string(),
+            antenna: 1,
+            time_s,
+        }
+    }
+
+    #[test]
+    fn multi_session_ingest_matches_batch() {
+        let (site, registry, epcs) = world();
+        let adapters: Vec<_> = (0..2)
+            .map(|r| WireEventAdapter::new(r, epcs.iter().copied()))
+            .collect();
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        ingest.attach(0).expect("lane 0");
+        ingest.attach(1).expect("lane 1");
+
+        // Case 0 crosses dock (t=1) then aisle (t=3); case 1 only dock.
+        let outcome = ingest.ingest_records(0, &[record(epcs[0], 1.0), record(epcs[1], 2.0)]);
+        assert_eq!(outcome.accepted, 2);
+        let outcome = ingest.ingest_records(1, &[record(epcs[0], 3.0)]);
+        assert_eq!(outcome.accepted, 1);
+        ingest.detach(0);
+        ingest.detach(1);
+        ingest.finish();
+
+        let reads = vec![
+            rfid_sim::ReadEvent {
+                time_s: 1.0,
+                reader: 0,
+                antenna: 0,
+                tag: 0,
+                epc: epcs[0],
+            },
+            rfid_sim::ReadEvent {
+                time_s: 2.0,
+                reader: 0,
+                antenna: 0,
+                tag: 1,
+                epc: epcs[1],
+            },
+            rfid_sim::ReadEvent {
+                time_s: 3.0,
+                reader: 1,
+                antenna: 0,
+                tag: 0,
+                epc: epcs[0],
+            },
+        ];
+        let mut batch = LocationTracker::new(100.0);
+        batch.observe_all(site.observations(&registry, &reads));
+
+        let report = ingest.into_report();
+        assert_eq!(report.tracker, batch, "streamed state is the batch state");
+        assert_eq!(report.transitions.len(), 3, "two first-sights + one move");
+        assert_eq!(report.counters.events_ingested, 3);
+        assert_eq!(report.counters.events_released, 3);
+    }
+
+    #[test]
+    fn hostile_records_are_counted_and_dropped() {
+        let (site, registry, epcs) = world();
+        let adapters = vec![WireEventAdapter::new(0, epcs.iter().copied())];
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        ingest.attach(0).expect("lane 0");
+        let hostile = [
+            TagRecord {
+                epc: "zz-not-hex".into(),
+                antenna: 1,
+                time_s: 1.0,
+            },
+            record(epcs[0], f64::NAN),
+            record(epcs[0], f64::INFINITY),
+            record(epcs[0], 5.0),
+            record(epcs[0], 4.0), // out of order behind 5.0
+        ];
+        let outcome = ingest.ingest_records(0, &hostile);
+        assert_eq!(outcome.accepted, 1);
+        assert_eq!(outcome.rejected, 4);
+        let counters = ingest.counters();
+        assert_eq!(counters.adapter_rejects, 3, "bad hex + NaN + inf");
+        assert_eq!(counters.merge_rejects, 1, "the out-of-order record");
+        assert_eq!(counters.events_ingested, 1);
+        ingest.detach(0);
+        ingest.finish();
+        let report = ingest.into_report();
+        // Only the one clean record (t=5.0) reached the tracker.
+        assert_eq!(report.counters.events_released, 1);
+        assert_eq!(report.transitions.len(), 1);
+    }
+
+    #[test]
+    fn queries_answer_from_released_state() {
+        let (site, registry, epcs) = world();
+        let adapters: Vec<_> = (0..2)
+            .map(|r| WireEventAdapter::new(r, epcs.iter().copied()))
+            .collect();
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        ingest.attach(0).expect("lane 0");
+        ingest.attach(1).expect("lane 1");
+        ingest.ingest_records(0, &[record(epcs[0], 1.0)]);
+        // Lane 1 silent: nothing released yet.
+        assert_eq!(ingest.location_of(&epcs[0].to_string()), Ok(None));
+        ingest.ingest_records(1, &[record(epcs[0], 3.0)]);
+        // Floor is now min(1.0, 3.0) = 1.0: still nothing strictly below.
+        ingest.ingest_records(0, &[record(epcs[1], 2.5)]);
+        // Lane 0 watermark 2.5, lane 1 watermark 3.0: t=1.0 released.
+        let location = ingest.location_of(&epcs[0].to_string()).expect("known epc");
+        assert_eq!(location, Some((0, "dock".to_owned())));
+        assert!(ingest.location_of("junk").is_err());
+        assert!(ingest
+            .location_of("000000000000000000000FFF")
+            .unwrap_err()
+            .contains("not a registered tag"));
+        let history = ingest.zone_history(&epcs[0].to_string()).expect("history");
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].1, "dock");
+    }
+}

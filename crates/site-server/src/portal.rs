@@ -1,0 +1,99 @@
+//! A portal process: a reader emulator that dials *in* to the site
+//! server and serves the XML reader protocol over that connection.
+//!
+//! Real dock-door readers sit behind NAT'd plant networks, so the
+//! deployment model is reversed from the test-bench one: the portal
+//! initiates the TCP connection, then acts as the protocol *server*
+//! on it (the site server drives `identify`/`start_buffered`/
+//! `get_tags` as the client). A feeder thread plays the recorded reads
+//! into the emulator's buffer while the serve loop answers drains, so
+//! ingestion and playback overlap exactly as they would on hardware.
+
+use rfid_readerapi::{serve_shared, ReaderEmulator, Request};
+use rfid_sim::ReadEvent;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// Runs one portal session: connect to `addr`, feed `reads` (already
+/// filtered to this reader) into the emulator, and serve the wire
+/// protocol until the server hangs up. Returns the number of reads fed.
+///
+/// The emulator starts in buffered mode *before* the listener can
+/// drain, so no read can race past a mode switch and be dropped.
+///
+/// # Errors
+///
+/// Propagates connect/serve I/O failures. A clean hang-up by the
+/// server (graceful shutdown) is `Ok`.
+pub fn run_portal(
+    addr: SocketAddr,
+    reader_id: usize,
+    reads: &[ReadEvent],
+    pace: Duration,
+) -> io::Result<usize> {
+    let stream = TcpStream::connect(addr)?;
+    let mut seed = ReaderEmulator::with_reader_id(reader_id);
+    let _ = seed.handle(&Request::StartBuffered);
+    let emulator = Mutex::new(seed);
+    thread::scope(|scope| {
+        let feeder = scope.spawn(|| {
+            for read in reads {
+                {
+                    let mut guard = emulator
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.feed_sim_read(read);
+                }
+                if !pace.is_zero() {
+                    thread::sleep(pace);
+                }
+            }
+            reads.len()
+        });
+        let served = serve_shared(stream, &emulator);
+        let fed = feeder.join().unwrap_or(0);
+        served.map(|()| fed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+    use rfid_readerapi::{ReaderClient, TcpTransport};
+    use std::net::TcpListener;
+
+    #[test]
+    fn portal_dials_in_and_serves_until_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reads: Vec<ReadEvent> = (0..5)
+            .map(|i| ReadEvent {
+                time_s: f64::from(i),
+                reader: 3,
+                antenna: 0,
+                tag: 0,
+                epc: Epc96::from_u128(0xF00D),
+            })
+            .collect();
+        thread::scope(|scope| {
+            let portal = scope.spawn(|| run_portal(addr, 3, &reads, Duration::ZERO));
+            let (stream, _) = listener.accept().expect("accept");
+            let transport =
+                TcpTransport::from_accepted(stream, Some(Duration::from_secs(5))).expect("wrap");
+            let mut client = ReaderClient::new(transport);
+            assert_eq!(client.identify().expect("identify"), 3);
+            let mut drained = 0;
+            while drained < reads.len() {
+                drained += client.get_tags().expect("drain").len();
+            }
+            assert_eq!(drained, 5);
+            drop(client); // hang up: the portal must exit cleanly
+            let fed = portal.join().expect("portal thread").expect("portal io");
+            assert_eq!(fed, 5);
+        });
+    }
+}

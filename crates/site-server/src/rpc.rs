@@ -1,0 +1,353 @@
+//! The query/control surface: line-delimited JSON over TCP.
+//!
+//! One request per line, one response per line. Every request carries
+//! the shared auth token:
+//!
+//! ```json
+//! {"token":"s3cr3t","method":"location_of","params":{"epc":"00..AA"}}
+//! ```
+//!
+//! Responses are `{"ok":true,"result":…}` or `{"ok":false,"error":"…"}`.
+//! Methods: `location_of`, `zone_history`, `counters`, `shutdown`. A
+//! request with a bad token gets one error response and the connection
+//! is closed — the error text does not reveal whether the method or the
+//! EPC was otherwise valid.
+//!
+//! [`QueryClient`] is the matching typed client used by the demo, the
+//! benchmarks, and the integration tests.
+
+use crate::ingest::SharedIngest;
+use crate::json::Json;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What the server should do after answering one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Keep the connection open for the next request.
+    Continue,
+    /// Close the connection (auth failure).
+    Close,
+    /// Begin graceful shutdown (drain sessions, then exit).
+    Shutdown,
+}
+
+fn ok(result: Json) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("result".into(), result),
+    ])
+    .to_json()
+}
+
+fn fail(error: impl Into<String>) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(error.into())),
+    ])
+    .to_json()
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn num(value: u64) -> Json {
+    Json::Num(value as f64)
+}
+
+/// Answers one request line. Every failure path is a JSON error
+/// response — hostile bytes can never panic the daemon.
+pub(crate) fn dispatch(
+    line: &str,
+    ingest: &SharedIngest<'_>,
+    token: &str,
+) -> (String, Disposition) {
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(err) => {
+            ingest.record_rpc_error();
+            return (
+                fail(format!("malformed request: {err}")),
+                Disposition::Continue,
+            );
+        }
+    };
+    // Constant shape: token first, before the request is looked at.
+    if doc.get("token").and_then(Json::as_str) != Some(token) {
+        ingest.record_auth_failure();
+        return (fail("auth token rejected"), Disposition::Close);
+    }
+    let Some(method) = doc.get("method").and_then(Json::as_str) else {
+        ingest.record_rpc_error();
+        return (fail("missing method"), Disposition::Continue);
+    };
+    let epc = |doc: &Json| -> Result<String, String> {
+        doc.get("params")
+            .and_then(|p| p.get("epc"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| "missing params.epc".to_owned())
+    };
+    match method {
+        "location_of" => match epc(&doc).and_then(|epc| ingest.location_of(&epc)) {
+            Ok(Some((zone, name))) => {
+                ingest.record_query();
+                let result = Json::Obj(vec![
+                    ("zone".into(), num(zone as u64)),
+                    ("name".into(), Json::Str(name)),
+                ]);
+                (ok(result), Disposition::Continue)
+            }
+            Ok(None) => {
+                ingest.record_query();
+                (ok(Json::Null), Disposition::Continue)
+            }
+            Err(reason) => {
+                ingest.record_rpc_error();
+                (fail(reason), Disposition::Continue)
+            }
+        },
+        "zone_history" => match epc(&doc).and_then(|epc| ingest.zone_history(&epc)) {
+            Ok(history) => {
+                ingest.record_query();
+                let rows = history
+                    .into_iter()
+                    .map(|(zone, name, time_s, inferred)| {
+                        Json::Obj(vec![
+                            ("zone".into(), num(zone as u64)),
+                            ("name".into(), Json::Str(name)),
+                            ("time_s".into(), Json::Num(time_s)),
+                            ("inferred".into(), Json::Bool(inferred)),
+                        ])
+                    })
+                    .collect();
+                (ok(Json::Arr(rows)), Disposition::Continue)
+            }
+            Err(reason) => {
+                ingest.record_rpc_error();
+                (fail(reason), Disposition::Continue)
+            }
+        },
+        "counters" => {
+            ingest.record_query();
+            let rows = ingest
+                .counters()
+                .rows()
+                .into_iter()
+                .map(|(name, value)| (name.to_owned(), num(value)))
+                .collect();
+            (ok(Json::Obj(rows)), Disposition::Continue)
+        }
+        "shutdown" => {
+            ingest.record_query();
+            (ok(Json::Str("draining".into())), Disposition::Shutdown)
+        }
+        other => {
+            ingest.record_rpc_error();
+            (
+                fail(format!("unknown method {other:?}")),
+                Disposition::Continue,
+            )
+        }
+    }
+}
+
+/// Why a query round-trip failed.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server answered, but not with the expected shape.
+    Protocol(String),
+    /// The server answered `{"ok":false,…}`.
+    Denied(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(err) => write!(f, "query I/O failed: {err}"),
+            RpcError::Protocol(detail) => write!(f, "query protocol violation: {detail}"),
+            RpcError::Denied(reason) => write!(f, "query denied: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<io::Error> for RpcError {
+    fn from(err: io::Error) -> Self {
+        RpcError::Io(err)
+    }
+}
+
+/// One row of a `zone_history` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Zone index.
+    pub zone: usize,
+    /// Zone display name.
+    pub name: String,
+    /// Observation time.
+    pub time_s: f64,
+    /// Whether the observation was inferred rather than read.
+    pub inferred: bool,
+}
+
+/// A typed client for the query surface.
+pub struct QueryClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    token: String,
+}
+
+impl QueryClient {
+    /// Connects and remembers the auth token for every request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect(addr: SocketAddr, token: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            token: token.to_owned(),
+        })
+    }
+
+    fn call(&mut self, method: &str, params: Vec<(String, Json)>) -> Result<Json, RpcError> {
+        let request = Json::Obj(vec![
+            ("token".into(), Json::Str(self.token.clone())),
+            ("method".into(), Json::Str(method.into())),
+            ("params".into(), Json::Obj(params)),
+        ]);
+        let mut line = request.to_json();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(RpcError::Protocol("server closed the connection".into()));
+        }
+        let doc = Json::parse(response.trim_end_matches(['\r', '\n']))
+            .map_err(|err| RpcError::Protocol(format!("unparseable response: {err}")))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc.get("result").cloned().unwrap_or(Json::Null)),
+            Some(false) => Err(RpcError::Denied(
+                doc.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_owned(),
+            )),
+            None => Err(RpcError::Protocol("response missing ok field".into())),
+        }
+    }
+
+    /// Where is this EPC now? `None` means unseen or stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn location_of(&mut self, epc: &str) -> Result<Option<(usize, String)>, RpcError> {
+        let result = self.call(
+            "location_of",
+            vec![("epc".into(), Json::Str(epc.to_owned()))],
+        )?;
+        match result {
+            Json::Null => Ok(None),
+            other => {
+                let zone = other
+                    .get("zone")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| RpcError::Protocol("location without zone".into()))?;
+                let name = other
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| RpcError::Protocol("location without name".into()))?;
+                Ok(Some((zone as usize, name.to_owned())))
+            }
+        }
+    }
+
+    /// Full zone history of an EPC, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn zone_history(&mut self, epc: &str) -> Result<Vec<HistoryRow>, RpcError> {
+        let result = self.call(
+            "zone_history",
+            vec![("epc".into(), Json::Str(epc.to_owned()))],
+        )?;
+        let Json::Arr(rows) = result else {
+            return Err(RpcError::Protocol("zone_history result not a list".into()));
+        };
+        rows.into_iter()
+            .map(|row| {
+                Ok(HistoryRow {
+                    zone: row
+                        .get("zone")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| RpcError::Protocol("history row without zone".into()))?
+                        as usize,
+                    name: row
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                    time_s: row
+                        .get("time_s")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| RpcError::Protocol("history row without time".into()))?,
+                    inferred: row.get("inferred").and_then(Json::as_bool).unwrap_or(false),
+                })
+            })
+            .collect()
+    }
+
+    /// Counter snapshot as `(name, value)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn counters(&mut self) -> Result<Vec<(String, u64)>, RpcError> {
+        let result = self.call("counters", Vec::new())?;
+        let Json::Obj(pairs) = result else {
+            return Err(RpcError::Protocol("counters result not an object".into()));
+        };
+        Ok(pairs
+            .into_iter()
+            .map(|(name, value)| (name, value.as_f64().unwrap_or(0.0) as u64))
+            .collect())
+    }
+
+    /// One named counter, 0 if the server does not report it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors.
+    pub fn counter(&mut self, name: &str) -> Result<u64, RpcError> {
+        Ok(self
+            .counters()?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| v))
+    }
+
+    /// Asks the server to drain and exit gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors.
+    pub fn shutdown(&mut self) -> Result<(), RpcError> {
+        self.call("shutdown", Vec::new()).map(|_| ())
+    }
+}

@@ -1,0 +1,235 @@
+//! One reader session: drain a connected portal into the shared ingest.
+//!
+//! The server is the *protocol client* on an inbound connection: the
+//! portal dials in and serves the XML reader protocol, the server
+//! identifies it, switches it to buffered mode, and polls `get_tags`
+//! drains into [`SharedIngest`]. The driver is generic over
+//! [`Transport`] so the TCP daemon, the in-memory churn tests, and the
+//! fault-injected soak runs all exercise the identical session logic.
+
+use crate::ingest::SharedIngest;
+use rfid_readerapi::{ClientError, ReaderClient, Transport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+/// When a session driver should stop polling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Run until the shutdown flag is raised, then take one final
+    /// drain (the graceful-shutdown path of the daemon).
+    OnShutdown,
+    /// Return as soon as a drain comes back empty (batch replay of a
+    /// pre-fed recorded session, as in the churn tests).
+    OnDrained,
+}
+
+/// What one session did, for logging and test assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// The portal lane the session claimed, if identification and
+    /// attach both succeeded.
+    pub session: Option<usize>,
+    /// Wire records drained (before validation).
+    pub records: u64,
+    /// Whether the session ended cleanly (shutdown or drained), as
+    /// opposed to a transport/protocol error.
+    pub clean: bool,
+}
+
+fn rejected(ingest: &SharedIngest<'_>) -> SessionOutcome {
+    ingest.record_session_error();
+    SessionOutcome {
+        session: None,
+        records: 0,
+        clean: false,
+    }
+}
+
+/// Drives one connected reader session to completion.
+///
+/// Flow: `identify` → validate the portal index → attach the merge
+/// lane → `start_buffered` → poll `get_tags`, pushing every drain into
+/// the ingest plane. On the shutdown flag, one final drain runs before
+/// detaching, so every record the reader buffered before shutdown
+/// reaches the tracker. All failures are typed, counted, and end only
+/// this session — never the daemon.
+pub fn drive_session<T: Transport>(
+    client: &mut ReaderClient<T>,
+    ingest: &SharedIngest<'_>,
+    shutdown: &AtomicBool,
+    poll: Duration,
+    end: SessionEnd,
+) -> SessionOutcome {
+    let session = match client.identify() {
+        Ok(session) if session < ingest.sessions() => session,
+        Ok(_) | Err(_) => return rejected(ingest),
+    };
+    if ingest.attach(session).is_err() {
+        // attach() already counted the reject; the extra lane claim is
+        // a session-level error too (two portals claiming one lane).
+        return rejected(ingest);
+    }
+    let mut outcome = SessionOutcome {
+        session: Some(session),
+        records: 0,
+        clean: false,
+    };
+    let drain = |client: &mut ReaderClient<T>,
+                 outcome: &mut SessionOutcome|
+     -> Result<usize, ClientError> {
+        let records = client.get_tags()?;
+        outcome.records += records.len() as u64;
+        ingest.ingest_records(session, &records);
+        Ok(records.len())
+    };
+    let run = (|| -> Result<bool, ClientError> {
+        client.start_buffered()?;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                // Final drain: collect whatever buffered since the
+                // last poll, then leave cleanly.
+                drain(client, &mut outcome)?;
+                return Ok(true);
+            }
+            let drained = drain(client, &mut outcome)?;
+            if drained == 0 {
+                if end == SessionEnd::OnDrained {
+                    return Ok(true);
+                }
+                // Idle: let the reader buffer instead of spinning.
+                if !poll.is_zero() {
+                    thread::sleep(poll);
+                }
+            }
+        }
+    })();
+    match run {
+        Ok(clean) => outcome.clean = clean,
+        Err(_) => ingest.record_session_error(),
+    }
+    ingest.detach(session);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+    use rfid_readerapi::{InMemoryTransport, ReaderEmulator, WireEventAdapter};
+    use rfid_sim::ReadEvent;
+    use rfid_track::{ObjectRegistry, Site};
+
+    fn world() -> (Site, ObjectRegistry, Epc96) {
+        let mut site = Site::new();
+        let dock = site.add_zone("dock");
+        site.assign_portal(0, 0, dock);
+        let mut registry = ObjectRegistry::new();
+        let epc = Epc96::from_u128(0x77);
+        let case = registry.register("case");
+        registry.attach_tag(case, epc);
+        (site, registry, epc)
+    }
+
+    fn fed_emulator(reader: usize, epc: Epc96, times: &[f64]) -> ReaderEmulator {
+        let mut emulator = ReaderEmulator::with_reader_id(reader);
+        emulator.handle(&rfid_readerapi::Request::StartBuffered);
+        for &time_s in times {
+            emulator.feed_sim_read(&ReadEvent {
+                time_s,
+                reader,
+                antenna: 0,
+                tag: 0,
+                epc,
+            });
+        }
+        emulator
+    }
+
+    #[test]
+    fn drains_a_prefed_session_to_completion() {
+        let (site, registry, epc) = world();
+        let adapters = vec![WireEventAdapter::new(0, [epc])];
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let emulator = fed_emulator(0, epc, &[1.0, 2.0, 3.0]);
+        let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
+        let shutdown = AtomicBool::new(false);
+        let outcome = drive_session(
+            &mut client,
+            &ingest,
+            &shutdown,
+            Duration::ZERO,
+            SessionEnd::OnDrained,
+        );
+        assert_eq!(outcome.session, Some(0));
+        assert_eq!(outcome.records, 3);
+        assert!(outcome.clean);
+        let counters = ingest.counters();
+        assert_eq!(counters.events_ingested, 3);
+        assert_eq!(counters.sessions_attached, 1);
+        assert_eq!(counters.sessions_detached, 1);
+        assert_eq!(counters.session_errors, 0);
+    }
+
+    #[test]
+    fn out_of_range_portal_index_is_rejected() {
+        let (site, registry, epc) = world();
+        let adapters = vec![WireEventAdapter::new(0, [epc])];
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let emulator = fed_emulator(9, epc, &[]);
+        let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
+        let shutdown = AtomicBool::new(false);
+        let outcome = drive_session(
+            &mut client,
+            &ingest,
+            &shutdown,
+            Duration::ZERO,
+            SessionEnd::OnDrained,
+        );
+        assert_eq!(outcome.session, None);
+        assert!(!outcome.clean);
+        assert_eq!(ingest.counters().session_errors, 1);
+    }
+
+    #[test]
+    fn second_session_on_a_busy_lane_is_refused() {
+        let (site, registry, epc) = world();
+        let adapters = vec![WireEventAdapter::new(0, [epc])];
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        ingest.attach(0).expect("claim the lane first");
+        let emulator = fed_emulator(0, epc, &[1.0]);
+        let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
+        let shutdown = AtomicBool::new(false);
+        let outcome = drive_session(
+            &mut client,
+            &ingest,
+            &shutdown,
+            Duration::ZERO,
+            SessionEnd::OnDrained,
+        );
+        assert_eq!(outcome.session, None);
+        let counters = ingest.counters();
+        assert_eq!(counters.session_rejects, 1);
+        assert_eq!(counters.session_errors, 1);
+        assert_eq!(counters.sessions_attached, 1, "only the manual attach");
+    }
+
+    #[test]
+    fn shutdown_takes_a_final_drain() {
+        let (site, registry, epc) = world();
+        let adapters = vec![WireEventAdapter::new(0, [epc])];
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let emulator = fed_emulator(0, epc, &[1.0, 2.0]);
+        let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
+        let shutdown = AtomicBool::new(true);
+        let outcome = drive_session(
+            &mut client,
+            &ingest,
+            &shutdown,
+            Duration::from_millis(1),
+            SessionEnd::OnShutdown,
+        );
+        assert!(outcome.clean, "shutdown is a clean exit");
+        assert_eq!(outcome.records, 2, "the final drain still ran");
+    }
+}

@@ -1,0 +1,141 @@
+//! Connection-churn soak: portals that connect, drain part of their
+//! recorded session over a fault-injected transport, disconnect, and
+//! reconnect — concurrently, across every lane — must leave the shared
+//! tracker in exactly the state a clean single-shot batch replay
+//! produces, with every session accounted for.
+//!
+//! The run is seed-deterministic: all chaos comes from seeded
+//! `RngStream`s, and the merge's release order is invariant to thread
+//! interleaving, so two runs with the same seeds produce identical
+//! reports even though the OS scheduler differs.
+
+use rfid_readerapi::{
+    BackoffPolicy, FaultPlan, FaultTransport, InMemoryTransport, ReaderClient, ReaderEmulator,
+    Request, RetryingTransport,
+};
+use rfid_sim::{ReadEvent, RngStream};
+use rfid_site_server::{
+    drive_session, recorded_reads, synthetic_world, ServerReport, SessionEnd, SharedIngest,
+};
+use rfid_track::stream::Operator;
+use rfid_track::LocationTracker;
+use std::sync::atomic::AtomicBool;
+use std::thread;
+use std::time::Duration;
+
+const PORTALS: usize = 3;
+const TAGS: usize = 4;
+const STEPS: usize = 32;
+const CYCLES: usize = 4;
+
+/// One full churn run: every lane concurrently replays its recorded
+/// session as `CYCLES` separate connect → drain → disconnect sessions
+/// over a noisy transport. Returns the drained server report and the
+/// total number of injected faults.
+fn churn_run(seed: u64) -> (ServerReport, u64) {
+    let world = synthetic_world(PORTALS, TAGS);
+    let reads = recorded_reads(PORTALS, TAGS, STEPS);
+    let per_lane: Vec<Vec<ReadEvent>> = (0..PORTALS)
+        .map(|p| reads.iter().copied().filter(|r| r.reader == p).collect())
+        .collect();
+
+    let ingest = SharedIngest::new(&world.site, &world.registry, &world.adapters, 3600.0);
+    let shutdown = AtomicBool::new(false);
+    let faults: u64 = thread::scope(|scope| {
+        let handles: Vec<_> = (0..PORTALS)
+            .map(|lane| {
+                let lane_reads = &per_lane[lane];
+                let ingest = &ingest;
+                let shutdown = &shutdown;
+                scope.spawn(move || {
+                    let mut faults = 0;
+                    let chunk = lane_reads.len().div_ceil(CYCLES);
+                    for cycle in 0..CYCLES {
+                        let slice = lane_reads
+                            .get(cycle * chunk..((cycle + 1) * chunk).min(lane_reads.len()))
+                            .unwrap_or(&[]);
+                        // A fresh portal process for this session:
+                        // buffered before connect, pre-fed its chunk.
+                        let mut emulator = ReaderEmulator::with_reader_id(lane);
+                        let _ = emulator.handle(&Request::StartBuffered);
+                        for read in slice {
+                            emulator.feed_sim_read(read);
+                        }
+                        let chaos = FaultTransport::new(
+                            InMemoryTransport::new(emulator),
+                            FaultPlan::noisy(),
+                            RngStream::new(seed ^ (lane as u64 * 101 + cycle as u64)),
+                        );
+                        let mut client = ReaderClient::new(RetryingTransport::new(
+                            chaos,
+                            BackoffPolicy::immediate(8),
+                            RngStream::new(seed ^ (0xACE + lane as u64 * 7 + cycle as u64)),
+                        ));
+                        let outcome = drive_session(
+                            &mut client,
+                            ingest,
+                            shutdown,
+                            Duration::ZERO,
+                            SessionEnd::OnDrained,
+                        );
+                        assert!(outcome.clean, "lane {lane} cycle {cycle} must drain");
+                        assert_eq!(outcome.session, Some(lane));
+                        assert_eq!(outcome.records as usize, slice.len());
+                        faults += client.transport_mut().inner_mut().stats().total_faults();
+                    }
+                    faults
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("lane")).sum()
+    });
+    ingest.finish();
+    (ingest.into_report(), faults)
+}
+
+#[test]
+fn churned_faulted_sessions_replay_to_the_clean_batch_state() {
+    let (report, faults) = churn_run(0xC0FFEE);
+    assert!(faults > 0, "the noisy plan should have fired");
+
+    // Counters balance: every connect has a matching disconnect, no
+    // session died, nothing was dropped on the way in.
+    let sessions = (PORTALS * CYCLES) as u64;
+    assert_eq!(report.counters.sessions_attached, sessions);
+    assert_eq!(report.counters.sessions_detached, sessions);
+    assert_eq!(report.counters.session_errors, 0);
+    assert_eq!(report.counters.session_rejects, 0);
+    assert_eq!(report.counters.adapter_rejects, 0);
+    assert_eq!(report.counters.merge_rejects, 0);
+    let total = (TAGS * STEPS) as u64;
+    assert_eq!(report.counters.events_ingested, total);
+    assert_eq!(report.counters.events_released, total);
+
+    // The churned, faulted, concurrent replay equals a clean batch run.
+    let world = synthetic_world(PORTALS, TAGS);
+    let reads = recorded_reads(PORTALS, TAGS, STEPS);
+    let mut batch = LocationTracker::new(3600.0);
+    let expected: Vec<_> = world
+        .site
+        .observations(&world.registry, &reads)
+        .iter()
+        .flat_map(|obs| batch.push(*obs))
+        .collect();
+    assert_eq!(report.tracker, batch, "bit-identical to the clean replay");
+    assert_eq!(report.transitions, expected);
+}
+
+#[test]
+fn churn_runs_are_seed_deterministic() {
+    let (first, first_faults) = churn_run(0x5EED);
+    let (second, second_faults) = churn_run(0x5EED);
+    assert_eq!(first.tracker, second.tracker);
+    assert_eq!(first.transitions, second.transitions);
+    assert_eq!(first.counters, second.counters);
+    assert_eq!(first_faults, second_faults);
+
+    let (other, _) = churn_run(0xD1FF);
+    // A different seed shifts the chaos but never the tracked state.
+    assert_eq!(other.tracker, first.tracker);
+    assert_eq!(other.transitions, first.transitions);
+}

@@ -1,0 +1,263 @@
+//! The acceptance proof for the site-server daemon: a recorded
+//! simulation, split into per-portal sessions and replayed over real
+//! TCP through the live server, drains to a zone history that is
+//! **bit-identical** to the batch pipeline over the same reads — while
+//! the query surface answers live and shutdown is graceful.
+
+use rfid_gen2::{ReaderRf, Session};
+use rfid_geom::{Pose, Rotation, Vec3};
+use rfid_readerapi::WireEventAdapter;
+use rfid_sim::{run_scenario, Antenna, Motion, ReadEvent, Scenario, ScenarioBuilder, SimReader};
+use rfid_site_server::{run_portal, QueryClient, ServerConfig, SiteServer};
+use rfid_track::stream::Operator;
+use rfid_track::{LocationTracker, ObjectRegistry, Site};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+/// Raises the shutdown flag when dropped, so a failed assertion in the
+/// test scope unwinds the daemon instead of deadlocking the join.
+struct RaiseOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for RaiseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+fn dense_portal(x: f64, ports: usize, channel: u8) -> SimReader {
+    let antennas = (0..ports)
+        .map(|i| {
+            let offset = (i as f64 - (ports as f64 - 1.0) / 2.0) * 2.0;
+            Antenna::portal(Pose::from_translation(Vec3::new(x + offset, 0.0, 1.0)))
+        })
+        .collect();
+    let mut reader = SimReader::ar400(antennas);
+    reader.rf = ReaderRf::dense(channel);
+    reader
+}
+
+/// Two cases carted down a dock → aisle corridor, as in the streaming
+/// wire pipeline test, so both portals record a real session.
+fn corridor_scenario() -> Scenario {
+    let facing = Rotation::between(Vec3::Y, -Vec3::Y).expect("antiparallel");
+    ScenarioBuilder::new()
+        .duration_s(8.0)
+        .session(Session::S0)
+        .reader(dense_portal(0.0, 2, 0))
+        .reader(dense_portal(4.0, 1, 1))
+        .free_tag(Motion::linear(
+            Pose::new(Vec3::new(-1.5, 1.0, 1.0), facing),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            8.0,
+        ))
+        .free_tag(Motion::linear(
+            Pose::new(Vec3::new(-1.5, 1.0, 1.25), facing),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            8.0,
+        ))
+        .build()
+}
+
+#[test]
+fn recorded_sessions_over_tcp_reach_the_batch_state_bit_for_bit() {
+    let scenario = corridor_scenario();
+    let output = run_scenario(&scenario, 33);
+    assert!(
+        output.reads.iter().any(|r| r.reader == 0) && output.reads.iter().any(|r| r.reader == 1),
+        "the corridor pass must exercise both readers"
+    );
+
+    let mut registry = ObjectRegistry::new();
+    let mut cases = Vec::new();
+    for (index, tag) in scenario.world.tags.iter().enumerate() {
+        let case = registry.register(format!("case-{index}"));
+        registry.attach_tag(case, tag.epc);
+        cases.push((case, tag.epc));
+    }
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, dock);
+    site.assign_portal(1, 0, aisle);
+    let adapters: Vec<WireEventAdapter> = (0..2)
+        .map(|reader| WireEventAdapter::for_world(reader, &scenario.world))
+        .collect();
+
+    // The batch reference over the recorded reads, in the canonical
+    // replay order the merge defines: (time, portal lane), stable —
+    // identical to the recorded order except where two portals read at
+    // the exact same instant.
+    let mut canonical = output.reads.clone();
+    canonical.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("recorded times are finite")
+            .then(a.reader.cmp(&b.reader))
+    });
+    let mut batch_tracker = LocationTracker::new(5.0);
+    let expected_transitions: Vec<_> = site
+        .observations(&registry, &canonical)
+        .iter()
+        .flat_map(|obs| batch_tracker.push(*obs))
+        .collect();
+    assert!(
+        !expected_transitions.is_empty(),
+        "the pass should move a case between zones"
+    );
+
+    // The live replay: each reader's recorded session dials in as a
+    // portal; the daemon merges both into the streaming chain.
+    let per_portal: Vec<Vec<ReadEvent>> = (0..2)
+        .map(|p| {
+            output
+                .reads
+                .iter()
+                .copied()
+                .filter(|r| r.reader == p)
+                .collect()
+        })
+        .collect();
+    let mut config = ServerConfig::new("corridor-token");
+    config.staleness_s = 5.0;
+    let server = SiteServer::new(&site, &registry, &adapters, config);
+    let reader_listener = TcpListener::bind("127.0.0.1:0").expect("bind reader port");
+    let query_listener = TcpListener::bind("127.0.0.1:0").expect("bind query port");
+    let reader_addr = reader_listener.local_addr().expect("reader addr");
+    let query_addr = query_listener.local_addr().expect("query addr");
+    let shutdown = AtomicBool::new(false);
+
+    let report = thread::scope(|scope| {
+        let _guard = RaiseOnDrop(&shutdown);
+        let daemon = scope.spawn(|| server.run(&reader_listener, &query_listener, &shutdown));
+        let portals: Vec<_> = (0..2)
+            .map(|p| {
+                let chunk = &per_portal[p];
+                scope.spawn(move || run_portal(reader_addr, p, chunk, Duration::ZERO))
+            })
+            .collect();
+
+        let mut client = QueryClient::connect(query_addr, "corridor-token").expect("connect");
+        let total = output.reads.len() as u64;
+        let mut ingested = 0;
+        for _ in 0..1000 {
+            ingested = client.counter("events_ingested").expect("counters rpc");
+            if ingested == total {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ingested, total, "every recorded read reaches the merge");
+
+        // Live queries answer from the released prefix of the canonical
+        // stream: each tag's streamed history must be a prefix of its
+        // batch history.
+        for (case, epc) in &cases {
+            let live = client.zone_history(&epc.to_string()).expect("history rpc");
+            let batch: Vec<_> = batch_tracker.history_of(*case).collect();
+            assert!(
+                live.len() <= batch.len(),
+                "released history cannot exceed the batch history"
+            );
+            for (row, obs) in live.iter().zip(&batch) {
+                assert_eq!(row.zone, obs.zone);
+                assert_eq!(row.time_s, obs.time_s, "times are bit-exact over the wire");
+                assert_eq!(row.inferred, obs.inferred);
+            }
+            client.location_of(&epc.to_string()).expect("location rpc");
+        }
+
+        client.shutdown().expect("shutdown rpc");
+        for portal in portals {
+            portal
+                .join()
+                .expect("portal thread")
+                .expect("portal session");
+        }
+        daemon.join().expect("daemon thread")
+    })
+    .expect("server run");
+
+    // The drained daemon state is the batch state, bit for bit:
+    // the tracker (full zone history + location estimates) and the
+    // transition log both match exactly.
+    assert_eq!(report.tracker, batch_tracker);
+    assert_eq!(report.transitions, expected_transitions);
+    assert_eq!(report.counters.events_ingested, output.reads.len() as u64);
+    assert_eq!(report.counters.events_released, output.reads.len() as u64);
+    assert_eq!(report.counters.sessions_attached, 2);
+    assert_eq!(report.counters.sessions_detached, 2);
+    assert_eq!(report.counters.session_errors, 0);
+    assert_eq!(report.counters.adapter_rejects, 0);
+    assert_eq!(report.counters.merge_rejects, 0);
+}
+
+#[test]
+fn a_nan_timestamp_on_the_wire_is_rejected_without_killing_the_daemon() {
+    use rfid_gen2::Epc96;
+
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    site.assign_portal(0, 0, dock);
+    let mut registry = ObjectRegistry::new();
+    let epc = Epc96::from_u128(0xDEAD);
+    let case = registry.register("case");
+    registry.attach_tag(case, epc);
+    let adapters = vec![WireEventAdapter::new(0, [epc])];
+    let server = SiteServer::new(&site, &registry, &adapters, ServerConfig::new("tok"));
+    let reader_listener = TcpListener::bind("127.0.0.1:0").expect("bind reader port");
+    let query_listener = TcpListener::bind("127.0.0.1:0").expect("bind query port");
+    let reader_addr = reader_listener.local_addr().expect("reader addr");
+    let query_addr = query_listener.local_addr().expect("query addr");
+    let shutdown = AtomicBool::new(false);
+
+    // A poisoned recorded session: a NaN-time read between two clean
+    // ones. `f64::from_str("NaN")` parses, so the frame crosses the
+    // wire intact and only the adapter can stop it.
+    let read = |time_s: f64| ReadEvent {
+        time_s,
+        reader: 0,
+        antenna: 0,
+        tag: 0,
+        epc,
+    };
+    let reads = vec![read(1.0), read(f64::NAN), read(2.0)];
+
+    let report = thread::scope(|scope| {
+        let _guard = RaiseOnDrop(&shutdown);
+        let daemon = scope.spawn(|| server.run(&reader_listener, &query_listener, &shutdown));
+        let portal = scope.spawn(|| run_portal(reader_addr, 0, &reads, Duration::ZERO));
+        let mut client = QueryClient::connect(query_addr, "tok").expect("connect");
+        let mut drained = 0;
+        for _ in 0..1000 {
+            drained = client.counter("records_drained").expect("counters rpc");
+            if drained == 3 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(drained, 3, "all three frames crossed the wire");
+        client
+            .shutdown()
+            .expect("daemon still answers after the NaN frame");
+        portal
+            .join()
+            .expect("portal thread")
+            .expect("portal session");
+        daemon.join().expect("daemon thread")
+    })
+    .expect("server run");
+
+    assert_eq!(report.counters.adapter_rejects, 1, "the NaN frame, typed");
+    assert_eq!(report.counters.events_ingested, 2);
+    assert_eq!(report.counters.session_errors, 0, "the session survived");
+    // The clean reads still tracked.
+    let clean: Vec<ReadEvent> = vec![read(1.0), read(2.0)];
+    let mut batch = LocationTracker::new(3600.0);
+    batch.observe_all(site.observations(&registry, &clean));
+    assert_eq!(report.tracker, batch);
+}

@@ -19,6 +19,7 @@
 //! property tests in `tests/stream_equivalence.rs` pin down.
 
 mod constraints;
+mod merge;
 mod operator;
 mod reorder;
 mod sightings;
@@ -26,6 +27,7 @@ mod site;
 pub(crate) mod smoothing;
 
 pub use constraints::{AccompanyStream, RouteStream};
+pub use merge::{MergeError, SessionMerge};
 pub use operator::{Chain, Operator};
 pub use reorder::{ReorderBuffer, Timestamped};
 pub use sightings::SightingStream;

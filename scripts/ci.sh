@@ -28,6 +28,19 @@ cargo test --workspace -q
 timeout 120 cargo run --release -q --example quickstart >/dev/null
 timeout 120 cargo run --release -q --example reader_emulation >/dev/null
 
+# Boot the site tracking daemon end to end: a live server, two portal
+# sessions dialing in over TCP, a query client, and a graceful drain.
+# The run asserts the drained tracker is bit-identical to a batch
+# replay; the greps pin the proof lines so a silent downgrade of the
+# check fails CI. `timeout` guards against shutdown regressions that
+# would otherwise wedge the runner.
+site_out="$(mktemp)"
+timeout 120 cargo run --release -q -p rfid-site-server -- \
+    --self-drive --portals 2 --tags 4 --steps 30 | tee "$site_out"
+grep -q "matches batch replay" "$site_out"
+grep -q "graceful shutdown complete" "$site_out"
+rm -f "$site_out"
+
 # Re-run the wire-path failure suites under a hard wall-clock budget.
 # These tests exist to prove a stalled or faulted peer cannot hang the
 # client; if a hang regression slips back in, `timeout` fails the gate
@@ -42,3 +55,4 @@ trap 'rm -f "$smoke_out"' EXIT
 scripts/bench-snapshot.sh "$smoke_out" --smoke
 grep -q '"speedup"' "$smoke_out"
 grep -q '"events_per_sec"' "$smoke_out"
+grep -q '"site_server"' "$smoke_out"

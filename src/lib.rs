@@ -21,6 +21,7 @@
 //! | [`gen2`] | `rfid-gen2` | EPC C1G2 tag FSM, Q-algorithm inventory, interference |
 //! | [`track`] | `rfid-track` | Object registry, sighting pipeline, smoothing, constraints |
 //! | [`readerapi`] | `rfid-readerapi` | AR400-style reader emulation (XML wire format) and the hardened transport stack: typed errors, deadlines, deterministic retry, fault injection |
+//! | [`site_server`] | `rfid-site-server` | Long-running site tracking daemon: concurrent reader sessions merged into one streaming tracker, JSON query surface |
 //! | [`geom`] | `rfid-geom` | Vectors, rotations, rays, solids |
 //! | [`stats`] | `rfid-stats` | Quantiles, Wilson intervals, tables, charts |
 //! | [`experiments`] | `rfid-experiments` | The per-table/figure reproduction harness |
@@ -66,5 +67,6 @@ pub use rfid_geom as geom;
 pub use rfid_phys as phys;
 pub use rfid_readerapi as readerapi;
 pub use rfid_sim as sim;
+pub use rfid_site_server as site_server;
 pub use rfid_stats as stats;
 pub use rfid_track as track;
