@@ -28,18 +28,34 @@
 //! measures sustained ingest (events/second to full ingestion) and
 //! query latency (p50/p99 over sequential `location_of` round-trips).
 //! The drained tracker is asserted bit-identical to a batch replay, so
-//! the numbers are only reported for a *correct* run.
+//! the numbers are only reported for a *correct* run. Two companion
+//! numbers compare whole-drain batched ingest against per-record
+//! ingest over the same shared plane (no TCP), isolating the win from
+//! converting wire records outside the merge lock.
+//!
+//! A fifth section, `sharded_streaming`, scales the EPC-partitioned
+//! parallel data plane: the tracker chain runs at K ∈ {1, 2, 4, 8}
+//! shards over a wide synthetic stream, asserting every K's output
+//! bit-identical to K=1 before reporting its events/second. The curve
+//! is recorded as measured on the build host — a single-core container
+//! shows coordination overhead, not speedup; the bit-identity gate is
+//! what the benchmark *asserts*.
 
 use rfid_experiments::scenarios::{
     object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
 };
 use rfid_experiments::Calibration;
 use rfid_gen2::Epc96;
+use rfid_readerapi::TagRecord;
 use rfid_sim::{run_scenario_reference, ReadEvent, Scenario, TrialExecutor};
 use rfid_site_server::{
-    recorded_reads, run_portal, synthetic_world, QueryClient, ServerConfig, SiteServer,
+    recorded_reads, run_portal, synthetic_world, QueryClient, ServerConfig, SharedIngest,
+    SiteServer,
 };
-use rfid_track::stream::{ObservationStream, Operator, ReorderBuffer, SightingStream};
+use rfid_track::stream::{
+    ObservationStream, Operator, ReorderBuffer, ShardExecutor, ShardInput, SightingStream,
+    ZoneTransition,
+};
 use rfid_track::{LocationTracker, ObjectRegistry, Site};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -229,6 +245,198 @@ fn measure_streaming_cases(smoke: bool) -> Vec<StreamingMeasurement> {
     ]
 }
 
+struct ShardMeasurement {
+    shards: usize,
+    events: usize,
+    outputs: usize,
+    elapsed_s: f64,
+}
+
+impl ShardMeasurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_s
+    }
+}
+
+/// A wide world for the sharded plane: 32 objects with two tags each,
+/// so K=8 still gets a balanced partition of the key space.
+fn sharded_world() -> (ObjectRegistry, Site) {
+    let mut registry = ObjectRegistry::new();
+    for object in 0..32u128 {
+        let handle = registry.register(format!("case-{object}"));
+        registry.attach_tag(handle, Epc96::from_u128(object * 2 + 1));
+        registry.attach_tag(handle, Epc96::from_u128(object * 2 + 2));
+    }
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, dock);
+    site.assign_portal(1, 0, aisle);
+    site.assign_portal(1, 1, aisle);
+    (registry, site)
+}
+
+/// Scaling curve of the EPC-partitioned tracker chain: the same input
+/// stream (64 tags round-robin, watermark every 1000 events) runs at
+/// K ∈ {1, 2, 4, 8}, each run asserted bit-identical to K=1 before its
+/// timing counts. Reported as measured on the build host.
+fn measure_sharded_streaming(smoke: bool) -> Vec<ShardMeasurement> {
+    let events = if smoke { 20_000 } else { 200_000 };
+    let repeats = if smoke { 1 } else { 3 };
+    let (registry, site) = sharded_world();
+    let inputs: Vec<ShardInput<ReadEvent>> = (0..events)
+        .flat_map(|i| {
+            let read = ShardInput::Event(ReadEvent {
+                time_s: i as f64 * 1e-3,
+                reader: i % 2,
+                antenna: (i / 2) % 2,
+                tag: i % 64,
+                epc: Epc96::from_u128(i as u128 % 64 + 1),
+            });
+            if i % 1000 == 999 {
+                vec![read, ShardInput::Watermark(i as f64 * 1e-3)]
+            } else {
+                vec![read]
+            }
+        })
+        .collect();
+    let run = |k: usize| {
+        ShardExecutor::with_shards(k).run(
+            inputs.iter().cloned(),
+            |_| ObservationStream::new(&site, &registry).then(LocationTracker::new(5.0)),
+            |read: &ReadEvent| {
+                registry
+                    .object_of(read.epc)
+                    .map_or(0, |object| object.index() as u64)
+            },
+            |transition: &ZoneTransition| transition.object.index() as u64,
+        )
+    };
+    let (reference, _) = run(1);
+    assert!(
+        !reference.is_empty(),
+        "the wide stream must emit transitions"
+    );
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| {
+            let mut elapsed_s = f64::INFINITY;
+            let mut outputs = 0;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let (out, _) = run(k);
+                elapsed_s = elapsed_s.min(start.elapsed().as_secs_f64());
+                assert_eq!(out, reference, "K={k} must be bit-identical to K=1");
+                outputs = out.len();
+            }
+            ShardMeasurement {
+                shards: k,
+                events,
+                outputs,
+                elapsed_s,
+            }
+        })
+        .collect()
+}
+
+struct IngestBatchMeasurement {
+    events: usize,
+    batched_s: f64,
+    per_record_s: f64,
+}
+
+impl IngestBatchMeasurement {
+    fn batched_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.batched_s
+    }
+    fn per_record_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.per_record_s
+    }
+}
+
+/// Isolates the ingest-plane batching win, no TCP: the same recorded
+/// wire records flow through `SharedIngest` either one whole drain per
+/// call (conversion outside the lock, one admission section per drain)
+/// or one record per call (the old per-record cadence).
+fn measure_ingest_batching(smoke: bool) -> IngestBatchMeasurement {
+    let portals = 4;
+    let tags = 8;
+    let steps = if smoke { 100 } else { 1000 };
+    let repeats = if smoke { 1 } else { 5 };
+    let world = synthetic_world(portals, tags);
+    let reads = recorded_reads(portals, tags, steps);
+    // Per-portal drains of up to 64 records, interleaved round-robin
+    // across portals like live sessions polling in turn.
+    let per_portal: Vec<Vec<TagRecord>> = (0..portals)
+        .map(|p| {
+            reads
+                .iter()
+                .filter(|r| r.reader == p)
+                .map(|r| TagRecord {
+                    epc: r.epc.to_string(),
+                    antenna: (r.antenna + 1) as u8,
+                    time_s: r.time_s,
+                })
+                .collect()
+        })
+        .collect();
+    let drains: Vec<(usize, &[TagRecord])> = {
+        let mut drains = Vec::new();
+        let mut offsets = vec![0usize; portals];
+        loop {
+            let mut progressed = false;
+            for (portal, records) in per_portal.iter().enumerate() {
+                let at = offsets[portal];
+                if at < records.len() {
+                    let end = (at + 64).min(records.len());
+                    drains.push((portal, &records[at..end]));
+                    offsets[portal] = end;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        drains
+    };
+    let run = |per_record: bool| {
+        let ingest = SharedIngest::new(&world.site, &world.registry, &world.adapters, 3600.0, 4);
+        for portal in 0..portals {
+            assert!(ingest.attach(portal).is_ok(), "fresh lane attaches");
+        }
+        let mut accepted = 0;
+        for &(portal, records) in &drains {
+            if per_record {
+                for record in records {
+                    accepted += ingest
+                        .ingest_records(portal, std::slice::from_ref(record))
+                        .accepted;
+                }
+            } else {
+                accepted += ingest.ingest_records(portal, records).accepted;
+            }
+        }
+        assert_eq!(accepted, reads.len(), "every recorded read is admitted");
+    };
+    let mut batched_s = f64::INFINITY;
+    let mut per_record_s = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        run(false);
+        batched_s = batched_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        run(true);
+        per_record_s = per_record_s.min(start.elapsed().as_secs_f64());
+    }
+    IngestBatchMeasurement {
+        events: reads.len(),
+        batched_s,
+        per_record_s,
+    }
+}
+
 /// Raises the server shutdown flag when dropped, so an error return
 /// from the load scope unwinds the daemon instead of deadlocking.
 struct RaiseOnDrop<'a>(&'a AtomicBool);
@@ -410,6 +618,8 @@ fn main() -> std::process::ExitCode {
 
     let measurements: Vec<Measurement> = cases.iter().map(measure).collect();
     let streaming = measure_streaming_cases(smoke);
+    let sharded = measure_sharded_streaming(smoke);
+    let ingest_batching = measure_ingest_batching(smoke);
     let site_server = match measure_site_server(smoke) {
         Ok(m) => m,
         Err(e) => {
@@ -446,11 +656,27 @@ fn main() -> std::process::ExitCode {
             if i + 1 < streaming.len() { "," } else { "" },
         ));
     }
+    json.push_str("  ],\n  \"sharded_streaming\": [\n");
+    for (i, m) in sharded.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"events\": {}, \"outputs\": {}, \
+             \"elapsed_s\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            m.shards,
+            m.events,
+            m.outputs,
+            m.elapsed_s,
+            m.events_per_sec(),
+            if i + 1 < sharded.len() { "," } else { "" },
+        ));
+    }
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"site_server\": {{\"portals\": {}, \"tags\": {}, \"events\": {}, \
          \"ingest_s\": {:.6}, \"events_per_sec\": {:.0}, \"queries\": {}, \
-         \"query_p50_ms\": {:.3}, \"query_p99_ms\": {:.3}}}\n",
+         \"query_p50_ms\": {:.3}, \"query_p99_ms\": {:.3}, \
+         \"ingest_batched_events_per_sec\": {:.0}, \
+         \"ingest_per_record_events_per_sec\": {:.0}, \
+         \"ingest_batch_speedup\": {:.3}}}\n",
         site_server.portals,
         site_server.tags,
         site_server.events,
@@ -459,6 +685,9 @@ fn main() -> std::process::ExitCode {
         site_server.queries,
         site_server.query_p50_ms,
         site_server.query_p99_ms,
+        ingest_batching.batched_events_per_sec(),
+        ingest_batching.per_record_events_per_sec(),
+        ingest_batching.per_record_s / ingest_batching.batched_s,
     ));
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -486,6 +715,24 @@ fn main() -> std::process::ExitCode {
             m.events_per_sec(),
         );
     }
+    for m in &sharded {
+        println!(
+            "sharded_streaming K={}: {} events -> {} outputs in {:.3} s ({:.0} events/s)",
+            m.shards,
+            m.events,
+            m.outputs,
+            m.elapsed_s,
+            m.events_per_sec(),
+        );
+    }
+    println!(
+        "ingest batching: {} events, batched {:.0} events/s vs per-record {:.0} events/s \
+         ({:.2}x)",
+        ingest_batching.events,
+        ingest_batching.batched_events_per_sec(),
+        ingest_batching.per_record_events_per_sec(),
+        ingest_batching.per_record_s / ingest_batching.batched_s,
+    );
     println!(
         "site_server: {} portals x {} tags, {} events ingested in {:.3} s \
          ({:.0} events/s), {} queries p50 {:.3} ms p99 {:.3} ms",

@@ -68,7 +68,7 @@ pub use executor::{TrialExecutor, THREADS_ENV};
 pub use export::{reads_to_csv, rounds_to_csv, write_reads_csv, write_rounds_csv};
 pub use motion::Motion;
 pub use precompute::ScenarioCache;
-pub use rng::RngStream;
+pub use rng::{mix64, RngStream};
 pub use runner::{
     run_scenario, run_scenario_reference, run_scenario_streaming, run_scenario_streaming_with,
     run_scenario_with, run_single_round, run_single_round_with, ReadEvent, RoundSummary, SimOutput,

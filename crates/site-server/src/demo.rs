@@ -127,7 +127,10 @@ pub fn self_drive(portals: usize, tags: usize, steps: usize) -> Result<DemoRepor
         .collect();
 
     let token = "self-drive-demo";
-    let config = ServerConfig::new(token);
+    let mut config = ServerConfig::new(token);
+    // Exercise the sharded application plane even on small hosts: the
+    // batch-equivalence assertion below gates its bit-replayability.
+    config.shards = 4;
     let staleness_s = config.staleness_s;
     let server = SiteServer::new(&world.site, &world.registry, &world.adapters, config);
     let reader_listener =

@@ -15,6 +15,7 @@ struct Options {
     query_port: u16,
     token: String,
     staleness_s: f64,
+    shards: usize,
 }
 
 impl Default for Options {
@@ -28,6 +29,7 @@ impl Default for Options {
             query_port: 0,
             token: "change-me".to_owned(),
             staleness_s: 3600.0,
+            shards: 0,
         }
     }
 }
@@ -50,6 +52,9 @@ fn usage() -> String {
         "  --query-port P        query listener port (default 0 = ephemeral)",
         "  --token T             query auth token (default: change-me)",
         "  --staleness S         tracker staleness horizon in seconds",
+        "  --shards K            parallel ingest application shards",
+        "                        (default 0 = machine parallelism; any K",
+        "                        produces the same state, bit for bit)",
     ]
     .join("\n")
 }
@@ -94,6 +99,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--staleness: {e}"))?;
             }
+            "--shards" => {
+                options.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
@@ -121,6 +131,7 @@ fn run_daemon(options: &Options) -> Result<(), String> {
     let world = synthetic_world(options.portals, options.tags);
     let mut config = ServerConfig::new(&options.token);
     config.staleness_s = options.staleness_s;
+    config.shards = options.shards;
     let server = SiteServer::new(&world.site, &world.registry, &world.adapters, config);
     let reader_listener = TcpListener::bind(("127.0.0.1", options.reader_port))
         .map_err(|e| format!("bind reader port: {e}"))?;

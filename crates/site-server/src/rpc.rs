@@ -130,11 +130,11 @@ pub(crate) fn dispatch(
         },
         "counters" => {
             ingest.record_query();
+            // Aggregate rows plus per-shard `shard<N>_<name>` rows.
             let rows = ingest
-                .counters()
-                .rows()
+                .counter_rows()
                 .into_iter()
-                .map(|(name, value)| (name.to_owned(), num(value)))
+                .map(|(name, value)| (name, num(value)))
                 .collect();
             (ok(Json::Obj(rows)), Disposition::Continue)
         }

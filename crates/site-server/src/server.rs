@@ -34,6 +34,10 @@ pub struct ServerConfig {
     pub poll: Duration,
     /// Per-exchange deadline on reader transports.
     pub session_deadline: Duration,
+    /// Parallel application shards in the ingest plane; `0` selects
+    /// the machine's available parallelism. Any value yields the same
+    /// final report, bit for bit.
+    pub shards: usize,
 }
 
 impl ServerConfig {
@@ -45,6 +49,7 @@ impl ServerConfig {
             staleness_s: 3600.0,
             poll: Duration::from_millis(2),
             session_deadline: Duration::from_secs(5),
+            shards: 0,
         }
     }
 }
@@ -102,6 +107,7 @@ impl<'a> SiteServer<'a> {
             self.registry,
             self.adapters,
             self.config.staleness_s,
+            self.config.shards,
         );
         thread::scope(|scope| {
             while !shutdown.load(Ordering::SeqCst) {
@@ -244,7 +250,8 @@ mod tests {
         let case = registry.register("case");
         registry.attach_tag(case, epc);
         let adapters: Vec<_> = (0..2).map(|r| WireEventAdapter::new(r, [epc])).collect();
-        let config = ServerConfig::new("hunter2");
+        let mut config = ServerConfig::new("hunter2");
+        config.shards = 3;
         let server = SiteServer::new(&site, &registry, &adapters, config);
         let reader_listener = TcpListener::bind("127.0.0.1:0").expect("bind reader");
         let query_listener = TcpListener::bind("127.0.0.1:0").expect("bind query");

@@ -150,7 +150,7 @@ mod tests {
     fn drains_a_prefed_session_to_completion() {
         let (site, registry, epc) = world();
         let adapters = vec![WireEventAdapter::new(0, [epc])];
-        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0, 2);
         let emulator = fed_emulator(0, epc, &[1.0, 2.0, 3.0]);
         let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
         let shutdown = AtomicBool::new(false);
@@ -175,7 +175,7 @@ mod tests {
     fn out_of_range_portal_index_is_rejected() {
         let (site, registry, epc) = world();
         let adapters = vec![WireEventAdapter::new(0, [epc])];
-        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0, 2);
         let emulator = fed_emulator(9, epc, &[]);
         let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
         let shutdown = AtomicBool::new(false);
@@ -195,7 +195,7 @@ mod tests {
     fn second_session_on_a_busy_lane_is_refused() {
         let (site, registry, epc) = world();
         let adapters = vec![WireEventAdapter::new(0, [epc])];
-        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0, 2);
         ingest.attach(0).expect("claim the lane first");
         let emulator = fed_emulator(0, epc, &[1.0]);
         let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
@@ -218,7 +218,7 @@ mod tests {
     fn shutdown_takes_a_final_drain() {
         let (site, registry, epc) = world();
         let adapters = vec![WireEventAdapter::new(0, [epc])];
-        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0);
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 100.0, 2);
         let emulator = fed_emulator(0, epc, &[1.0, 2.0]);
         let mut client = ReaderClient::new(InMemoryTransport::new(emulator));
         let shutdown = AtomicBool::new(true);

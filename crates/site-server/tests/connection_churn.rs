@@ -39,7 +39,7 @@ fn churn_run(seed: u64) -> (ServerReport, u64) {
         .map(|p| reads.iter().copied().filter(|r| r.reader == p).collect())
         .collect();
 
-    let ingest = SharedIngest::new(&world.site, &world.registry, &world.adapters, 3600.0);
+    let ingest = SharedIngest::new(&world.site, &world.registry, &world.adapters, 3600.0, 4);
     let shutdown = AtomicBool::new(false);
     let faults: u64 = thread::scope(|scope| {
         let handles: Vec<_> = (0..PORTALS)

@@ -22,6 +22,7 @@ mod constraints;
 mod merge;
 mod operator;
 mod reorder;
+mod shard;
 mod sightings;
 mod site;
 pub(crate) mod smoothing;
@@ -30,6 +31,7 @@ pub use constraints::{AccompanyStream, RouteStream};
 pub use merge::{MergeError, SessionMerge};
 pub use operator::{Chain, Operator};
 pub use reorder::{ReorderBuffer, Timestamped};
+pub use shard::{shard_of, ShardCounters, ShardExecutor, ShardInput, ShardedChain};
 pub use sightings::SightingStream;
 pub use site::{ObservationStream, ZoneTransition};
 pub use smoothing::{AdaptiveStream, SmoothingStream};

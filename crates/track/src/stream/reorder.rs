@@ -36,6 +36,22 @@ impl Timestamped for crate::ZoneObservation {
     }
 }
 
+impl Timestamped for crate::stream::ZoneTransition {
+    fn time_s(&self) -> f64 {
+        self.time_s
+    }
+}
+
+impl Timestamped for crate::Sighting {
+    /// A sighting is timestamped by its *first* read: that is the
+    /// order [`crate::stream::SightingStream`] emits in (first-seen
+    /// time, object index) and the key the sharded egress merge sorts
+    /// by.
+    fn time_s(&self) -> f64 {
+        self.first_s
+    }
+}
+
 /// Min-heap entry: earliest time first, arrival order breaking ties —
 /// the same tie-break as a stable sort by time over arrival order.
 #[derive(Debug, Clone)]

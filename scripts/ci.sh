@@ -41,6 +41,12 @@ grep -q "matches batch replay" "$site_out"
 grep -q "graceful shutdown complete" "$site_out"
 rm -f "$site_out"
 
+# The sharded-plane identity suite under its own budget: these
+# proptests prove the EPC-partitioned parallel chains bit-identical to
+# K=1 for arbitrary shard counts, chunkings, and watermark schedules —
+# a deadlocked merge would otherwise wedge the runner.
+timeout 120 cargo test -q --test shard_identity
+
 # Re-run the wire-path failure suites under a hard wall-clock budget.
 # These tests exist to prove a stalled or faulted peer cannot hang the
 # client; if a hang regression slips back in, `timeout` fails the gate
@@ -56,3 +62,5 @@ scripts/bench-snapshot.sh "$smoke_out" --smoke
 grep -q '"speedup"' "$smoke_out"
 grep -q '"events_per_sec"' "$smoke_out"
 grep -q '"site_server"' "$smoke_out"
+grep -q '"sharded_streaming"' "$smoke_out"
+grep -q '"ingest_batch_speedup"' "$smoke_out"

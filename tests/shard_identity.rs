@@ -1,0 +1,320 @@
+//! Sharded ≡ serial: property tests pinning the EPC-partitioned
+//! parallel data plane to the K=1 pipeline, bit-identically, for
+//! arbitrary shard counts, event chunkings, and watermark schedules.
+//!
+//! `rfid_track::stream::shard` promises that running K instances of a
+//! watermark-preserving operator chain over an object-partitioned
+//! stream and k-way-merging the egress releases exactly the sequence
+//! the single-instance chain releases. These tests are that proof, for
+//! the real tracker chain (`ObservationStream → LocationTracker`), for
+//! the non-preserving sighting chain, and for the shard-boundary edge
+//! cases (duplicate timestamps straddling shards, empty shards, idle
+//! shards under watermark advance, finish ordering).
+
+use proptest::prelude::*;
+use rfid_gen2::Epc96;
+use rfid_sim::ReadEvent;
+use rfid_track::stream::{
+    ObservationStream, Operator, ShardCounters, ShardExecutor, ShardInput, ShardedChain,
+    SightingStream, ZoneTransition,
+};
+use rfid_track::{LocationTracker, ObjectRegistry, Site};
+
+/// A streaming drive plan: `(chunk_len, watermark_frac)` pairs, exactly
+/// the schedule `tests/stream_equivalence.rs` drives single chains with.
+type Plan = Vec<(usize, f64)>;
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    proptest::collection::vec((1usize..4, 0.0f64..=1.0), 1..24)
+}
+
+/// Two objects with two tags each (EPCs 1-4); EPC 5 is a foreign tag.
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    for obj in 0..2u128 {
+        let handle = reg.register(format!("obj{obj}"));
+        reg.attach_tag(handle, Epc96::from_u128(obj * 2 + 1));
+        reg.attach_tag(handle, Epc96::from_u128(obj * 2 + 2));
+    }
+    reg
+}
+
+/// Raw reads on the quarter-second grid (sorted, frequent exact ties);
+/// tag index 4 is the foreign EPC.
+fn reads_strategy() -> impl Strategy<Value = Vec<ReadEvent>> {
+    proptest::collection::vec((0u32..240, 0usize..5, 0usize..2, 0usize..2), 0..40).prop_map(|raw| {
+        let mut reads: Vec<ReadEvent> = raw
+            .into_iter()
+            .map(|(t, tag, antenna, reader)| ReadEvent {
+                time_s: f64::from(t) * 0.25,
+                reader,
+                antenna,
+                tag,
+                epc: Epc96::from_u128(tag as u128 + 1),
+            })
+            .collect();
+        reads.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("grid times are finite")
+        });
+        reads
+    })
+}
+
+/// A site whose portals cover some but not all (reader, antenna) pairs.
+fn site() -> Site {
+    let mut site = Site::new();
+    let dock = site.add_zone("dock");
+    let aisle = site.add_zone("aisle");
+    site.assign_portal(0, 0, dock);
+    site.assign_portal(0, 1, aisle);
+    site.assign_portal(1, 0, aisle);
+    site
+}
+
+/// Renders time-sorted reads plus a drive plan into the interleaved
+/// event/watermark input stream the executor consumes. Leftover events
+/// (plan exhausted) arrive unwatermarked, like a producer going quiet.
+fn shard_stream(reads: &[ReadEvent], plan: &Plan) -> Vec<ShardInput<ReadEvent>> {
+    let mut inputs = Vec::new();
+    let mut idx = 0;
+    for &(len, frac) in plan {
+        if idx >= reads.len() {
+            break;
+        }
+        let end = (idx + len).min(reads.len());
+        inputs.extend(reads[idx..end].iter().map(|r| ShardInput::Event(*r)));
+        idx = end;
+        if idx > 0 && idx < reads.len() {
+            let last = reads[idx - 1].time_s;
+            let next = reads[idx].time_s;
+            inputs.push(ShardInput::Watermark(last + (next - last) * frac));
+        }
+    }
+    inputs.extend(reads[idx..].iter().map(|r| ShardInput::Event(*r)));
+    inputs
+}
+
+/// The partition key the site server uses: the object behind the EPC.
+fn object_key(registry: &ObjectRegistry) -> impl Fn(&ReadEvent) -> u64 + '_ {
+    |read| {
+        registry
+            .object_of(read.epc)
+            .map_or(0, |object| object.index() as u64)
+    }
+}
+
+/// Runs the tracker chain through the executor at shard count `k`.
+fn run_tracker_chain(
+    site: &Site,
+    registry: &ObjectRegistry,
+    inputs: &[ShardInput<ReadEvent>],
+    k: usize,
+) -> (Vec<ZoneTransition>, Vec<ShardCounters>) {
+    ShardExecutor::with_shards(k).run(
+        inputs.iter().cloned(),
+        |_| ObservationStream::new(site, registry).then(LocationTracker::new(5.0)),
+        object_key(registry),
+        |transition: &ZoneTransition| transition.object.index() as u64,
+    )
+}
+
+proptest! {
+    /// The headline identity: the threaded, EPC-partitioned tracker
+    /// chain releases exactly the K=1 sequence for every shard count,
+    /// chunking, and watermark schedule.
+    #[test]
+    fn sharded_tracker_chain_is_bit_identical_to_serial(
+        reads in reads_strategy(),
+        plan in plan_strategy(),
+        k in 2usize..=8,
+    ) {
+        let site = site();
+        let reg = registry();
+        let inputs = shard_stream(&reads, &plan);
+        let (serial, serial_counters) = run_tracker_chain(&site, &reg, &inputs, 1);
+        let (sharded, counters) = run_tracker_chain(&site, &reg, &inputs, k);
+        prop_assert_eq!(&sharded, &serial, "k = {}", k);
+        prop_assert_eq!(counters.len(), k);
+        // Routing is conservative: every event lands on exactly one shard.
+        let routed: u64 = counters.iter().map(|c| c.events_routed).sum();
+        let serial_routed: u64 = serial_counters.iter().map(|c| c.events_routed).sum();
+        prop_assert_eq!(routed, serial_routed);
+    }
+
+    /// No data is lost versus the unsharded chain: the K=1 release
+    /// order is the plain chain's output stably re-sorted into the
+    /// canonical `(time, object)` merge order.
+    #[test]
+    fn serial_shard_plane_is_the_canonical_sort_of_the_plain_chain(
+        reads in reads_strategy(),
+        plan in plan_strategy(),
+    ) {
+        let site = site();
+        let reg = registry();
+        let inputs = shard_stream(&reads, &plan);
+        let (serial, _) = run_tracker_chain(&site, &reg, &inputs, 1);
+
+        let mut chain = ObservationStream::new(&site, &reg).then(LocationTracker::new(5.0));
+        let mut plain = Vec::new();
+        for input in &inputs {
+            match input {
+                ShardInput::Event(read) => plain.extend(chain.push(*read)),
+                ShardInput::Watermark(t) => plain.extend(chain.advance_watermark(*t)),
+            }
+        }
+        plain.extend(chain.finish());
+        plain.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("grid times are finite")
+                .then_with(|| a.object.index().cmp(&b.object.index()))
+        });
+        prop_assert_eq!(serial, plain);
+    }
+
+    /// The non-preserving sighting chain stays deterministic under
+    /// sharding: nothing releases before finish (lane watermarks never
+    /// advance), but the finished sequence is still the K=1 sequence.
+    #[test]
+    fn sharded_sighting_chain_is_bit_identical_to_serial(
+        reads in reads_strategy(),
+        plan in plan_strategy(),
+        k in 2usize..=8,
+        gap in 0.1f64..5.0,
+    ) {
+        let reg = registry();
+        let inputs = shard_stream(&reads, &plan);
+        let run = |shards: usize| {
+            ShardExecutor::with_shards(shards).run(
+                inputs.iter().cloned(),
+                |_| SightingStream::new(&reg, gap),
+                object_key(&reg),
+                |sighting: &rfid_track::Sighting| sighting.object.index() as u64,
+            )
+        };
+        let (serial, _) = run(1);
+        let (sharded, _) = run(k);
+        prop_assert_eq!(sharded, serial, "k = {}", k);
+    }
+}
+
+/// Reads that put two objects at the same instant on different shards:
+/// the duplicate timestamp must straddle the shard boundary and still
+/// come out in the canonical `(time, order)` sequence.
+fn straddling_reads() -> Vec<ReadEvent> {
+    let read = |time_s: f64, tag: usize, reader: usize| ReadEvent {
+        time_s,
+        reader,
+        antenna: 0,
+        tag,
+        epc: Epc96::from_u128(tag as u128 + 1),
+    };
+    vec![
+        read(1.0, 0, 0), // object 0 at dock
+        read(1.0, 2, 1), // object 1 at aisle, same instant
+        read(2.0, 2, 0), // object 1 at dock
+        read(2.0, 0, 1), // object 0 at aisle, same instant
+        read(3.0, 0, 0),
+        read(3.0, 2, 1),
+    ]
+}
+
+#[test]
+fn duplicate_timestamps_straddling_shards_keep_canonical_order() {
+    let site = site();
+    let reg = registry();
+    let reads = straddling_reads();
+    let mut inputs: Vec<ShardInput<ReadEvent>> =
+        reads.iter().map(|r| ShardInput::Event(*r)).collect();
+    inputs.insert(2, ShardInput::Watermark(1.5));
+    inputs.insert(5, ShardInput::Watermark(2.5));
+    for k in [2, 4, 8] {
+        let (serial, _) = run_tracker_chain(&site, &reg, &inputs, 1);
+        let (sharded, _) = run_tracker_chain(&site, &reg, &inputs, k);
+        assert_eq!(sharded, serial, "k = {k}");
+        // Ties released in order-key (object index) order, not arrival.
+        let times: Vec<f64> = serial.iter().map(|t| t.time_s).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "release order is time-sorted"
+        );
+    }
+}
+
+#[test]
+fn zero_event_shards_do_not_stall_the_merge() {
+    let site = site();
+    let reg = registry();
+    // Only object 0 is ever read: at K=8 most shards see nothing.
+    let reads: Vec<ReadEvent> = (0..6)
+        .map(|i| ReadEvent {
+            time_s: f64::from(i),
+            reader: i as usize % 2,
+            antenna: 0,
+            tag: 0,
+            epc: Epc96::from_u128(1),
+        })
+        .collect();
+    let mut inputs: Vec<ShardInput<ReadEvent>> =
+        reads.iter().map(|r| ShardInput::Event(*r)).collect();
+    inputs.push(ShardInput::Watermark(10.0));
+    let (serial, _) = run_tracker_chain(&site, &reg, &inputs, 1);
+    let (sharded, counters) = run_tracker_chain(&site, &reg, &inputs, 8);
+    assert_eq!(sharded, serial);
+    assert!(!serial.is_empty(), "the object does move between zones");
+    let lanes_used = counters.iter().filter(|c| c.events_routed > 0).count();
+    assert_eq!(lanes_used, 1, "one object routes to exactly one shard");
+    // Idle shards still forwarded every watermark — that is what lets
+    // the merge release without them.
+    assert!(counters.iter().all(|c| c.watermarks_forwarded > 0));
+}
+
+#[test]
+fn watermark_advance_with_idle_shard_releases_early() {
+    // Drive the ShardedChain (the serial reference plane) directly as
+    // an Operator: a watermark must release everything below it even
+    // though most lanes hold no events at all.
+    let site = site();
+    let reg = registry();
+    let mut chain = ShardedChain::new(
+        4,
+        |_| ObservationStream::new(&site, &reg).then(LocationTracker::new(5.0)),
+        object_key(&reg),
+        |transition: &ZoneTransition| transition.object.index() as u64,
+    );
+    let read = |time_s: f64, reader: usize| ReadEvent {
+        time_s,
+        reader,
+        antenna: 0,
+        tag: 0,
+        epc: Epc96::from_u128(1),
+    };
+    assert!(chain.push(read(1.0, 0)).is_empty(), "held until watermark");
+    assert!(chain.push(read(2.0, 1)).is_empty());
+    let released = chain.advance_watermark(1.5);
+    assert_eq!(released.len(), 1, "t=1.0 is below the floor, t=2.0 is not");
+    assert_eq!(released[0].time_s, 1.0);
+    let rest = chain.finish();
+    assert_eq!(rest.len(), 1);
+    assert_eq!(rest[0].time_s, 2.0);
+}
+
+#[test]
+fn finish_flushes_unwatermarked_events_in_canonical_order() {
+    // No watermark ever arrives (a producer that detaches abruptly):
+    // finish alone must drain every lane and still emit the K=1 order.
+    let site = site();
+    let reg = registry();
+    let reads = straddling_reads();
+    let inputs: Vec<ShardInput<ReadEvent>> = reads.iter().map(|r| ShardInput::Event(*r)).collect();
+    let (serial, _) = run_tracker_chain(&site, &reg, &inputs, 1);
+    for k in [2, 4, 8] {
+        let (sharded, counters) = run_tracker_chain(&site, &reg, &inputs, k);
+        assert_eq!(sharded, serial, "k = {k}");
+        let routed: u64 = counters.iter().map(|c| c.events_routed).sum();
+        assert_eq!(routed, reads.len() as u64);
+    }
+    assert!(!serial.is_empty());
+}
