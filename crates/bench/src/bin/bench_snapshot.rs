@@ -40,6 +40,12 @@
 //! is recorded as measured on the build host — a single-core container
 //! shows coordination overhead, not speedup; the bit-identity gate is
 //! what the benchmark *asserts*.
+//!
+//! A sixth section, `store`, measures the durable zone-history store:
+//! append throughput into the segmented CRC-framed log, `location_at`
+//! point-query latency (p50/p99) against the span index, and cold
+//! recovery time (reopen + replay into a fresh tracker), gated on the
+//! replay being bit-identical to the tracker fed live.
 
 use rfid_experiments::scenarios::{
     object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
@@ -437,6 +443,119 @@ fn measure_ingest_batching(smoke: bool) -> IngestBatchMeasurement {
     }
 }
 
+struct StoreMeasurement {
+    records: usize,
+    append_s: f64,
+    queries: usize,
+    location_at_p50_ms: f64,
+    location_at_p99_ms: f64,
+    recovery_s: f64,
+}
+
+impl StoreMeasurement {
+    fn append_events_per_sec(&self) -> f64 {
+        self.records as f64 / self.append_s
+    }
+}
+
+/// Measures the durable zone-history store: append throughput over a
+/// multi-segment log, `location_at` point-query latency against the
+/// span index, and cold recovery (reopen + full replay). Correctness
+/// gate: the replayed tracker must equal the tracker fed live during
+/// the appends, bit for bit — the numbers only count for a run whose
+/// recovery is exact.
+fn measure_store(smoke: bool) -> Result<StoreMeasurement, String> {
+    use rfid_sim::mix64;
+    use rfid_track::store::Record;
+    use rfid_track::{StoreConfig, ZoneHistoryStore, ZoneObservation};
+
+    let records = if smoke { 20_000 } else { 200_000 };
+    let queries = if smoke { 2_000 } else { 20_000 };
+    let objects = 64usize;
+    let zones = 8usize;
+    let dir = std::env::temp_dir().join(format!("bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || -> Result<StoreMeasurement, String> {
+        // Mint handles the supported way: a registry of `objects` cases.
+        let mut registry = ObjectRegistry::new();
+        let handles: Vec<_> = (0..objects)
+            .map(|i| registry.register(format!("case-{i}")))
+            .collect();
+        let observation = |i: usize| ZoneObservation {
+            object: handles[mix64(i as u64) as usize % objects],
+            zone: mix64(i as u64 ^ 0xA5A5) as usize % zones,
+            time_s: i as f64 * 1e-3,
+            inferred: false,
+        };
+
+        let mut store = ZoneHistoryStore::open(&dir, StoreConfig::default())
+            .map_err(|e| format!("store open: {e}"))?;
+        let mut live = LocationTracker::new(1e9);
+        let start = Instant::now();
+        for i in 0..records {
+            store
+                .append(&Record::Observation(observation(i)))
+                .map_err(|e| format!("append {i}: {e}"))?;
+        }
+        store.flush().map_err(|e| format!("flush: {e}"))?;
+        let append_s = start.elapsed().as_secs_f64();
+        for i in 0..records {
+            live.observe(observation(i))
+                .map_err(|e| format!("live observe {i}: {e}"))?;
+        }
+
+        // Point queries at pseudo-random times across the whole span.
+        let horizon = records as f64 * 1e-3;
+        let mut latencies_s = Vec::with_capacity(queries);
+        for q in 0..queries {
+            let at_s = (mix64(q as u64 ^ 0x5EED) % 1_000_000) as f64 / 1e6 * horizon;
+            let object = handles[mix64(q as u64 ^ 0xF00D) as usize % objects];
+            let begin = Instant::now();
+            store
+                .location_at(object, at_s)
+                .map_err(|e| format!("location_at: {e}"))?;
+            latencies_s.push(begin.elapsed().as_secs_f64());
+        }
+        latencies_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Cold recovery: reopen the directory and replay into a fresh
+        // tracker; gate on bit-exact equality with the live tracker.
+        drop(store);
+        let start = Instant::now();
+        let reopened = ZoneHistoryStore::open(&dir, StoreConfig::default())
+            .map_err(|e| format!("store reopen: {e}"))?;
+        let stream = reopened
+            .observations()
+            .map_err(|e| format!("replay stream: {e}"))?;
+        let mut replayed = LocationTracker::new(1e9);
+        replayed
+            .observe_all(stream)
+            .map_err(|e| format!("replay observe: {e}"))?;
+        let recovery_s = start.elapsed().as_secs_f64();
+        if reopened.len() != records as u64 {
+            return Err(format!(
+                "recovery lost records: {} of {records}",
+                reopened.len()
+            ));
+        }
+        if replayed != live {
+            return Err("store replay diverged from the live tracker".to_owned());
+        }
+
+        Ok(StoreMeasurement {
+            records,
+            append_s,
+            queries,
+            location_at_p50_ms: percentile_ms(&latencies_s, 0.50),
+            location_at_p99_ms: percentile_ms(&latencies_s, 0.99),
+            recovery_s,
+        })
+    };
+    let result = run();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 /// Raises the server shutdown flag when dropped, so an error return
 /// from the load scope unwinds the daemon instead of deadlocking.
 struct RaiseOnDrop<'a>(&'a AtomicBool);
@@ -560,7 +679,9 @@ fn measure_site_server(smoke: bool) -> Result<SiteServerMeasurement, String> {
 
     // Correctness gate: load numbers only count for a bit-exact run.
     let mut batch = LocationTracker::new(staleness_s);
-    batch.observe_all(world.site.observations(&world.registry, &reads));
+    batch
+        .observe_all(world.site.observations(&world.registry, &reads))
+        .map_err(|e| format!("batch replay: {e}"))?;
     if report.tracker != batch {
         return Err("site server diverged from the batch replay under load".to_owned());
     }
@@ -627,6 +748,13 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
     };
+    let store = match measure_store(smoke) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_snapshot: store section failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
 
     let mut json =
         String::from("{\n  \"benchmark\": \"memoized hot path vs unmemoized reference\",\n");
@@ -676,7 +804,7 @@ fn main() -> std::process::ExitCode {
          \"query_p50_ms\": {:.3}, \"query_p99_ms\": {:.3}, \
          \"ingest_batched_events_per_sec\": {:.0}, \
          \"ingest_per_record_events_per_sec\": {:.0}, \
-         \"ingest_batch_speedup\": {:.3}}}\n",
+         \"ingest_batch_speedup\": {:.3}}},\n",
         site_server.portals,
         site_server.tags,
         site_server.events,
@@ -688,6 +816,19 @@ fn main() -> std::process::ExitCode {
         ingest_batching.batched_events_per_sec(),
         ingest_batching.per_record_events_per_sec(),
         ingest_batching.per_record_s / ingest_batching.batched_s,
+    ));
+    json.push_str(&format!(
+        "  \"store\": {{\"records\": {}, \"append_s\": {:.6}, \
+         \"append_events_per_sec\": {:.0}, \"queries\": {}, \
+         \"location_at_p50_ms\": {:.4}, \"location_at_p99_ms\": {:.4}, \
+         \"recovery_s\": {:.6}}}\n",
+        store.records,
+        store.append_s,
+        store.append_events_per_sec(),
+        store.queries,
+        store.location_at_p50_ms,
+        store.location_at_p99_ms,
+        store.recovery_s,
     ));
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -744,6 +885,17 @@ fn main() -> std::process::ExitCode {
         site_server.queries,
         site_server.query_p50_ms,
         site_server.query_p99_ms,
+    );
+    println!(
+        "store: {} records appended in {:.3} s ({:.0} events/s), {} location_at \
+         queries p50 {:.4} ms p99 {:.4} ms, recovery {:.3} s",
+        store.records,
+        store.append_s,
+        store.append_events_per_sec(),
+        store.queries,
+        store.location_at_p50_ms,
+        store.location_at_p99_ms,
+        store.recovery_s,
     );
     println!("wrote {out_path}");
     std::process::ExitCode::SUCCESS

@@ -34,6 +34,13 @@ pub struct IngestCounters {
     pub auth_failures: u64,
     /// Malformed or unanswerable RPC requests.
     pub rpc_errors: u64,
+    /// Observations recovered from the durable store at boot.
+    pub store_recovered: u64,
+    /// Observations appended to the durable store this run.
+    pub store_appends: u64,
+    /// Store append/flush/replay failures (durability degraded, run
+    /// continues).
+    pub store_errors: u64,
 }
 
 impl IngestCounters {
@@ -56,6 +63,9 @@ impl IngestCounters {
             ("queries_served", self.queries_served),
             ("auth_failures", self.auth_failures),
             ("rpc_errors", self.rpc_errors),
+            ("store_recovered", self.store_recovered),
+            ("store_appends", self.store_appends),
+            ("store_errors", self.store_errors),
         ]
     }
 }
@@ -94,13 +104,16 @@ mod tests {
             queries_served: 11,
             auth_failures: 12,
             rpc_errors: 13,
+            store_recovered: 14,
+            store_appends: 15,
+            store_errors: 16,
         };
         let rows = counters.rows();
-        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.len(), 16);
         let total: u64 = rows.iter().map(|(_, v)| v).sum();
-        assert_eq!(total, (1..=13).sum::<u64>(), "every field appears once");
+        assert_eq!(total, (1..=16).sum::<u64>(), "every field appears once");
         let text = counters.to_string();
         assert!(text.starts_with("sessions_attached=1 "));
-        assert!(text.ends_with("rpc_errors=13"));
+        assert!(text.ends_with("store_errors=16"));
     }
 }

@@ -204,7 +204,9 @@ pub fn self_drive(portals: usize, tags: usize, steps: usize) -> Result<DemoRepor
     // The acceptance bar: the live daemon's final state is the batch
     // pipeline's state, bit for bit.
     let mut batch = LocationTracker::new(staleness_s);
-    batch.observe_all(world.site.observations(&world.registry, &reads));
+    batch
+        .observe_all(world.site.observations(&world.registry, &reads))
+        .map_err(|e| format!("batch replay: {e}"))?;
     if report.tracker != batch {
         return Err("streamed tracker state diverged from the batch replay".to_owned());
     }

@@ -29,10 +29,13 @@
 use crate::counters::IngestCounters;
 use rfid_readerapi::{TagRecord, WireEventAdapter};
 use rfid_sim::ReadEvent;
+use rfid_track::store::Record;
 use rfid_track::stream::{
     shard_of, MergeError, ObservationStream, Operator, SessionMerge, ShardCounters, ZoneTransition,
 };
-use rfid_track::{LocationTracker, ObjectRegistry, Site, ZoneObservation};
+use rfid_track::{
+    LocationTracker, ObjectRegistry, Site, StoreError, ZoneHistoryStore, ZoneObservation,
+};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -70,6 +73,10 @@ struct IngestState {
     next_seq: u64,
     /// Application tickets issued per shard.
     issued: Vec<u64>,
+    /// The durable zone-history log, when the daemon runs with
+    /// `--store-dir`. Appends happen here, inside the release critical
+    /// section, so the on-disk order *is* the canonical release order.
+    store: Option<ZoneHistoryStore>,
 }
 
 /// One shard's application state: its slice of the operator chain.
@@ -97,6 +104,10 @@ struct RoutedBatch {
     lane: usize,
     ticket: u64,
     events: Vec<(u64, ReadEvent)>,
+    /// In durable mode, the time below which the shard tracker's
+    /// history may be evicted after applying (everything older is
+    /// already safe in the store).
+    evict_before: Option<f64>,
 }
 
 /// The shared ingest plane. One per server run; borrow it from every
@@ -108,6 +119,11 @@ pub struct SharedIngest<'a> {
     staleness_s: f64,
     state: Mutex<IngestState>,
     shards: Vec<ShardSlot<'a>>,
+    /// Whether a [`ZoneHistoryStore`] backs this plane. In durable
+    /// mode the shard observation logs are skipped (the store is the
+    /// log), shard tracker history is evicted as it becomes durable,
+    /// and history queries answer from the store.
+    durable: bool,
 }
 
 impl<'a> SharedIngest<'a> {
@@ -140,6 +156,7 @@ impl<'a> SharedIngest<'a> {
                 now_s: f64::NEG_INFINITY,
                 next_seq: 0,
                 issued: vec![0; lanes],
+                store: None,
             }),
             shards: (0..lanes)
                 .map(|_| ShardSlot {
@@ -154,7 +171,83 @@ impl<'a> SharedIngest<'a> {
                     applied: Condvar::new(),
                 })
                 .collect(),
+            durable: false,
         }
+    }
+
+    /// Creates a durable plane backed by an opened
+    /// [`ZoneHistoryStore`]: observations recovered from the store are
+    /// replayed into the shard trackers (so live queries resume where
+    /// the previous run stopped), new releases are appended to the
+    /// store inside the release critical section, and shard history is
+    /// evicted as it becomes durable — bounding resident memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] if the recovered log cannot be read
+    /// back.
+    pub fn with_store(
+        site: &'a Site,
+        registry: &'a ObjectRegistry,
+        adapters: &'a [WireEventAdapter],
+        staleness_s: f64,
+        shards: usize,
+        store: ZoneHistoryStore,
+    ) -> Result<Self, StoreError> {
+        let recovered = store.observations()?;
+        let high_s = store.high_s();
+        let mut ingest = Self::new(site, registry, adapters, staleness_s, shards);
+        ingest.durable = true;
+        let lanes = ingest.shards.len();
+        for (seq, observation) in recovered.iter().enumerate() {
+            let lane = shard_of(observation.object.index() as u64, lanes);
+            let slot = &ingest.shards[lane];
+            let mut shard = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let emitted = shard.tracker.push(*observation);
+            shard.transitions.extend(
+                emitted
+                    .into_iter()
+                    .map(|transition| (seq as u64, transition)),
+            );
+        }
+        // Evict replayed history immediately: it is already durable, and
+        // the live estimate (`last`) survives eviction.
+        if let Some(high) = high_s {
+            for slot in &ingest.shards {
+                let mut shard = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+                shard.tracker.evict_history_before(high);
+            }
+        }
+        {
+            let mut state = ingest.lock();
+            state.counters.store_recovered = recovered.len() as u64;
+            state.next_seq = recovered.len() as u64;
+            if let Some(high) = high_s {
+                state.now_s = high;
+            }
+            state.store = Some(store);
+        }
+        Ok(ingest)
+    }
+
+    /// Whether a durable store backs this plane.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Maps one released read to its zone observation exactly as the
+    /// shard-side [`ObservationStream`] will: reads from unassigned
+    /// portals or unknown tags map to `None`.
+    fn map_observation(&self, event: &ReadEvent) -> Option<ZoneObservation> {
+        let zone = self.site.zone_of_portal(event.reader, event.antenna)?;
+        let object = self.registry.object_of(event.epc)?;
+        Some(ZoneObservation {
+            object,
+            zone,
+            time_s: event.time_s,
+            inferred: false,
+        })
     }
 
     /// Number of portal lanes.
@@ -189,19 +282,46 @@ impl<'a> SharedIngest<'a> {
     /// by object key, and issues one application ticket per non-empty
     /// shard batch. Runs under the merge lock; the caller applies the
     /// returned batches after dropping it.
+    ///
+    /// In durable mode every mapped observation is appended to the
+    /// store here, inside the critical section, so the on-disk append
+    /// order is exactly the canonical release order. A failed append
+    /// (disk fault) is counted and the event still flows to its shard:
+    /// durability degrades, liveness does not.
     fn route(&self, state: &mut IngestState, released: Vec<ReadEvent>) -> Vec<RoutedBatch> {
         if released.is_empty() {
             return Vec::new();
         }
         let lanes = self.shards.len();
         let mut per_lane: Vec<Vec<(u64, ReadEvent)>> = vec![Vec::new(); lanes];
+        let mut high_s: Option<f64> = None;
         for event in released {
             state.counters.events_released += 1;
             state.now_s = state.now_s.max(event.time_s);
+            high_s = Some(high_s.map_or(event.time_s, |h: f64| h.max(event.time_s)));
             let seq = state.next_seq;
             state.next_seq += 1;
+            if state.store.is_some() {
+                if let Some(observation) = self.map_observation(&event) {
+                    let appended = state
+                        .store
+                        .as_mut()
+                        .map(|store| store.append(&Record::Observation(observation)));
+                    match appended {
+                        Some(Ok(_)) => state.counters.store_appends += 1,
+                        Some(Err(_)) => state.counters.store_errors += 1,
+                        None => {}
+                    }
+                }
+            }
             per_lane[shard_of(self.partition_key(&event), lanes)].push((seq, event));
         }
+        if let Some(store) = state.store.as_mut() {
+            if store.flush().is_err() {
+                state.counters.store_errors += 1;
+            }
+        }
+        let evict_before = if self.durable { high_s } else { None };
         per_lane
             .into_iter()
             .enumerate()
@@ -213,6 +333,7 @@ impl<'a> SharedIngest<'a> {
                     lane,
                     ticket,
                     events,
+                    evict_before,
                 }
             })
             .collect()
@@ -240,12 +361,23 @@ impl<'a> SharedIngest<'a> {
         state.counters.events_routed += batch.events.len() as u64;
         for (seq, event) in batch.events {
             for observation in state.observe.push(event) {
-                state.log.push((seq, observation));
+                // In durable mode the store *is* the observation log;
+                // duplicating it in memory would re-grow the unbounded
+                // Vec this store exists to remove.
+                if !self.durable {
+                    state.log.push((seq, observation));
+                }
                 let emitted = state.tracker.push(observation);
                 state
                     .transitions
                     .extend(emitted.into_iter().map(|transition| (seq, transition)));
             }
+        }
+        if let Some(cutoff_s) = batch.evict_before {
+            // Everything strictly older than the release high-water is
+            // already durable; drop it from the live index so resident
+            // memory stays bounded by the in-flight window.
+            state.tracker.evict_history_before(cutoff_s);
         }
         state.applied_tickets += 1;
         slot.applied.notify_all();
@@ -512,12 +644,36 @@ impl<'a> SharedIngest<'a> {
     /// Full zone history of an object: `(zone index, zone name,
     /// time, inferred)` per observation, in canonical stream order.
     ///
+    /// In durable mode the answer comes from the store (shard history
+    /// is evicted as it becomes durable), read at the release
+    /// snapshot; otherwise from the object's shard tracker.
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable reason for an unresolvable EPC.
+    /// Returns a human-readable reason for an unresolvable EPC or an
+    /// unreadable store segment.
     #[allow(clippy::type_complexity)]
     pub fn zone_history(&self, epc_text: &str) -> Result<Vec<(usize, String, f64, bool)>, String> {
         let object = self.resolve(epc_text)?;
+        if self.durable {
+            let state = self.lock();
+            let history = state
+                .store
+                .as_ref()
+                .map_or_else(|| Ok(Vec::new()), |store| store.history_of(object))
+                .map_err(|err| format!("store read failed: {err}"))?;
+            return Ok(history
+                .into_iter()
+                .map(|obs| {
+                    (
+                        obs.zone,
+                        self.site.zone_name(obs.zone).to_owned(),
+                        obs.time_s,
+                        obs.inferred,
+                    )
+                })
+                .collect());
+        }
         let lane = shard_of(object.index() as u64, self.shards.len());
         let (target, _) = self.query_snapshot(lane);
         let state = self.synced_shard(lane, target);
@@ -535,6 +691,49 @@ impl<'a> SharedIngest<'a> {
             .collect())
     }
 
+    /// Point-in-time location query at an arbitrary historical time
+    /// `at_s`: `(zone index, zone name)` as of `at_s` under the same
+    /// staleness horizon as [`SharedIngest::location_of`], or `None`
+    /// if the object was unseen or stale then.
+    ///
+    /// Durable mode answers from the store's segment index in
+    /// `O(log n)`; otherwise the object's shard tracker answers from
+    /// its in-memory time index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for an unresolvable EPC, a
+    /// non-finite query time, or an unreadable store segment.
+    pub fn location_at(
+        &self,
+        epc_text: &str,
+        at_s: f64,
+    ) -> Result<Option<(usize, String)>, String> {
+        if !at_s.is_finite() {
+            return Err(format!("non-finite query time {at_s}"));
+        }
+        let object = self.resolve(epc_text)?;
+        if self.durable {
+            let state = self.lock();
+            let found = state
+                .store
+                .as_ref()
+                .map_or(Ok(None), |store| store.location_at(object, at_s))
+                .map_err(|err| format!("store read failed: {err}"))?;
+            return Ok(found.and_then(|(zone, time_s)| {
+                (at_s - time_s <= self.staleness_s)
+                    .then(|| (zone, self.site.zone_name(zone).to_owned()))
+            }));
+        }
+        let lane = shard_of(object.index() as u64, self.shards.len());
+        let (target, _) = self.query_snapshot(lane);
+        let state = self.synced_shard(lane, target);
+        Ok(state
+            .tracker
+            .location_of(object, at_s)
+            .map(|zone| (zone, self.site.zone_name(zone).to_owned())))
+    }
+
     /// The object's display name.
     #[must_use]
     pub fn name_of(&self, object: rfid_track::ObjectHandle) -> &str {
@@ -544,15 +743,23 @@ impl<'a> SharedIngest<'a> {
     /// Consumes the plane into its final report: the per-shard
     /// observation logs merge by release sequence into the canonical
     /// order, and one tracker is rebuilt from that order — bit-exact
-    /// to a batch replay. Call after [`SharedIngest::finish`] once
-    /// every session has detached.
+    /// to a batch replay. In durable mode the store *is* the canonical
+    /// log, so the tracker is rebuilt by replaying it — the recovery
+    /// path and the report path are one code path, which is what makes
+    /// "replay equals live run" a structural guarantee. Call after
+    /// [`SharedIngest::finish`] once every session has detached.
     #[must_use]
     pub fn into_report(self) -> ServerReport {
-        let state = self
+        let mut state = self
             .state
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
         let mut counters = state.counters;
+        if let Some(store) = state.store.as_mut() {
+            if store.flush().is_err() {
+                counters.store_errors += 1;
+            }
+        }
         let mut log: Vec<(u64, ZoneObservation)> = Vec::new();
         let mut transitions: Vec<(u64, ZoneTransition)> = Vec::new();
         let mut shard_counters = Vec::with_capacity(self.shards.len());
@@ -571,7 +778,26 @@ impl<'a> SharedIngest<'a> {
         transitions.sort_by_key(|&(seq, _)| seq);
         counters.transitions = transitions.len() as u64;
         let mut tracker = LocationTracker::new(self.staleness_s);
-        tracker.observe_all(log.into_iter().map(|(_, observation)| observation));
+        if let Some(store) = state.store.as_ref() {
+            match store.observations() {
+                Ok(observations) => {
+                    for observation in observations {
+                        // `push` drops non-finite times instead of
+                        // erroring; stored times were validated at
+                        // append, so nothing is dropped here.
+                        let _ = tracker.push(observation);
+                    }
+                }
+                Err(err) => {
+                    counters.store_errors += 1;
+                    eprintln!("store replay failed at shutdown: {err}");
+                }
+            }
+        } else {
+            for (_, observation) in log {
+                let _ = tracker.push(observation);
+            }
+        }
         ServerReport {
             tracker,
             transitions: transitions
@@ -655,7 +881,9 @@ mod tests {
             },
         ];
         let mut batch = LocationTracker::new(100.0);
-        batch.observe_all(site.observations(&registry, &reads));
+        batch
+            .observe_all(site.observations(&registry, &reads))
+            .expect("finite times");
 
         let report = ingest.into_report();
         assert_eq!(report.tracker, batch, "streamed state is the batch state");

@@ -71,26 +71,30 @@ impl Json {
     }
 
     /// Serializes to a single-line JSON document.
-    #[must_use]
-    pub fn to_json(&self) -> String {
+    ///
+    /// # Errors
+    ///
+    /// [`NonFiniteNumber`] if any number in the document is NaN or
+    /// infinite. JSON has no spelling for those values; the old writer
+    /// emitted `NaN`/`inf` via `format!` (an unparseable document on
+    /// the wire), so serialization now refuses them with a typed error
+    /// the RPC layer can turn into an honest error frame.
+    pub fn to_json(&self) -> Result<String, NonFiniteNumber> {
         let mut out = String::new();
-        self.write(&mut out);
-        out
+        self.write(&mut out)?;
+        Ok(out)
     }
 
-    fn write(&self, out: &mut String) {
+    fn write(&self, out: &mut String) -> Result<(), NonFiniteNumber> {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(true) => out.push_str("true"),
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
-                // JSON has no NaN/inf; map them to null so a bad float
-                // can never emit an unparseable document.
-                if n.is_finite() {
-                    out.push_str(&format!("{n}"));
-                } else {
-                    out.push_str("null");
+                if !n.is_finite() {
+                    return Err(NonFiniteNumber { value: *n });
                 }
+                out.push_str(&format!("{n}"));
             }
             Json::Str(s) => write_string(s, out),
             Json::Arr(items) => {
@@ -99,7 +103,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write(out)?;
                 }
                 out.push(']');
             }
@@ -111,11 +115,12 @@ impl Json {
                     }
                     write_string(key, out);
                     out.push(':');
-                    value.write(out);
+                    value.write(out)?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
     }
 
     /// Parses one JSON document, rejecting trailing garbage.
@@ -154,6 +159,26 @@ fn write_string(s: &str, out: &mut String) {
     }
     out.push('"');
 }
+
+/// A document that cannot be serialized: it contains a NaN or
+/// infinite number, which JSON has no spelling for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteNumber {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite number {} cannot be serialized as JSON",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteNumber {}
 
 /// Why a document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -394,7 +419,7 @@ mod tests {
                 Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str("x".into())]),
             ),
         ]);
-        let text = doc.to_json();
+        let text = doc.to_json().expect("finite document");
         assert!(!text.contains('\n'), "one frame per line: {text:?}");
         assert_eq!(Json::parse(&text).unwrap(), doc);
     }
@@ -402,7 +427,7 @@ mod tests {
     #[test]
     fn strings_with_control_characters_stay_single_line() {
         let doc = Json::Str("a\nb\r\tc\u{1}\"quoted\"\\slash".into());
-        let text = doc.to_json();
+        let text = doc.to_json().expect("finite document");
         assert!(text.chars().all(|c| !c.is_control()), "{text:?}");
         assert_eq!(Json::parse(&text).unwrap(), doc);
     }
@@ -410,7 +435,7 @@ mod tests {
     #[test]
     fn unicode_round_trips() {
         let doc = Json::Str("zoné-λ-📦".into());
-        assert_eq!(Json::parse(&doc.to_json()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.to_json().expect("finite")).unwrap(), doc);
         assert_eq!(Json::parse(r#""\u00e9""#).unwrap(), Json::Str("é".into()));
     }
 
@@ -444,9 +469,19 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_serialize_as_null() {
-        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
+    fn non_finite_numbers_are_typed_serialization_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::Num(bad).to_json().expect_err("must refuse");
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            // Nested occurrences are caught too, not just top level.
+            let nested = Json::Obj(vec![(
+                "rows".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(bad)]),
+            )]);
+            let err = nested.to_json().expect_err("nested must refuse");
+            assert_eq!(err.value.to_bits(), bad.to_bits());
+        }
+        assert!(Json::Num(1.5e308).to_json().is_ok(), "finite extremes pass");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod session;
 pub use counters::IngestCounters;
 pub use demo::{recorded_reads, self_drive, synthetic_world, DemoReport, SyntheticWorld};
 pub use ingest::{IngestOutcome, ServerReport, SharedIngest};
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, NonFiniteNumber};
 pub use portal::run_portal;
 pub use rpc::{HistoryRow, QueryClient, RpcError};
 pub use server::{ServerConfig, SiteServer};

@@ -16,6 +16,7 @@ struct Options {
     token: String,
     staleness_s: f64,
     shards: usize,
+    store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -30,6 +31,7 @@ impl Default for Options {
             token: "change-me".to_owned(),
             staleness_s: 3600.0,
             shards: 0,
+            store_dir: None,
         }
     }
 }
@@ -55,6 +57,10 @@ fn usage() -> String {
         "  --shards K            parallel ingest application shards",
         "                        (default 0 = machine parallelism; any K",
         "                        produces the same state, bit for bit)",
+        "  --store-dir PATH      durable zone-history store directory;",
+        "                        prior contents are recovered and replayed",
+        "                        into the tracker before serving (daemon",
+        "                        mode only; default: in-memory)",
     ]
     .join("\n")
 }
@@ -104,6 +110,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--shards: {e}"))?;
             }
+            "--store-dir" => {
+                options.store_dir = Some(std::path::PathBuf::from(value("--store-dir")?));
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
@@ -132,6 +141,10 @@ fn run_daemon(options: &Options) -> Result<(), String> {
     let mut config = ServerConfig::new(&options.token);
     config.staleness_s = options.staleness_s;
     config.shards = options.shards;
+    config.store_dir = options.store_dir.clone();
+    if let Some(dir) = &config.store_dir {
+        println!("durable store: {}", dir.display());
+    }
     let server = SiteServer::new(&world.site, &world.registry, &world.adapters, config);
     let reader_listener = TcpListener::bind(("127.0.0.1", options.reader_port))
         .map_err(|e| format!("bind reader port: {e}"))?;

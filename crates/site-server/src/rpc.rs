@@ -8,10 +8,10 @@
 //! ```
 //!
 //! Responses are `{"ok":true,"result":…}` or `{"ok":false,"error":"…"}`.
-//! Methods: `location_of`, `zone_history`, `counters`, `shutdown`. A
-//! request with a bad token gets one error response and the connection
-//! is closed — the error text does not reveal whether the method or the
-//! EPC was otherwise valid.
+//! Methods: `location_of`, `location_at`, `zone_history`, `counters`,
+//! `shutdown`. A request with a bad token gets one error response and
+//! the connection is closed — the error text does not reveal whether
+//! the method or the EPC was otherwise valid.
 //!
 //! [`QueryClient`] is the matching typed client used by the demo, the
 //! benchmarks, and the integration tests.
@@ -34,20 +34,37 @@ pub(crate) enum Disposition {
     Shutdown,
 }
 
+/// Serializes a response document, downgrading an unserializable one
+/// (a non-finite number, now a typed [`crate::json::NonFiniteNumber`]
+/// error) to an honest error frame instead of putting `NaN` on the
+/// wire. The fallback frame is all-literal, so the final `unwrap_or`
+/// string is statically parseable.
+fn frame(doc: &Json) -> String {
+    doc.to_json().unwrap_or_else(|err| {
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            (
+                "error".into(),
+                Json::Str(format!("unserializable response: {err}")),
+            ),
+        ])
+        .to_json()
+        .unwrap_or_else(|_| r#"{"ok":false,"error":"unserializable response"}"#.to_owned())
+    })
+}
+
 fn ok(result: Json) -> String {
-    Json::Obj(vec![
+    frame(&Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("result".into(), result),
-    ])
-    .to_json()
+    ]))
 }
 
 fn fail(error: impl Into<String>) -> String {
-    Json::Obj(vec![
+    frame(&Json::Obj(vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(error.into())),
-    ])
-    .to_json()
+    ]))
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -107,6 +124,34 @@ pub(crate) fn dispatch(
                 (fail(reason), Disposition::Continue)
             }
         },
+        "location_at" => {
+            let time_s = doc
+                .get("params")
+                .and_then(|p| p.get("time_s"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "missing params.time_s".to_owned());
+            match epc(&doc)
+                .and_then(|epc| time_s.map(|t| (epc, t)))
+                .and_then(|(epc, t)| ingest.location_at(&epc, t))
+            {
+                Ok(Some((zone, name))) => {
+                    ingest.record_query();
+                    let result = Json::Obj(vec![
+                        ("zone".into(), num(zone as u64)),
+                        ("name".into(), Json::Str(name)),
+                    ]);
+                    (ok(result), Disposition::Continue)
+                }
+                Ok(None) => {
+                    ingest.record_query();
+                    (ok(Json::Null), Disposition::Continue)
+                }
+                Err(reason) => {
+                    ingest.record_rpc_error();
+                    (fail(reason), Disposition::Continue)
+                }
+            }
+        }
         "zone_history" => match epc(&doc).and_then(|epc| ingest.zone_history(&epc)) {
             Ok(history) => {
                 ingest.record_query();
@@ -226,7 +271,9 @@ impl QueryClient {
             ("method".into(), Json::Str(method.into())),
             ("params".into(), Json::Obj(params)),
         ]);
-        let mut line = request.to_json();
+        let mut line = request
+            .to_json()
+            .map_err(|err| RpcError::Protocol(format!("unserializable request: {err}")))?;
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         let mut response = String::new();
@@ -258,6 +305,48 @@ impl QueryClient {
         let result = self.call(
             "location_of",
             vec![("epc".into(), Json::Str(epc.to_owned()))],
+        )?;
+        match result {
+            Json::Null => Ok(None),
+            other => {
+                let zone = other
+                    .get("zone")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| RpcError::Protocol("location without zone".into()))?;
+                let name = other
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| RpcError::Protocol("location without name".into()))?;
+                Ok(Some((zone as usize, name.to_owned())))
+            }
+        }
+    }
+
+    /// Where was this EPC at historical time `time_s`? `None` means
+    /// unseen or stale as of that instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError`] on transport, protocol, or server errors,
+    /// and rejects a non-finite `time_s` client-side (the wire format
+    /// cannot carry it).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn location_at(
+        &mut self,
+        epc: &str,
+        time_s: f64,
+    ) -> Result<Option<(usize, String)>, RpcError> {
+        if !time_s.is_finite() {
+            return Err(RpcError::Protocol(format!(
+                "non-finite query time {time_s}"
+            )));
+        }
+        let result = self.call(
+            "location_at",
+            vec![
+                ("epc".into(), Json::Str(epc.to_owned())),
+                ("time_s".into(), Json::Num(time_s)),
+            ],
         )?;
         match result {
             Json::Null => Ok(None),
@@ -349,5 +438,79 @@ impl QueryClient {
     /// Returns [`RpcError`] on transport, protocol, or server errors.
     pub fn shutdown(&mut self) -> Result<(), RpcError> {
         self.call("shutdown", Vec::new()).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_gen2::Epc96;
+    use rfid_readerapi::WireEventAdapter;
+    use rfid_track::{ObjectRegistry, Site};
+
+    fn fixtures() -> (Site, ObjectRegistry, Vec<WireEventAdapter>, Epc96) {
+        let mut site = Site::new();
+        let dock = site.add_zone("dock");
+        site.assign_portal(0, 0, dock);
+        let mut registry = ObjectRegistry::new();
+        let epc = Epc96::from_u128(0xFEED);
+        let case = registry.register("case");
+        registry.attach_tag(case, epc);
+        let adapters = vec![WireEventAdapter::new(0, [epc])];
+        (site, registry, adapters, epc)
+    }
+
+    #[test]
+    fn location_at_dispatch_answers_queries_and_types_bad_params() {
+        let (site, registry, adapters, epc) = fixtures();
+        let ingest = SharedIngest::new(&site, &registry, &adapters, 3600.0, 1);
+        let request =
+            |params: &str| format!(r#"{{"token":"t","method":"location_at","params":{params}}}"#);
+
+        // Unseen tag at any finite time: a null result, connection open.
+        let (response, disposition) = dispatch(
+            &request(&format!(r#"{{"epc":"{epc}","time_s":1.0}}"#)),
+            &ingest,
+            "t",
+        );
+        assert_eq!(response, r#"{"ok":true,"result":null}"#);
+        assert_eq!(disposition, Disposition::Continue);
+
+        // Missing time_s: a typed error, connection open.
+        let (response, disposition) =
+            dispatch(&request(&format!(r#"{{"epc":"{epc}"}}"#)), &ingest, "t");
+        assert!(response.contains(r#""ok":false"#), "got: {response}");
+        assert!(response.contains("time_s"), "got: {response}");
+        assert_eq!(disposition, Disposition::Continue);
+
+        // A non-finite literal in time_s dies in the JSON parser: the
+        // daemon answers a malformed-request error instead of letting
+        // NaN reach the tracker (the old panic path).
+        let (response, disposition) = dispatch(
+            &request(&format!(r#"{{"epc":"{epc}","time_s":1e999}}"#)),
+            &ingest,
+            "t",
+        );
+        assert!(response.contains(r#""ok":false"#), "got: {response}");
+        assert_eq!(disposition, Disposition::Continue);
+    }
+
+    #[test]
+    fn a_non_finite_response_document_downgrades_to_an_error_frame() {
+        // If a handler ever produced a NaN (the json writer now refuses
+        // to serialize it), the frame falls back to a parseable typed
+        // error instead of emitting invalid JSON.
+        let doc = Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("result".into(), Json::Num(f64::NAN)),
+        ]);
+        let framed = frame(&doc);
+        let parsed = Json::parse(&framed).expect("fallback frame parses");
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        let error = parsed
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error text");
+        assert!(error.contains("unserializable response"), "got: {error}");
     }
 }

@@ -15,7 +15,7 @@ use crate::ingest::{ServerReport, SharedIngest};
 use crate::rpc::{self, Disposition};
 use crate::session::{drive_session, SessionEnd};
 use rfid_readerapi::{ReaderClient, TcpTransport, WireEventAdapter};
-use rfid_track::{ObjectRegistry, Site};
+use rfid_track::{ObjectRegistry, Site, StoreConfig, ZoneHistoryStore};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +38,12 @@ pub struct ServerConfig {
     /// the machine's available parallelism. Any value yields the same
     /// final report, bit for bit.
     pub shards: usize,
+    /// Directory for the durable zone-history store. `None` keeps the
+    /// run in-memory; `Some` opens (or recovers) a
+    /// [`rfid_track::ZoneHistoryStore`] there, appends every released
+    /// observation, and replays any prior contents into the tracker
+    /// before accepting connections.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
@@ -50,6 +56,7 @@ impl ServerConfig {
             poll: Duration::from_millis(2),
             session_deadline: Duration::from_secs(5),
             shards: 0,
+            store_dir: None,
         }
     }
 }
@@ -102,13 +109,28 @@ impl<'a> SiteServer<'a> {
     ) -> io::Result<ServerReport> {
         reader_listener.set_nonblocking(true)?;
         query_listener.set_nonblocking(true)?;
-        let ingest = SharedIngest::new(
-            self.site,
-            self.registry,
-            self.adapters,
-            self.config.staleness_s,
-            self.config.shards,
-        );
+        let ingest = match &self.config.store_dir {
+            Some(dir) => {
+                let store = ZoneHistoryStore::open(dir, StoreConfig::default())
+                    .map_err(|err| io::Error::other(err.to_string()))?;
+                SharedIngest::with_store(
+                    self.site,
+                    self.registry,
+                    self.adapters,
+                    self.config.staleness_s,
+                    self.config.shards,
+                    store,
+                )
+                .map_err(|err| io::Error::other(err.to_string()))?
+            }
+            None => SharedIngest::new(
+                self.site,
+                self.registry,
+                self.adapters,
+                self.config.staleness_s,
+                self.config.shards,
+            ),
+        };
         thread::scope(|scope| {
             while !shutdown.load(Ordering::SeqCst) {
                 let mut idle = true;
@@ -326,7 +348,9 @@ mod tests {
         assert_eq!(report.counters.session_errors, 0);
         // The drained tracker equals a batch replay of the same reads.
         let mut batch = rfid_track::LocationTracker::new(3600.0);
-        batch.observe_all(site.observations(&registry, &reads));
+        batch
+            .observe_all(site.observations(&registry, &reads))
+            .expect("finite times");
         assert_eq!(report.tracker, batch);
     }
 }

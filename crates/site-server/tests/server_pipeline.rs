@@ -258,6 +258,8 @@ fn a_nan_timestamp_on_the_wire_is_rejected_without_killing_the_daemon() {
     // The clean reads still tracked.
     let clean: Vec<ReadEvent> = vec![read(1.0), read(2.0)];
     let mut batch = LocationTracker::new(3600.0);
-    batch.observe_all(site.observations(&registry, &clean));
+    batch
+        .observe_all(site.observations(&registry, &clean))
+        .expect("finite times");
     assert_eq!(report.tracker, batch);
 }

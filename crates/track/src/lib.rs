@@ -34,12 +34,14 @@ mod pipeline;
 mod registry;
 mod site;
 mod smoothing;
+pub mod store;
 pub mod stream;
 
 pub use constraints::{AccompanyConstraint, RouteConstraint, ZoneObservation};
 pub use metrics::{GroundTruthPass, TrackingMetrics};
 pub use pipeline::{Sighting, SightingPipeline};
 pub use registry::{ObjectHandle, ObjectRegistry};
-pub use site::{LocationTracker, Site};
+pub use site::{LocationTracker, ObserveError, Site};
 pub use smoothing::{AdaptiveSmoother, PresenceInterval, SmoothingWindow};
+pub use store::{RecoveryReport, StoreConfig, StoreError, ZoneHistoryStore};
 pub use stream::ZoneTransition;

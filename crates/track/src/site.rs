@@ -10,10 +10,12 @@
 
 use crate::constraints::ZoneObservation;
 use crate::registry::{ObjectHandle, ObjectRegistry};
+use crate::store::ZoneHistoryIndex;
 use crate::stream::Operator;
 use rfid_sim::ReadEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A site: named zones and the portals (reader/antenna pairs) that
 /// observe them.
@@ -119,15 +121,50 @@ impl Site {
     }
 }
 
+/// A typed rejection from [`LocationTracker::observe`].
+///
+/// Mirrors the wire adapter's `AdapterError::NonFiniteTime`: a
+/// non-finite timestamp has no place in the tracker's total order over
+/// times, so it is rejected at the boundary instead of poisoning every
+/// later query (the historical scan used to `expect` finiteness and
+/// could panic the daemon's query path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserveError {
+    /// The observation carries a NaN or infinite `time_s`.
+    NonFiniteTime {
+        /// The offending timestamp.
+        time_s: f64,
+    },
+}
+
+impl fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObserveError::NonFiniteTime { time_s } => {
+                write!(f, "observation time {time_s} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
 /// Per-object location estimation from zone observations.
 ///
 /// The estimate is "last zone seen", expiring after `staleness_s` without
 /// a new observation — room-level tracking with an honest unknown state.
+/// History is held in a [`ZoneHistoryIndex`], so historical
+/// [`LocationTracker::location_of`] and
+/// [`LocationTracker::objects_in_zone`] queries are `O(log n)` probes
+/// rather than scans, and durable deployments can evict observations
+/// that are already safe in a
+/// [`ZoneHistoryStore`](crate::store::ZoneHistoryStore) via
+/// [`LocationTracker::evict_history_before`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LocationTracker {
     staleness_s: f64,
     last: BTreeMap<usize, (usize, f64)>,
-    history: Vec<ZoneObservation>,
+    history: ZoneHistoryIndex,
 }
 
 impl LocationTracker {
@@ -142,13 +179,23 @@ impl LocationTracker {
         Self {
             staleness_s,
             last: BTreeMap::new(),
-            history: Vec::new(),
+            history: ZoneHistoryIndex::new(),
         }
     }
 
     /// Feeds one observation (observations may arrive out of order; only
     /// newer ones update the estimate).
-    pub fn observe(&mut self, observation: ZoneObservation) {
+    ///
+    /// # Errors
+    ///
+    /// [`ObserveError::NonFiniteTime`] if `time_s` is NaN or infinite;
+    /// the tracker is unchanged.
+    pub fn observe(&mut self, observation: ZoneObservation) -> Result<(), ObserveError> {
+        if !observation.time_s.is_finite() {
+            return Err(ObserveError::NonFiniteTime {
+                time_s: observation.time_s,
+            });
+        }
         let entry = self.last.entry(observation.object.index());
         match entry {
             std::collections::btree_map::Entry::Occupied(mut slot) => {
@@ -160,14 +207,25 @@ impl LocationTracker {
                 slot.insert((observation.zone, observation.time_s));
             }
         }
-        self.history.push(observation);
+        self.history.insert(observation);
+        Ok(())
     }
 
-    /// Feeds a batch of observations.
-    pub fn observe_all<I: IntoIterator<Item = ZoneObservation>>(&mut self, observations: I) {
+    /// Feeds a batch of observations, stopping at the first rejection
+    /// (observations before it remain recorded).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ObserveError`] returned by
+    /// [`LocationTracker::observe`].
+    pub fn observe_all<I: IntoIterator<Item = ZoneObservation>>(
+        &mut self,
+        observations: I,
+    ) -> Result<(), ObserveError> {
         for observation in observations {
-            self.observe(observation);
+            self.observe(observation)?;
         }
+        Ok(())
     }
 
     /// The latest `(zone, time)` known for an object, if any — the live
@@ -184,46 +242,62 @@ impl LocationTracker {
     ///
     /// Live queries (`now_s` at or past the object's newest
     /// observation) are answered in `O(log objects)` from the running
-    /// estimate; historical queries fall back to a history scan.
+    /// estimate; historical queries are one `O(log n)` probe of the
+    /// time index. Observations evicted by
+    /// [`LocationTracker::evict_history_before`] no longer answer
+    /// historical queries (durable deployments route those to the
+    /// store).
     #[must_use]
     pub fn location_of(&self, object: ObjectHandle, now_s: f64) -> Option<usize> {
         let (zone, time_s) = self.last_zone_time(object.index())?;
         if now_s >= time_s {
             // The newest observation is already at or before now_s, so it
-            // is the maximum the scan below would find.
+            // is the maximum the index probe below would find.
             return (now_s - time_s <= self.staleness_s).then_some(zone);
         }
-        let latest = self
-            .history
-            .iter()
-            .filter(|o| o.object == object && o.time_s <= now_s)
-            .max_by(|a, b| {
-                a.time_s
-                    .partial_cmp(&b.time_s)
-                    .expect("observation times are finite")
-            })?;
-        (now_s - latest.time_s <= self.staleness_s).then_some(latest.zone)
+        let (zone, time_s) = self.history.latest_at(object, now_s)?;
+        (now_s - time_s <= self.staleness_s).then_some(zone)
     }
 
-    /// Every observation of an object, in feed order.
-    pub fn history_of(&self, object: ObjectHandle) -> impl Iterator<Item = &ZoneObservation> + '_ {
-        self.history.iter().filter(move |o| o.object == object)
+    /// Every retained observation of an object, ordered by time (ties
+    /// in feed order). For time-ordered feeds — every batch API and
+    /// the streaming plane — this is feed order.
+    pub fn history_of(&self, object: ObjectHandle) -> impl Iterator<Item = ZoneObservation> + '_ {
+        self.history.history_of(object)
+    }
+
+    /// Number of retained history observations (across all objects).
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Drops retained history strictly older than `cutoff_s`,
+    /// returning how many observations were evicted. The live estimate
+    /// ([`LocationTracker::location_of`] at or past each object's
+    /// newest observation) is unaffected; historical queries before
+    /// the cutoff must be served elsewhere (the durable store).
+    pub fn evict_history_before(&mut self, cutoff_s: f64) -> usize {
+        self.history.evict_before(cutoff_s)
     }
 
     /// Objects estimated to be in `zone` as of `now_s` (point-in-time,
-    /// like [`LocationTracker::location_of`]).
+    /// like [`LocationTracker::location_of`]), ascending by handle.
+    /// One `O(log n)` index probe per tracked object.
     #[must_use]
     pub fn objects_in_zone(&self, zone: usize, now_s: f64) -> Vec<ObjectHandle> {
-        let mut objects: Vec<usize> = self
-            .last
-            .keys()
-            .copied()
-            .filter(|&object| {
-                self.location_of(ObjectHandle::from_index(object), now_s) == Some(zone)
+        self.last
+            .iter()
+            .filter_map(|(&object, &(last_zone, last_time))| {
+                let handle = ObjectHandle::from_index(object);
+                let (found_zone, found_time) = if now_s >= last_time {
+                    (last_zone, last_time)
+                } else {
+                    self.history.latest_at(handle, now_s)?
+                };
+                (now_s - found_time <= self.staleness_s && found_zone == zone).then_some(handle)
             })
-            .collect();
-        objects.sort_unstable();
-        objects.into_iter().map(ObjectHandle::from_index).collect()
+            .collect()
     }
 }
 
@@ -307,7 +381,9 @@ mod tests {
 
         let reads = [read(1.0, 0, 0, 5), read(5.0, 1, 0, 5)];
         let mut tracker = LocationTracker::new(10.0);
-        tracker.observe_all(site.observations(&registry, &reads));
+        tracker
+            .observe_all(site.observations(&registry, &reads))
+            .expect("finite times");
         assert_eq!(tracker.location_of(case, 6.0), Some(aisle));
         assert_eq!(tracker.history_of(case).count(), 2);
         assert_eq!(tracker.objects_in_zone(aisle, 6.0), vec![case]);
@@ -320,12 +396,14 @@ mod tests {
         let mut tracker = LocationTracker::new(5.0);
         let mut registry = ObjectRegistry::new();
         let case = registry.register("case");
-        tracker.observe(ZoneObservation {
-            object: case,
-            zone: 2,
-            time_s: 10.0,
-            inferred: false,
-        });
+        tracker
+            .observe(ZoneObservation {
+                object: case,
+                zone: 2,
+                time_s: 10.0,
+                inferred: false,
+            })
+            .expect("finite time");
         assert_eq!(tracker.location_of(case, 1.0), None, "not seen yet at t=1");
         assert_eq!(tracker.location_of(case, 11.0), Some(2));
         assert!(tracker.objects_in_zone(2, 1.0).is_empty());
@@ -337,12 +415,14 @@ mod tests {
         let mut tracker = LocationTracker::new(2.0);
         let mut registry = ObjectRegistry::new();
         let case = registry.register("case");
-        tracker.observe(ZoneObservation {
-            object: case,
-            zone: 0,
-            time_s: 1.0,
-            inferred: false,
-        });
+        tracker
+            .observe(ZoneObservation {
+                object: case,
+                zone: 0,
+                time_s: 1.0,
+                inferred: false,
+            })
+            .expect("finite time");
         assert_eq!(tracker.location_of(case, 2.9), Some(0));
         assert_eq!(tracker.location_of(case, 3.1), None);
     }
@@ -352,19 +432,23 @@ mod tests {
         let mut tracker = LocationTracker::new(100.0);
         let mut registry = ObjectRegistry::new();
         let case = registry.register("case");
-        tracker.observe(ZoneObservation {
-            object: case,
-            zone: 1,
-            time_s: 5.0,
-            inferred: false,
-        });
+        tracker
+            .observe(ZoneObservation {
+                object: case,
+                zone: 1,
+                time_s: 5.0,
+                inferred: false,
+            })
+            .expect("finite time");
         // A late-arriving older observation must not override.
-        tracker.observe(ZoneObservation {
-            object: case,
-            zone: 0,
-            time_s: 2.0,
-            inferred: false,
-        });
+        tracker
+            .observe(ZoneObservation {
+                object: case,
+                zone: 0,
+                time_s: 2.0,
+                inferred: false,
+            })
+            .expect("finite time");
         assert_eq!(tracker.location_of(case, 6.0), Some(1));
     }
 

@@ -1,0 +1,228 @@
+//! The in-memory time index over zone observations.
+//!
+//! [`ZoneHistoryIndex`] is the query engine shared by the live
+//! [`LocationTracker`](crate::LocationTracker) and the file-backed
+//! [`ZoneHistoryStore`](super::ZoneHistoryStore): a `BTreeMap` keyed by
+//! `(object, time key, feed sequence)` so a point-in-time question —
+//! "where was this object at `t`?" — is one `range(..).next_back()`
+//! probe in `O(log n)` instead of a scan over the full history.
+//!
+//! Times are mapped to an order-preserving `u64` key by [`time_key`],
+//! so the map order over finite times agrees exactly with `f64`
+//! comparison (with `-0.0` and `+0.0` identified). Non-finite times are
+//! rejected upstream (the tracker's `observe` and the store's `append`
+//! both return typed errors), which is what makes the bit-key total
+//! order safe to rely on.
+
+use crate::constraints::ZoneObservation;
+use crate::registry::ObjectHandle;
+use std::collections::BTreeMap;
+
+/// Maps a finite time to a `u64` whose unsigned order matches `f64`
+/// order; `-0.0` is identified with `+0.0` so the two equal times get
+/// equal keys.
+///
+/// The classic trick: flip the sign bit of non-negative floats and all
+/// bits of negative ones, turning IEEE-754 sign-magnitude order into
+/// two's-complement-style unsigned order. Callers must have rejected
+/// NaN already — NaN has no place in a total order (infinities map
+/// consistently, but the store layer rejects them too so every stored
+/// key round-trips through arithmetic safely).
+#[must_use]
+pub fn time_key(time_s: f64) -> u64 {
+    // `-0.0 == 0.0` yet their bit patterns differ; normalise so equal
+    // times can never straddle a key boundary.
+    let normalized = if time_s == 0.0 { 0.0 } else { time_s };
+    let bits = normalized.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// The non-key payload of one indexed observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IndexEntry {
+    zone: usize,
+    time_s: f64,
+    inferred: bool,
+}
+
+/// An ordered index over [`ZoneObservation`]s supporting `O(log n)`
+/// point-in-time queries and range eviction.
+///
+/// Entries are keyed `(object, time key, feed sequence)`: the sequence
+/// is a monotone counter stamped at insertion, so observations with
+/// equal `(object, time)` keep their feed order and the index as a
+/// whole is a deterministic function of the feed sequence — two
+/// indexes fed the same observations in the same order compare equal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ZoneHistoryIndex {
+    entries: BTreeMap<(usize, u64, u64), IndexEntry>,
+    next_seq: u64,
+}
+
+impl ZoneHistoryIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts one observation. The caller must have rejected
+    /// non-finite times (debug-asserted here).
+    pub fn insert(&mut self, observation: ZoneObservation) {
+        debug_assert!(
+            observation.time_s.is_finite(),
+            "non-finite times must be rejected before indexing"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            (
+                observation.object.index(),
+                time_key(observation.time_s),
+                seq,
+            ),
+            IndexEntry {
+                zone: observation.zone,
+                time_s: observation.time_s,
+                inferred: observation.inferred,
+            },
+        );
+    }
+
+    /// The most recent `(zone, time_s)` for `object` at or before
+    /// `now_s`, in `O(log n)`. Ties at the same time resolve to the
+    /// latest-fed observation, matching a forward scan that keeps
+    /// `time_s <= now_s` maxima with `>=` updates.
+    #[must_use]
+    pub fn latest_at(&self, object: ObjectHandle, now_s: f64) -> Option<(usize, f64)> {
+        if now_s.is_nan() {
+            return None;
+        }
+        let key = time_key(now_s.min(f64::MAX));
+        let ((found, _, _), entry) = self
+            .entries
+            .range(..=(object.index(), key, u64::MAX))
+            .next_back()?;
+        (*found == object.index()).then_some((entry.zone, entry.time_s))
+    }
+
+    /// Every observation of `object`, ordered by `(time, feed order)`.
+    pub fn history_of(&self, object: ObjectHandle) -> impl Iterator<Item = ZoneObservation> + '_ {
+        let index = object.index();
+        self.entries
+            .range((index, 0, 0)..=(index, u64::MAX, u64::MAX))
+            .map(move |(_, entry)| ZoneObservation {
+                object,
+                zone: entry.zone,
+                time_s: entry.time_s,
+                inferred: entry.inferred,
+            })
+    }
+
+    /// Every indexed observation, ordered by `(object, time, feed
+    /// order)`.
+    pub fn iter(&self) -> impl Iterator<Item = ZoneObservation> + '_ {
+        self.entries
+            .iter()
+            .map(|(&(object, _, _), entry)| ZoneObservation {
+                object: ObjectHandle::from_index(object),
+                zone: entry.zone,
+                time_s: entry.time_s,
+                inferred: entry.inferred,
+            })
+    }
+
+    /// Removes every observation strictly older than `cutoff_s`,
+    /// returning how many were evicted. Used by durable deployments to
+    /// bound live memory once observations are safely on disk.
+    pub fn evict_before(&mut self, cutoff_s: f64) -> usize {
+        if !cutoff_s.is_finite() {
+            return 0;
+        }
+        let before = self.entries.len();
+        let cutoff = time_key(cutoff_s);
+        self.entries.retain(|&(_, key, _), _| key >= cutoff);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ObjectRegistry;
+
+    fn obs(object: ObjectHandle, zone: usize, time_s: f64) -> ZoneObservation {
+        ZoneObservation {
+            object,
+            zone,
+            time_s,
+            inferred: false,
+        }
+    }
+
+    #[test]
+    fn time_key_orders_like_f64() {
+        let times = [
+            f64::MIN,
+            -1e9,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.25,
+            1.0,
+            1e12,
+            f64::MAX,
+        ];
+        for pair in times.windows(2) {
+            assert!(time_key(pair[0]) <= time_key(pair[1]), "{pair:?}");
+        }
+        assert_eq!(time_key(-0.0), time_key(0.0));
+        assert!(time_key(-0.0) < time_key(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn latest_at_resolves_ties_to_feed_order() {
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        let mut index = ZoneHistoryIndex::new();
+        index.insert(obs(case, 1, 2.0));
+        index.insert(obs(case, 2, 2.0));
+        assert_eq!(index.latest_at(case, 2.0), Some((2, 2.0)));
+        assert_eq!(index.latest_at(case, 1.9), None);
+        assert_eq!(index.latest_at(case, f64::NAN), None);
+    }
+
+    #[test]
+    fn eviction_counts_and_preserves_order() {
+        let mut registry = ObjectRegistry::new();
+        let a = registry.register("a");
+        let b = registry.register("b");
+        let mut index = ZoneHistoryIndex::new();
+        index.insert(obs(a, 0, 1.0));
+        index.insert(obs(b, 1, 2.0));
+        index.insert(obs(a, 2, 3.0));
+        assert_eq!(index.evict_before(2.0), 1);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.latest_at(a, 10.0), Some((2, 3.0)));
+        assert_eq!(index.latest_at(a, 1.5), None, "evicted");
+        assert_eq!(index.evict_before(f64::NAN), 0);
+    }
+}

@@ -97,14 +97,18 @@ impl Operator for ObservationStream<'_> {
 /// transition fires when an observation at or after the object's latest
 /// known time lands in a different zone (staleness affects queries, not
 /// transitions). Late out-of-order observations are recorded in history
-/// but never emit.
+/// but never emit. An observation with a non-finite time is dropped
+/// (the typed-error face is [`LocationTracker::observe`]; the operator
+/// face must not panic mid-stream), emitting nothing.
 impl Operator for LocationTracker {
     type In = ZoneObservation;
     type Out = ZoneTransition;
 
     fn push(&mut self, input: ZoneObservation) -> Vec<ZoneTransition> {
         let previous = self.last_zone_time(input.object.index());
-        self.observe(input);
+        if self.observe(input).is_err() {
+            return Vec::new();
+        }
         let moved = match previous {
             None => Some(None),
             Some((zone, time_s)) if input.time_s >= time_s && input.zone != zone => {
@@ -204,5 +208,31 @@ mod tests {
         assert!(tracker.push(obs(0, 2.0)).is_empty(), "stale: no transition");
         assert_eq!(tracker.location_of(case, 6.0), Some(1));
         assert_eq!(tracker.history_of(case).count(), 2, "still recorded");
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_not_panicked() {
+        let mut tracker = LocationTracker::new(10.0);
+        let mut registry = ObjectRegistry::new();
+        let case = registry.register("case");
+        let obs = |zone, time_s| ZoneObservation {
+            object: case,
+            zone,
+            time_s,
+            inferred: false,
+        };
+        assert_eq!(tracker.push(obs(1, 1.0)).len(), 1);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                tracker.push(obs(0, bad)).is_empty(),
+                "{bad} must be dropped"
+            );
+        }
+        assert_eq!(
+            tracker.history_of(case).count(),
+            1,
+            "rejected, not recorded"
+        );
+        assert_eq!(tracker.location_of(case, 2.0), Some(1));
     }
 }

@@ -173,7 +173,9 @@ fn main() {
 
         // The streamed zone history is the batch pipeline's, exactly.
         let mut batch_tracker = LocationTracker::new(5.0);
-        batch_tracker.observe_all(site.observations(&registry, &output.reads));
+        batch_tracker
+            .observe_all(site.observations(&registry, &output.reads))
+            .expect("finite times");
         assert_eq!(
             chain.second(),
             &batch_tracker,

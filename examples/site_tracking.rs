@@ -77,7 +77,7 @@ fn main() {
 
     // Location tracking over the corrected stream.
     let mut tracker = LocationTracker::new(6.0);
-    tracker.observe_all(corrected);
+    tracker.observe_all(corrected).expect("finite times");
     for t in [1.0, 7.0, 13.0] {
         match tracker.location_of(case, t) {
             Some(zone) => println!("t = {t:>4.1} s: case-7 is at the {}", site.zone_name(zone)),

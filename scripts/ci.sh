@@ -47,6 +47,14 @@ rm -f "$site_out"
 # a deadlocked merge would otherwise wedge the runner.
 timeout 120 cargo test -q --test shard_identity
 
+# The durable-store recovery suites under their own budget: crash
+# recovery (torn tails, flipped checksum bytes, deleted segments) must
+# be a typed error or a bit-exact prefix — never a panic or a hang on
+# hostile segment files — and a daemon restarted on a store directory
+# must replay to the exact live state.
+timeout 120 cargo test -q -p rfid-track --test store_recovery
+timeout 120 cargo test -q -p rfid-site-server --test store_replay
+
 # Re-run the wire-path failure suites under a hard wall-clock budget.
 # These tests exist to prove a stalled or faulted peer cannot hang the
 # client; if a hang regression slips back in, `timeout` fails the gate
@@ -64,3 +72,5 @@ grep -q '"events_per_sec"' "$smoke_out"
 grep -q '"site_server"' "$smoke_out"
 grep -q '"sharded_streaming"' "$smoke_out"
 grep -q '"ingest_batch_speedup"' "$smoke_out"
+grep -q '"store"' "$smoke_out"
+grep -q '"append_events_per_sec"' "$smoke_out"

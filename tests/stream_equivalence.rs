@@ -201,7 +201,7 @@ proptest! {
         // Feeding the same reads through the chained tracker leaves it in
         // exactly the state batch observe_all produces.
         let mut batch_tracker = LocationTracker::new(5.0);
-        batch_tracker.observe_all(batch);
+        batch_tracker.observe_all(batch).expect("finite times");
         let mut chain = ObservationStream::new(&site, &reg).then(LocationTracker::new(5.0));
         let transitions = drive(&mut chain, &reads, &plan, |r| r.time_s);
         prop_assert_eq!(chain.second(), &batch_tracker);
