@@ -1,0 +1,829 @@
+//! Intra-file concurrency analysis: lock-acquisition facts, an
+//! approximate call graph, and the three deadlock-shaped lints.
+//!
+//! The analysis simulates each function body linearly over the
+//! significant-token stream from [`crate::syntax`]: a scope stack tracks
+//! brace depth and loop context, a guard table tracks which
+//! `Mutex`/`RwLock` *slots* (receiver paths like `self.state` or
+//! `slot.state`) are locked and which `let`-bound names hold the guards,
+//! and every blocking call, lock acquisition, and local call is recorded
+//! as a per-function fact. A fixpoint over the file's call graph then
+//! propagates "this callee blocks" and "this callee acquires slot S"
+//! facts to call sites, so a guard held across `self.route(…)` is caught
+//! even though the blocking `flush()` lives two calls deep.
+//!
+//! Everything is deliberately approximate in the *sound-for-this-repo*
+//! direction: only `self.method(…)` and free `fn` calls resolve (a call
+//! through a field or parameter is invisible), slots are receiver-path
+//! strings (two different types using the field name `self.state` in one
+//! file would alias), and a guard that escapes through a collection is
+//! not tracked. The fixture tests pin what *is* promised; the self-host
+//! run on this workspace proves the false-positive rate is one reasoned
+//! allow per genuinely double-edged site.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::syntax::{FnDecl, SyntaxTree};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that block the calling thread: channel and condvar
+/// operations, joins, and the flush/sync family of IO calls.
+const BLOCKING: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "join",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "accept",
+    "connect",
+    "sleep",
+];
+
+/// The `Condvar` wait family: these consume the guard they are handed,
+/// so the guard named in the argument list is exempt from
+/// guard-held-across-blocking at that call.
+const WAIT_FAMILY: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Adapters that pass a guard through unchanged: `lock().unwrap()` is
+/// still a guard, `lock().unwrap().field` is a value.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Return-type tokens that mark a function as returning a lock guard.
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// One lock acquisition inside a function.
+#[derive(Debug, Clone)]
+struct Acquire {
+    slot: String,
+}
+
+/// One `(held, then-acquired)` ordering witness.
+#[derive(Debug, Clone)]
+struct PairWitness {
+    held: String,
+    acquired: String,
+    line: usize,
+    col: usize,
+}
+
+/// One resolved-candidate call site with the guards live across it.
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: String,
+    method: bool,
+    line: usize,
+    col: usize,
+    live: Vec<String>,
+}
+
+/// Everything the simulation extracted from one function.
+#[derive(Debug, Default)]
+struct FnFacts {
+    qualified: String,
+    in_impl: bool,
+    acquires: Vec<Acquire>,
+    pairs: Vec<PairWitness>,
+    calls: Vec<CallSite>,
+    /// Direct guard-held-across-blocking findings.
+    direct: Vec<Finding>,
+    /// Direct condvar-wait-not-in-loop findings.
+    waits: Vec<Finding>,
+    has_blocking: bool,
+}
+
+/// A live guard during simulation.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// The `let`-bound name, or `None` for a temporary that dies at the
+    /// end of its statement.
+    name: Option<String>,
+    slot: String,
+    depth: usize,
+}
+
+/// Runs the concurrency lints over one file, appending raw findings
+/// (suppression is the caller's job).
+pub(crate) fn analyze(path: &str, src: &str, tree: &SyntaxTree, out: &mut Vec<Finding>) {
+    let sig = tree.sig();
+    let fns: Vec<FnDecl> = tree.functions().into_iter().filter(|f| !f.gated).collect();
+
+    // Pass 1: which functions return a guard (callers of those bind a
+    // lock without spelling `.lock()` themselves).
+    let mut returns_guard: BTreeSet<&str> = BTreeSet::new();
+    for f in &fns {
+        let (lo, hi) = f.ret;
+        if sig[lo.min(sig.len())..hi.min(sig.len())]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && GUARD_TYPES.contains(&t.text(src)))
+        {
+            returns_guard.insert(f.name.as_str());
+        }
+    }
+
+    // Pass 2: simulate every body.
+    let facts: Vec<FnFacts> = fns
+        .iter()
+        .map(|f| simulate(path, src, sig, f, &returns_guard))
+        .collect();
+
+    // Fixpoint: a function "effectively blocks" if it blocks directly or
+    // any resolved callee does; its "effective acquires" are its own
+    // plus its callees'. Candidate resolution is by simple name,
+    // restricted to methods for `self.x(…)` sites and to free functions
+    // otherwise; ambiguity merges conservatively.
+    let mut eff_block: Vec<bool> = facts.iter().map(|f| f.has_blocking).collect();
+    let mut eff_acq: Vec<BTreeSet<String>> = facts
+        .iter()
+        .map(|f| f.acquires.iter().map(|a| a.slot.clone()).collect())
+        .collect();
+    let name_of = |qualified: &str| -> String {
+        qualified
+            .rsplit_once("::")
+            .map_or(qualified, |(_, n)| n)
+            .to_owned()
+    };
+    let candidates = |call: &CallSite| -> Vec<usize> {
+        facts
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.in_impl == call.method && name_of(&f.qualified) == call.callee)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    loop {
+        let mut changed = false;
+        for i in 0..facts.len() {
+            for call in &facts[i].calls {
+                for c in candidates(call) {
+                    if eff_block[c] && !eff_block[i] {
+                        eff_block[i] = true;
+                        changed = true;
+                    }
+                    let add: Vec<String> = eff_acq[c]
+                        .iter()
+                        .filter(|s| !eff_acq[i].contains(*s))
+                        .cloned()
+                        .collect();
+                    for s in add {
+                        eff_acq[i].insert(s);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Emit direct findings and derive call-site findings.
+    let mut pairs: Vec<PairWitness> = Vec::new();
+    for (i, f) in facts.iter().enumerate() {
+        out.extend(f.direct.iter().cloned());
+        out.extend(f.waits.iter().cloned());
+        pairs.extend(f.pairs.iter().cloned());
+        for call in &f.calls {
+            if call.live.is_empty() {
+                continue;
+            }
+            let cands = candidates(call);
+            if cands.iter().any(|&c| eff_block[c]) {
+                out.push(
+                    Finding::new(
+                        path,
+                        call.line,
+                        call.col,
+                        "guard-held-across-blocking",
+                        format!(
+                            "`{}()` blocks with `{}` guard live",
+                            call.callee, call.live[0]
+                        ),
+                    )
+                    .with_function(&f.qualified),
+                );
+            }
+            // Derived lock ordering: every slot the callee may acquire
+            // is ordered after every guard live at the call.
+            for &c in &cands {
+                for acquired in &eff_acq[c] {
+                    for held in &call.live {
+                        if held != acquired {
+                            pairs.push(PairWitness {
+                                held: held.clone(),
+                                acquired: acquired.clone(),
+                                line: call.line,
+                                col: call.col,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let _ = i;
+    }
+
+    // Lock-order inversion: both (a, b) and (b, a) witnessed anywhere in
+    // the file. One finding per unordered pair, anchored at the witness
+    // of whichever direction appears later in the file.
+    let mut first: BTreeMap<(String, String), &PairWitness> = BTreeMap::new();
+    for p in &pairs {
+        first
+            .entry((p.held.clone(), p.acquired.clone()))
+            .or_insert(p);
+    }
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), w_ab) in &first {
+        let Some(w_ba) = first.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let key = if a < b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if !reported.insert(key.clone()) {
+            continue;
+        }
+        let anchor = if (w_ab.line, w_ab.col) >= (w_ba.line, w_ba.col) {
+            w_ab
+        } else {
+            w_ba
+        };
+        out.push(
+            Finding::new(
+                path,
+                anchor.line,
+                anchor.col,
+                "lock-order-inversion",
+                format!("`{}` and `{}` are acquired in both orders", key.0, key.1),
+            )
+            .with_lock_pair(&key.0, &key.1),
+        );
+    }
+}
+
+/// True when `sig[i]` is the given single punctuation byte.
+fn is_punct(sig: &[Token], src: &str, i: usize, b: u8) -> bool {
+    sig.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src).as_bytes()[0] == b)
+}
+
+/// The identifier text of `sig[i]`, if it is one.
+fn ident<'a>(sig: &[Token], src: &'a str, i: usize) -> Option<&'a str> {
+    sig.get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+}
+
+/// Walks a method receiver path *backwards* from the `.` at `dot`
+/// (exclusive): `self.shards[lane].state.lock()` yields
+/// `self.shards[_].state`. Returns `None` when the receiver is not a
+/// plain path (e.g. a call result like `io::stdout().lock()`).
+fn receiver_path(sig: &[Token], src: &str, dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // index of the `.` before the method name
+    loop {
+        // Before the dot: an ident, or a `]` closing an index.
+        if i == 0 {
+            break;
+        }
+        let prev = i - 1;
+        if is_punct(sig, src, prev, b']') {
+            // Walk back over the bracket group.
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                if is_punct(sig, src, j, b']') {
+                    depth += 1;
+                } else if is_punct(sig, src, j, b'[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            parts.push("[_]".to_owned());
+            i = j;
+            continue;
+        }
+        if let Some(name) = ident(sig, src, prev) {
+            parts.push(name.to_owned());
+            // Keep walking if another `.` precedes the ident.
+            if prev >= 1 && is_punct(sig, src, prev - 1, b'.') {
+                i = prev - 1;
+                continue;
+            }
+            break;
+        }
+        return None;
+    }
+    if parts.is_empty() || parts.iter().all(|p| p == "[_]") {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// After a call's closing `)`, skips the guard-adapter chain
+/// (`.unwrap()`, `.expect(…)`, `.unwrap_or_else(…)`, `?`) and reports
+/// whether the chain result is still a guard (true) or was consumed by
+/// a non-adapter continuation like `.field` or `.method()` (false).
+/// Returns `(index_past_chain, still_guard)`.
+fn skip_adapters(sig: &[Token], src: &str, mut i: usize) -> (usize, bool) {
+    loop {
+        if is_punct(sig, src, i, b'?') {
+            i += 1;
+            continue;
+        }
+        if is_punct(sig, src, i, b'.') {
+            let Some(name) = ident(sig, src, i + 1) else {
+                return (i, false);
+            };
+            if GUARD_ADAPTERS.contains(&name) && is_punct(sig, src, i + 2, b'(') {
+                // Skip the adapter's argument group.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                while j < sig.len() {
+                    if is_punct(sig, src, j, b'(') {
+                        depth += 1;
+                    } else if is_punct(sig, src, j, b')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            return (i, false);
+        }
+        return (i, true);
+    }
+}
+
+/// Looks backwards from the start of an acquisition expression for a
+/// `let [mut] NAME =` binding; returns the bound name.
+fn let_binding(sig: &[Token], src: &str, expr_start: usize) -> Option<String> {
+    if expr_start < 2 || !is_punct(sig, src, expr_start - 1, b'=') {
+        return None;
+    }
+    let mut i = expr_start - 2;
+    let name = ident(sig, src, i)?.to_owned();
+    if i >= 1 && ident(sig, src, i - 1) == Some("mut") {
+        i -= 1;
+    }
+    if i >= 1 && ident(sig, src, i - 1) == Some("let") {
+        return Some(name);
+    }
+    None
+}
+
+/// Simulates one function body and collects its facts.
+fn simulate(
+    path: &str,
+    src: &str,
+    sig: &[Token],
+    f: &FnDecl,
+    returns_guard: &BTreeSet<&str>,
+) -> FnFacts {
+    let mut facts = FnFacts {
+        qualified: f.qualified.clone(),
+        in_impl: f.in_impl,
+        ..FnFacts::default()
+    };
+    let Some((lo, hi)) = f.body else {
+        return facts;
+    };
+    let hi = hi.min(sig.len());
+
+    // Scope stack: (depth marker, in_loop). The body itself is scope 0.
+    let mut scopes: Vec<bool> = vec![false];
+    let mut pending_loop = false;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    let mut i = lo;
+    while i < hi {
+        let t = &sig[i];
+        if t.kind == TokenKind::Punct {
+            match t.text(src).as_bytes()[0] {
+                b'{' => {
+                    let in_loop = pending_loop || *scopes.last().unwrap_or(&false);
+                    scopes.push(in_loop);
+                    pending_loop = false;
+                }
+                b'}' => {
+                    if scopes.len() > 1 {
+                        scopes.pop();
+                    }
+                    // A guard lives while its creation scope is still on
+                    // the stack (depth counts scopes, so `<=` keeps
+                    // same-depth siblings from killing it).
+                    let depth = scopes.len();
+                    guards.retain(|g| g.depth <= depth);
+                }
+                b';' => {
+                    // Temporaries die at the end of their statement.
+                    guards.retain(|g| g.name.is_some());
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let text = t.text(src);
+        match text {
+            "loop" | "while" | "for" => {
+                pending_loop = true;
+                i += 1;
+                continue;
+            }
+            "drop" if is_punct(sig, src, i + 1, b'(') => {
+                if let Some(name) = ident(sig, src, i + 2) {
+                    if is_punct(sig, src, i + 3, b')') {
+                        guards.retain(|g| g.name.as_deref() != Some(name));
+                    }
+                }
+                i += 4;
+                continue;
+            }
+            _ => {}
+        }
+
+        let dotted = i >= 1 && is_punct(sig, src, i - 1, b'.');
+        let pathed = i >= 1 && is_punct(sig, src, i - 1, b':');
+        let called = is_punct(sig, src, i + 1, b'(');
+
+        // Lock acquisition: zero-argument `.lock()`/`.read()`/`.write()`
+        // (the Mutex/RwLock signatures — `stream.read(buf)` is IO, not
+        // a lock).
+        let zero_arg = called && is_punct(sig, src, i + 2, b')');
+        let acquires_here =
+            dotted && zero_arg && (text == "lock" || text == "read" || text == "write");
+        if acquires_here {
+            if let Some(slot) = receiver_path(sig, src, i - 1) {
+                // `self.lock()` where `lock` is a local guard-returning
+                // method is a call, not a Mutex operation; handled below.
+                let local_method = slot == "self" && returns_guard.contains(text);
+                if !local_method {
+                    record_acquire(
+                        &mut facts,
+                        &mut guards,
+                        sig,
+                        src,
+                        i,
+                        &slot,
+                        scopes.len(),
+                        t.line,
+                        t.col,
+                    );
+                    i += 1;
+                    continue;
+                }
+            } else {
+                i += 1;
+                continue;
+            }
+        }
+
+        // Blocking operations (method or path position only).
+        if (dotted || pathed) && called && BLOCKING.contains(&text) {
+            let wait_like = WAIT_FAMILY.contains(&text)
+                && ident(sig, src, i + 2)
+                    .is_some_and(|arg| guards.iter().any(|g| g.name.as_deref() == Some(arg)));
+            if wait_like {
+                // A real condvar wait: the guard named in the argument
+                // is consumed by the wait, so it is exempt; flag the
+                // wait itself if it cannot re-check its predicate.
+                let arg = ident(sig, src, i + 2).unwrap_or_default().to_owned();
+                if !*scopes.last().unwrap_or(&false) {
+                    facts.waits.push(
+                        Finding::new(
+                            path,
+                            t.line,
+                            t.col,
+                            "condvar-wait-not-in-loop",
+                            format!(".{text}({arg})"),
+                        )
+                        .with_function(&f.qualified),
+                    );
+                }
+                if let Some(g) = guards
+                    .iter()
+                    .find(|g| g.name.as_deref() != Some(arg.as_str()))
+                {
+                    facts.direct.push(
+                        Finding::new(
+                            path,
+                            t.line,
+                            t.col,
+                            "guard-held-across-blocking",
+                            format!(".{}(…) blocks with `{}` guard live", text, g.slot),
+                        )
+                        .with_function(&f.qualified),
+                    );
+                }
+            } else {
+                facts.has_blocking = true;
+                if let Some(g) = guards.first() {
+                    facts.direct.push(
+                        Finding::new(
+                            path,
+                            t.line,
+                            t.col,
+                            "guard-held-across-blocking",
+                            format!(".{}(…) blocks with `{}` guard live", text, g.slot),
+                        )
+                        .with_function(&f.qualified),
+                    );
+                }
+            }
+            facts.has_blocking = true;
+            i += 1;
+            continue;
+        }
+
+        // Local calls: `self.name(…)` methods and free `name(…)` calls.
+        if called && !pathed {
+            let is_method = dotted && i >= 2 && ident(sig, src, i - 2) == Some("self");
+            let is_free = !dotted;
+            if is_method || is_free {
+                if returns_guard.contains(text) {
+                    // Binds a guard if the result survives the adapter
+                    // chain into a `let`.
+                    record_guard_call(&mut facts, &mut guards, sig, src, i, text, scopes.len());
+                } else {
+                    facts.calls.push(CallSite {
+                        callee: text.to_owned(),
+                        method: is_method,
+                        line: t.line,
+                        col: t.col,
+                        live: guards.iter().map(|g| g.slot.clone()).collect(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Records a real `Mutex`/`RwLock` acquisition at `sig[i]` (`lock` /
+/// `read` / `write`): pair witnesses against live guards, then a named
+/// or temporary guard depending on the binding and adapter chain.
+#[allow(clippy::too_many_arguments)]
+fn record_acquire(
+    facts: &mut FnFacts,
+    guards: &mut Vec<Guard>,
+    sig: &[Token],
+    src: &str,
+    i: usize,
+    slot: &str,
+    depth: usize,
+    line: usize,
+    col: usize,
+) {
+    facts.acquires.push(Acquire {
+        slot: slot.to_owned(),
+    });
+    for g in guards.iter() {
+        if g.slot != slot {
+            facts.pairs.push(PairWitness {
+                held: g.slot.clone(),
+                acquired: slot.to_owned(),
+                line,
+                col,
+            });
+        }
+    }
+    // The expression starts where the receiver path begins; the binding
+    // check walks back from there.
+    let expr_start = expr_start_of(sig, src, i - 1);
+    let (_, still_guard) = skip_adapters(sig, src, call_end(sig, src, i + 1));
+    let name = if still_guard {
+        let_binding(sig, src, expr_start)
+    } else {
+        None
+    };
+    guards.push(Guard {
+        name,
+        slot: slot.to_owned(),
+        depth,
+    });
+}
+
+/// Records a call to a local guard-returning function at `sig[i]`; the
+/// binding becomes a guard with the pseudo-slot `name()`.
+fn record_guard_call(
+    facts: &mut FnFacts,
+    guards: &mut Vec<Guard>,
+    sig: &[Token],
+    src: &str,
+    i: usize,
+    callee: &str,
+    depth: usize,
+) {
+    let slot = format!("{callee}()");
+    let t = sig[i];
+    facts.acquires.push(Acquire { slot: slot.clone() });
+    for g in guards.iter() {
+        if g.slot != slot {
+            facts.pairs.push(PairWitness {
+                held: g.slot.clone(),
+                acquired: slot.clone(),
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    let expr_start = if i >= 2 && is_punct(sig, src, i - 1, b'.') {
+        i - 2 // `self.name(` — expression starts at `self`
+    } else {
+        i
+    };
+    let (_, still_guard) = skip_adapters(sig, src, call_end(sig, src, i + 1));
+    let name = if still_guard {
+        let_binding(sig, src, expr_start)
+    } else {
+        None
+    };
+    guards.push(Guard { name, slot, depth });
+}
+
+/// Index one past the `)` closing the call whose `(` sits at `open`.
+fn call_end(sig: &[Token], src: &str, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < sig.len() {
+        if is_punct(sig, src, j, b'(') {
+            depth += 1;
+        } else if is_punct(sig, src, j, b')') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    sig.len()
+}
+
+/// Start of the receiver expression: walks back over the dotted path
+/// whose final `.` sits at `dot`.
+fn expr_start_of(sig: &[Token], src: &str, dot: usize) -> usize {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return 0;
+        }
+        let prev = i - 1;
+        if is_punct(sig, src, prev, b']') {
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                if is_punct(sig, src, j, b']') {
+                    depth += 1;
+                } else if is_punct(sig, src, j, b'[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return 0;
+                }
+                j -= 1;
+            }
+            i = j;
+            continue;
+        }
+        if ident(sig, src, prev).is_some() {
+            if prev >= 1 && is_punct(sig, src, prev - 1, b'.') {
+                i = prev - 1;
+                continue;
+            }
+            return prev;
+        }
+        return i;
+    }
+}
+
+/// The contract lints cross-checking source against `audit.toml` tiers.
+pub(crate) mod contract {
+    use crate::config::Tier;
+    use crate::report::Finding;
+    use crate::syntax::{Item, ItemKind, SyntaxTree};
+
+    /// Deterministic-tier files must not spawn threads or construct
+    /// channels; operator/watermark state must not live outside the
+    /// deterministic tier. One finding per file per lint, anchored at
+    /// the first offending site, so one allow covers the file.
+    pub(crate) fn check(
+        path: &str,
+        src: &str,
+        tree: &SyntaxTree,
+        tier: Tier,
+        in_test: &dyn Fn(&crate::lexer::Token) -> bool,
+        out: &mut Vec<Finding>,
+    ) {
+        match tier {
+            Tier::Deterministic => thread_spawn(path, src, tree, in_test, out),
+            Tier::Io => operator_tier(path, src, tree, out),
+            Tier::Exempt => {}
+        }
+    }
+
+    /// `thread-spawn-tier`: thread or channel construction in a
+    /// deterministic-tier file.
+    fn thread_spawn(
+        path: &str,
+        src: &str,
+        tree: &SyntaxTree,
+        in_test: &dyn Fn(&crate::lexer::Token) -> bool,
+        out: &mut Vec<Finding>,
+    ) {
+        let sig = tree.sig();
+        let is = |i: usize, s: &str| sig.get(i).is_some_and(|t| t.text(src) == s);
+        for (i, t) in sig.iter().enumerate() {
+            if t.kind != crate::lexer::TokenKind::Ident || in_test(t) {
+                continue;
+            }
+            let called = is(i + 1, "(");
+            if !called {
+                continue;
+            }
+            let span = match t.text(src) {
+                "spawn" if i >= 1 && (is(i - 1, ".") || is(i - 1, ":")) => ".spawn(",
+                "scope" if i >= 3 && is(i - 1, ":") && is(i - 2, ":") && is(i - 3, "thread") => {
+                    "thread::scope("
+                }
+                "sync_channel" => "sync_channel(",
+                "channel" if i >= 3 && is(i - 1, ":") && is(i - 2, ":") && is(i - 3, "mpsc") => {
+                    "mpsc::channel("
+                }
+                _ => continue,
+            };
+            out.push(Finding::new(path, t.line, t.col, "thread-spawn-tier", span));
+            return; // one finding per file: first site anchors the allow
+        }
+    }
+
+    /// `operator-tier-mismatch`: `impl Operator for …` or watermark
+    /// state in a non-deterministic-tier file.
+    fn operator_tier(path: &str, _src: &str, tree: &SyntaxTree, out: &mut Vec<Finding>) {
+        let mut found: Option<Finding> = None;
+        visit(tree.items(), false, &mut |item, gated| {
+            if gated || found.is_some() {
+                return;
+            }
+            if item.kind == ItemKind::Impl && item.trait_name.as_deref() == Some("Operator") {
+                found = Some(Finding::new(
+                    path,
+                    item.line,
+                    item.col,
+                    "operator-tier-mismatch",
+                    format!("impl Operator for {}", item.name.as_deref().unwrap_or("_")),
+                ));
+            } else if item.kind == ItemKind::Struct {
+                if let Some(field) = item.fields.iter().find(|f| f.starts_with("watermark")) {
+                    found = Some(Finding::new(
+                        path,
+                        item.line,
+                        item.col,
+                        "operator-tier-mismatch",
+                        format!("watermark state `{field}`"),
+                    ));
+                }
+            }
+        });
+        out.extend(found);
+    }
+
+    /// Depth-first item walk carrying inherited test-gating.
+    fn visit(items: &[Item], gated: bool, f: &mut dyn FnMut(&Item, bool)) {
+        for item in items {
+            let g = gated || item.gated;
+            f(item, g);
+            visit(&item.children, g, f);
+        }
+    }
+}

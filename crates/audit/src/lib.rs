@@ -21,22 +21,36 @@
 //! * Tier `exempt` (vendored stand-ins, demo examples): scanned, never
 //!   linted.
 //!
+//! On top of the token lints sits a syntax-aware pass: a delimiter-
+//! matched item tree ([`syntax`]) feeds an intra-file concurrency
+//! analysis ([`concurrency`]) that reports lock-order inversions, lock
+//! guards held across blocking calls (`send`/`recv`/`wait`/`join`/IO,
+//! with `Condvar::wait` on the same slot exempted), condvar waits
+//! outside loops, and tier-contract violations (`Operator` impls or
+//! watermark state outside the deterministic tier; thread spawns or
+//! channel construction inside it).
+//!
 //! Suppression is explicit: `// audit:allow(<lint>, reason = "…")` on
 //! (or directly above) the offending line. Run it with
 //! `cargo run -p rfid-audit`; the exit code is the finding count, so it
-//! slots in as the first stage of `scripts/ci.sh`.
+//! slots in as the first stage of `scripts/ci.sh`. CI can adopt a new
+//! lint incrementally with `--write-baseline` / `--baseline`, which
+//! shrink the exit code to *new* findings only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod config;
 pub mod lexer;
 pub mod lints;
 pub mod report;
+pub mod syntax;
 
 pub use config::{Config, ConfigError, Tier};
 pub use lints::{lint_by_name, Allow, LINTS};
 pub use report::{AuditReport, Finding};
+pub use syntax::{FnDecl, Item, ItemKind, SyntaxTree};
 
 use std::fs;
 use std::io;

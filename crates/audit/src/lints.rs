@@ -5,6 +5,14 @@
 //! `/* … */` block can never fire. Code that only exists under
 //! `#[cfg(test)]` (or lives in a `tests/` / `benches/` directory) is
 //! likewise invisible to lints: tests may time, panic, and unwrap freely.
+//! Test gating is computed by the attribute-aware item parser in
+//! [`crate::syntax`], so nested `cfg` on impl blocks and stacked
+//! attributes resolve exactly as rustc would resolve them.
+//!
+//! Beyond the token-pattern lints, [`scan_file`] runs the syntax-aware
+//! passes from [`crate::concurrency`]: lock-order inversion, guards held
+//! across blocking calls, condvar waits outside loops, and the
+//! tier-contract checks (`operator-tier-mismatch`, `thread-spawn-tier`).
 //!
 //! Suppression is explicit and auditable: a finding survives unless the
 //! offending line carries (or is immediately preceded by) a
@@ -13,9 +21,11 @@
 //! themselves findings, so the allow list can only shrink to what is
 //! genuinely intentional.
 
+use crate::concurrency;
 use crate::config::Tier;
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
+use crate::syntax::SyntaxTree;
 
 /// One lint: name, the tier it applies in, and the hint shown with every
 /// finding.
@@ -83,6 +93,42 @@ pub const LINTS: &[LintSpec] = &[
                stating the invariant that makes it sound",
     },
     LintSpec {
+        name: "lock-order-inversion",
+        tier: None,
+        hint: "two code paths acquire this pair of locks in opposite \
+               orders, which deadlocks under contention; pick one order \
+               and restructure the later acquisition",
+    },
+    LintSpec {
+        name: "guard-held-across-blocking",
+        tier: None,
+        hint: "a lock guard is live across a blocking call (send/recv/\
+               wait/join/IO), so one stalled peer wedges every thread \
+               behind the lock; drop the guard first or move the blocking \
+               call out of the critical section",
+    },
+    LintSpec {
+        name: "condvar-wait-not-in-loop",
+        tier: None,
+        hint: "Condvar::wait returns on spurious wakeups; re-check the \
+               predicate in a while loop around the wait",
+    },
+    LintSpec {
+        name: "operator-tier-mismatch",
+        tier: Some(Tier::Io),
+        hint: "this file holds `impl Operator` or watermark state but is \
+               not in the deterministic tier; move the file (or its \
+               audit.toml prefix) so replay identity stays enforced",
+    },
+    LintSpec {
+        name: "thread-spawn-tier",
+        tier: Some(Tier::Deterministic),
+        hint: "spawning threads or constructing channels in a \
+               deterministic-tier file: either the file belongs in the io \
+               tier or the parallelism must carry a reasoned allow proving \
+               bit-identical merge order",
+    },
+    LintSpec {
         name: "bad-allow-directive",
         tier: None,
         hint: "audit:allow must be `audit:allow(<lint>, reason = \"…\")` with \
@@ -134,36 +180,34 @@ pub struct FileOutcome {
     pub allows: Vec<Allow>,
 }
 
-/// The single punctuation byte of a `Punct` token, if it is one.
-fn punct(t: &Token, src: &str) -> Option<u8> {
-    (t.kind == TokenKind::Punct).then(|| t.text(src).as_bytes()[0])
-}
-
 /// Scans one file's source under the given tier. `test_path` marks files
 /// whose whole compilation context is test-only (`tests/`, `benches/`).
 #[must_use]
 pub fn scan_file(rel_path: &str, src: &str, tier: Tier, test_path: bool) -> FileOutcome {
-    let tokens = lex(src);
-    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let tree = SyntaxTree::new(src);
+    let tokens = tree.tokens();
+    let sig = tree.sig();
 
     let mut out = FileOutcome::default();
     let mut raw: Vec<Finding> = Vec::new();
 
     // Allow directives are parsed in every tier so --list-allows is
     // complete, but exempt files get no lint findings at all.
-    let (mut allows, mut bad_directives) = collect_allows(rel_path, &tokens, src);
+    let (mut allows, mut bad_directives) = collect_allows(rel_path, tokens, src);
     if tier != Tier::Exempt {
         raw.append(&mut bad_directives);
     }
 
     if tier != Tier::Exempt && !test_path {
-        let test_spans = test_regions(&sig, src);
+        let test_spans = tree.test_regions();
         let in_test = |t: &Token| test_spans.iter().any(|&(s, e)| t.start >= s && t.start < e);
         match tier {
-            Tier::Deterministic => deterministic_lints(rel_path, src, &sig, &in_test, &mut raw),
-            Tier::Io => io_lints(rel_path, src, &sig, &tokens, &in_test, &mut raw),
+            Tier::Deterministic => deterministic_lints(rel_path, src, sig, &in_test, &mut raw),
+            Tier::Io => io_lints(rel_path, src, sig, tokens, &in_test, &mut raw),
             Tier::Exempt => {}
         }
+        concurrency::analyze(rel_path, src, &tree, &mut raw);
+        concurrency::contract::check(rel_path, src, &tree, tier, &in_test, &mut raw);
     }
 
     // Apply suppression: a finding dies iff an allow of the same lint
@@ -197,13 +241,13 @@ pub fn scan_file(rel_path: &str, src: &str, tier: Tier, test_path: bool) -> File
 fn deterministic_lints(
     path: &str,
     src: &str,
-    sig: &[&Token],
+    sig: &[Token],
     in_test: &dyn Fn(&Token) -> bool,
     out: &mut Vec<Finding>,
 ) {
     let is = |i: usize, s: &str| sig.get(i).is_some_and(|t| t.text(src) == s);
     for i in 0..sig.len() {
-        let t = sig[i];
+        let t = &sig[i];
         if t.kind != TokenKind::Ident || in_test(t) {
             continue;
         }
@@ -275,7 +319,7 @@ fn deterministic_lints(
 fn io_lints(
     path: &str,
     src: &str,
-    sig: &[&Token],
+    sig: &[Token],
     all: &[Token],
     in_test: &dyn Fn(&Token) -> bool,
     out: &mut Vec<Finding>,
@@ -418,186 +462,4 @@ fn parse_allow(comment: &str) -> Result<(&'static str, String), String> {
         return Err("reason string is empty".to_owned());
     }
     Ok((lint.name, reason.to_owned()))
-}
-
-/// Computes byte spans of test-only code: any item annotated `#[test]`
-/// or with a `#[cfg(…)]` predicate that evaluates false in a non-test
-/// build (e.g. `#[cfg(test)]`, `#[cfg(all(test, unix))]`). Unknown
-/// predicate atoms (features, target flags) are treated as *enabled*, so
-/// only genuinely test-gated code is exempted.
-fn test_regions(sig: &[&Token], src: &str) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < sig.len() {
-        if punct(sig[i], src) != Some(b'#') {
-            i += 1;
-            continue;
-        }
-        let start_byte = sig[i].start;
-        let Some((after, gates)) = parse_attribute(sig, src, i) else {
-            i += 1;
-            continue;
-        };
-        if !gates {
-            i = after;
-            continue;
-        }
-        // Skip any further attributes stacked on the same item.
-        let mut j = after;
-        while sig.get(j).is_some_and(|t| punct(t, src) == Some(b'#')) {
-            match parse_attribute(sig, src, j) {
-                Some((end, _)) => j = end,
-                None => break,
-            }
-        }
-        // The item body ends at the matching `}` of its first brace
-        // block, or at a top-level `;` (e.g. `#[cfg(test)] use …;`).
-        let mut depth = 0i32;
-        let mut end = j;
-        let mut end_byte = usize::MAX; // truncated file: cover the rest
-        while end < sig.len() {
-            match punct(sig[end], src) {
-                Some(b'{') => depth += 1,
-                Some(b'}') => {
-                    depth -= 1;
-                    if depth <= 0 {
-                        end_byte = sig[end].end;
-                        end += 1;
-                        break;
-                    }
-                }
-                Some(b';') if depth == 0 => {
-                    end_byte = sig[end].end;
-                    end += 1;
-                    break;
-                }
-                _ => {}
-            }
-            end += 1;
-        }
-        spans.push((start_byte, end_byte));
-        i = end;
-    }
-    spans
-}
-
-/// Parses an attribute starting at `#` (`sig[i]`). Returns the index one
-/// past the closing `]` and whether the attribute gates the item out of
-/// non-test builds (`#[test]`, `#[bench]`, false-evaluating `#[cfg(…)]`).
-fn parse_attribute(sig: &[&Token], src: &str, i: usize) -> Option<(usize, bool)> {
-    let mut j = i + 1;
-    // Inner attributes `#![…]` never gate an item; still skip them.
-    let mut inner = false;
-    if sig.get(j).is_some_and(|t| punct(t, src) == Some(b'!')) {
-        inner = true;
-        j += 1;
-    }
-    if sig.get(j).is_none_or(|t| punct(t, src) != Some(b'[')) {
-        return None;
-    }
-    let open = j;
-    let mut depth = 0i32;
-    while j < sig.len() {
-        match punct(sig[j], src) {
-            Some(b'[') => depth += 1,
-            Some(b']') => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    if j >= sig.len() {
-        return None;
-    }
-    let body = &sig[open + 1..j];
-    let gates = !inner && attribute_gates_tests(body, src);
-    Some((j + 1, gates))
-}
-
-/// True if the attribute body (tokens between `[` and `]`) is `test`,
-/// `bench`, or `cfg(<pred>)` with `<pred>` false in a non-test build.
-fn attribute_gates_tests(body: &[&Token], src: &str) -> bool {
-    let Some(head) = body.first() else {
-        return false;
-    };
-    if head.kind != TokenKind::Ident {
-        return false;
-    }
-    let name = head.text(src);
-    if body.len() == 1 && (name == "test" || name == "bench") {
-        return true;
-    }
-    if name != "cfg" || body.get(1).is_none_or(|t| punct(t, src) != Some(b'(')) {
-        return false;
-    }
-    let mut pos = 2; // past `cfg` `(`
-    !eval_cfg(body, src, &mut pos)
-}
-
-/// Recursive descent over a cfg predicate: `ident`, `not/all/any(list)`,
-/// `ident = "literal"`. Returns the predicate's value in a build with
-/// `test` off and all unknown atoms on. `pos` advances past the parsed
-/// predicate; list separators are handled by the enclosing loop.
-fn eval_cfg(body: &[&Token], src: &str, pos: &mut usize) -> bool {
-    let Some(head) = body.get(*pos) else {
-        return true;
-    };
-    if head.kind != TokenKind::Ident {
-        *pos += 1;
-        return true;
-    }
-    let name = head.text(src);
-    *pos += 1;
-    let call = body.get(*pos).is_some_and(|t| punct(t, src) == Some(b'('));
-    if call && matches!(name, "not" | "all" | "any") {
-        *pos += 1; // (
-        let mut values = Vec::new();
-        while *pos < body.len() {
-            match punct(body[*pos], src) {
-                Some(b')') => {
-                    *pos += 1;
-                    break;
-                }
-                Some(b',') => {
-                    *pos += 1;
-                }
-                _ => values.push(eval_cfg(body, src, pos)),
-            }
-        }
-        return match name {
-            "not" => !values.first().copied().unwrap_or(false),
-            "all" => values.iter().all(|&v| v),
-            _ => values.iter().any(|&v| v),
-        };
-    }
-    if call {
-        // Unrecognized call form, e.g. `target_has_atomic(…)`: skip it
-        // wholesale and assume enabled.
-        let mut depth = 0i32;
-        while *pos < body.len() {
-            match punct(body[*pos], src) {
-                Some(b'(') => depth += 1,
-                Some(b')') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        *pos += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            *pos += 1;
-        }
-        return true;
-    }
-    // `ident = "value"`: skip the value, assume enabled.
-    if body.get(*pos).is_some_and(|t| punct(t, src) == Some(b'=')) {
-        *pos += 2;
-        return true;
-    }
-    name != "test"
 }

@@ -16,6 +16,11 @@ pub struct Finding {
     pub lint: &'static str,
     /// The offending token span (or a short description for meta lints).
     pub span: String,
+    /// The enclosing function (`Type::name`), when the finding came from
+    /// the function-level concurrency analysis.
+    pub function: Option<String>,
+    /// The two lock slots involved, sorted, for `lock-order-inversion`.
+    pub lock_pair: Option<(String, String)>,
 }
 
 impl Finding {
@@ -34,13 +39,37 @@ impl Finding {
             col,
             lint,
             span: span.into(),
+            function: None,
+            lock_pair: None,
         }
+    }
+
+    /// Attaches the enclosing function's qualified name.
+    #[must_use]
+    pub fn with_function(mut self, function: impl Into<String>) -> Finding {
+        self.function = Some(function.into());
+        self
+    }
+
+    /// Attaches the conflicting lock pair (callers pass them sorted).
+    #[must_use]
+    pub fn with_lock_pair(mut self, a: impl Into<String>, b: impl Into<String>) -> Finding {
+        self.lock_pair = Some((a.into(), b.into()));
+        self
     }
 
     /// The fix hint from the lint catalogue.
     #[must_use]
     pub fn hint(&self) -> &'static str {
         lint_by_name(self.lint).map_or("", |l| l.hint)
+    }
+
+    /// The finding's baseline identity: `file|lint|span`. Line numbers
+    /// are deliberately excluded so unrelated edits above a baselined
+    /// finding do not resurrect it.
+    #[must_use]
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.file, self.lint, self.span)
     }
 }
 
@@ -53,9 +82,51 @@ pub struct AuditReport {
     pub allows: Vec<Allow>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Findings suppressed by an accepted baseline (`--baseline`).
+    pub baselined: usize,
 }
 
 impl AuditReport {
+    /// Removes findings whose [`Finding::baseline_key`] is covered by
+    /// `baseline` (one key per line, `#` comments and blanks ignored).
+    /// Coverage is a multiset: a baseline with one entry for a key
+    /// accepts one finding with that key, not every future duplicate.
+    pub fn apply_baseline(&mut self, baseline: &str) {
+        let mut budget: std::collections::BTreeMap<&str, usize> = Default::default();
+        for line in baseline.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *budget.entry(line).or_insert(0) += 1;
+        }
+        let mut kept = Vec::with_capacity(self.findings.len());
+        for f in self.findings.drain(..) {
+            let key = f.baseline_key();
+            match budget.get_mut(key.as_str()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    self.baselined += 1;
+                }
+                _ => kept.push(f),
+            }
+        }
+        self.findings = kept;
+    }
+
+    /// The `--write-baseline` rendering: every finding's key, sorted,
+    /// one per line.
+    #[must_use]
+    pub fn baseline_lines(&self) -> String {
+        let mut keys: Vec<String> = self.findings.iter().map(Finding::baseline_key).collect();
+        keys.sort();
+        let mut out = String::new();
+        for key in keys {
+            let _ = writeln!(out, "{key}");
+        }
+        out
+    }
+
     /// Human-readable rendering: one block per finding plus a summary.
     #[must_use]
     pub fn render_human(&self) -> String {
@@ -72,10 +143,16 @@ impl AuditReport {
                 f.hint()
             );
         }
+        let baselined = if self.baselined > 0 {
+            format!(" ({} baselined)", self.baselined)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "audit: {} finding(s) across {} file(s); {} allow directive(s)",
+            "audit: {} finding(s){} across {} file(s); {} allow directive(s)",
             self.findings.len(),
+            baselined,
             self.files_scanned,
             self.allows.len()
         );
@@ -108,15 +185,25 @@ impl AuditReport {
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
+            let function = f
+                .function
+                .as_deref()
+                .map_or_else(|| "null".to_owned(), json_str);
+            let lock_pair = f.lock_pair.as_ref().map_or_else(
+                || "null".to_owned(),
+                |(a, b)| format!("[{}, {}]", json_str(a), json_str(b)),
+            );
             let _ = write!(
                 out,
                 "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}, \
-                 \"span\": {}, \"hint\": {}}}",
+                 \"span\": {}, \"function\": {}, \"lock_pair\": {}, \"hint\": {}}}",
                 json_str(&f.file),
                 f.line,
                 f.col,
                 json_str(f.lint),
                 json_str(&f.span),
+                function,
+                lock_pair,
                 json_str(f.hint())
             );
             out.push_str(if i + 1 < self.findings.len() {

@@ -271,6 +271,275 @@ fn json_output_carries_findings_and_counts() {
     }
 }
 
+/// One fixture per syntax-aware lint, each seeding exactly one
+/// violation that must be the only finding in its tree.
+#[test]
+fn every_concurrency_lint_fires_on_its_seeded_violation() {
+    let seeds: &[(&str, &str, &str, &str)] = &[
+        (
+            "lock-order",
+            "det/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 pub fn ab(&self) -> u32 {\n\
+                     let ga = self.a.lock().unwrap();\n\
+                     let gb = self.b.lock().unwrap();\n\
+                     *ga + *gb\n\
+                 }\n\
+                 pub fn ba(&self) -> u32 {\n\
+                     let gb = self.b.lock().unwrap();\n\
+                     let ga = self.a.lock().unwrap();\n\
+                     *ga + *gb\n\
+                 }\n\
+             }\n",
+            "lock-order-inversion",
+        ),
+        (
+            "guard-blocking",
+            "det/src/lib.rs",
+            "use std::sync::mpsc::SyncSender;\n\
+             use std::sync::Mutex;\n\
+             pub struct S { m: Mutex<u32>, tx: SyncSender<u32> }\n\
+             impl S {\n\
+                 pub fn leak(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     let _ = self.tx.send(*g);\n\
+                 }\n\
+             }\n",
+            "guard-held-across-blocking",
+        ),
+        (
+            "condvar-loop",
+            "det/src/lib.rs",
+            "use std::sync::{Condvar, Mutex};\n\
+             pub struct S { m: Mutex<bool>, cv: Condvar }\n\
+             impl S {\n\
+                 pub fn once(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     let _g = self.cv.wait(g).unwrap();\n\
+                 }\n\
+                 pub fn looped(&self) {\n\
+                     let mut g = self.m.lock().unwrap();\n\
+                     while !*g {\n\
+                         g = self.cv.wait(g).unwrap();\n\
+                     }\n\
+                 }\n\
+             }\n",
+            "condvar-wait-not-in-loop",
+        ),
+        (
+            "operator-tier",
+            "io/src/lib.rs",
+            "pub trait Operator { fn push(&mut self); }\n\
+             pub struct Passthrough;\n\
+             impl Operator for Passthrough { fn push(&mut self) {} }\n",
+            "operator-tier-mismatch",
+        ),
+        (
+            "watermark-tier",
+            "io/src/lib.rs",
+            "pub struct Reorder { watermark_s: f64 }\n\
+             pub fn f(r: &Reorder) -> f64 { r.watermark_s }\n",
+            "operator-tier-mismatch",
+        ),
+        (
+            "thread-spawn",
+            "det/src/lib.rs",
+            "pub fn f() { std::thread::spawn(|| {}).join().ok(); }\n",
+            "thread-spawn-tier",
+        ),
+    ];
+    for (name, path, src, lint) in seeds {
+        let root = fixture(name, &[(*path, *src)]);
+        let (code, out) = run_audit(&root, &[]);
+        assert_eq!(code, 1, "{name}: want exactly the {lint} finding:\n{out}");
+        assert!(out.contains(lint), "{name}: {lint} missing from:\n{out}");
+    }
+}
+
+/// The condvar exemption: a guard consumed by `Condvar::wait` on the
+/// same slot is not "held across blocking", and a wait inside a
+/// predicate loop is correct usage — the canonical pattern must be
+/// finding-free.
+#[test]
+fn canonical_condvar_pattern_is_clean() {
+    let root = fixture(
+        "condvar-clean",
+        &[(
+            "det/src/lib.rs",
+            "use std::sync::{Condvar, Mutex};\n\
+             pub struct S { m: Mutex<bool>, cv: Condvar }\n\
+             impl S {\n\
+                 pub fn wait_ready(&self) {\n\
+                     let mut g = self.m.lock().unwrap();\n\
+                     while !*g {\n\
+                         g = self.cv.wait(g).unwrap();\n\
+                     }\n\
+                 }\n\
+             }\n",
+        )],
+    );
+    let (code, out) = run_audit(&root, &[]);
+    assert_eq!(code, 0, "the canonical wait loop must be clean:\n{out}");
+}
+
+/// A dropped or scope-ended guard is not live: blocking after release
+/// must not fire.
+#[test]
+fn released_guard_does_not_fire() {
+    let root = fixture(
+        "guard-released",
+        &[(
+            "det/src/lib.rs",
+            "use std::sync::mpsc::SyncSender;\n\
+             use std::sync::Mutex;\n\
+             pub struct S { m: Mutex<u32>, tx: SyncSender<u32> }\n\
+             impl S {\n\
+                 pub fn scoped(&self) {\n\
+                     let v = { let g = self.m.lock().unwrap(); *g };\n\
+                     let _ = self.tx.send(v);\n\
+                 }\n\
+                 pub fn dropped(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     let v = *g;\n\
+                     drop(g);\n\
+                     let _ = self.tx.send(v);\n\
+                 }\n\
+             }\n",
+        )],
+    );
+    let (code, out) = run_audit(&root, &[]);
+    assert_eq!(code, 0, "released guards are not held:\n{out}");
+}
+
+/// Blocking reached *through* a local call fires at the call site: the
+/// analysis propagates callee facts over the approximate call graph.
+#[test]
+fn transitive_blocking_fires_at_the_call_site() {
+    let root = fixture(
+        "guard-transitive",
+        &[(
+            "det/src/lib.rs",
+            "use std::sync::mpsc::SyncSender;\n\
+             use std::sync::Mutex;\n\
+             pub struct S { m: Mutex<u32>, tx: SyncSender<u32> }\n\
+             impl S {\n\
+                 fn notify(&self, v: u32) {\n\
+                     let _ = self.tx.send(v);\n\
+                 }\n\
+                 pub fn leak(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     self.notify(*g);\n\
+                 }\n\
+             }\n",
+        )],
+    );
+    let (code, out) = run_audit(&root, &[]);
+    assert_eq!(code, 1, "the self.notify call blocks transitively:\n{out}");
+    assert!(out.contains("guard-held-across-blocking"), "{out}");
+    assert!(
+        out.contains("notify"),
+        "finding anchors the call site:\n{out}"
+    );
+}
+
+/// `--write-baseline` accepts the status quo; `--baseline` then fails
+/// only on *new* findings, and a deleted baseline file is fatal rather
+/// than silently accepting everything.
+#[test]
+fn baseline_accepts_status_quo_and_catches_regressions() {
+    let root = fixture(
+        "baseline",
+        &[(
+            "det/src/old.rs",
+            "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+        )],
+    );
+    let baseline = root.join("audit-baseline.txt");
+    let baseline_s = baseline.to_str().expect("utf-8 tmpdir");
+
+    let (code, out) = run_audit(&root, &[]);
+    assert_eq!(code, 1, "precondition: one finding:\n{out}");
+
+    let (code, out) = run_audit(&root, &["--write-baseline", baseline_s]);
+    assert_eq!(code, 0, "writing a baseline exits 0:\n{out}");
+
+    let (code, out) = run_audit(&root, &["--baseline", baseline_s]);
+    assert_eq!(code, 0, "baselined findings do not gate:\n{out}");
+    assert!(out.contains("(1 baselined)"), "{out}");
+
+    // A regression: a *new* finding must fail even under the baseline.
+    write_file(
+        &root.join("det/src/new.rs"),
+        "pub fn g() -> usize { std::collections::HashMap::<u8, u8>::new().len() }\n",
+    );
+    let (code, out) = run_audit(&root, &["--baseline", baseline_s]);
+    assert_eq!(code, 1, "new findings still gate:\n{out}");
+    assert!(out.contains("hash-collections"), "{out}");
+    assert!(
+        !out.contains("wall-clock"),
+        "old finding is baselined:\n{out}"
+    );
+
+    // Baseline file gone: fatal, not clean.
+    std::fs::remove_file(&baseline).expect("remove baseline");
+    let (code, _) = run_audit(&root, &["--baseline", baseline_s]);
+    assert_eq!(code, 201, "a missing baseline must not read as accepted");
+}
+
+/// Pins the `--json` schema: every finding object carries `lint`,
+/// `function`, and `lock_pair` keys — populated by the concurrency
+/// lints, null for token lints — so downstream tooling can rely on
+/// their presence.
+#[test]
+fn json_schema_pins_function_and_lock_pair() {
+    let root = fixture(
+        "json-schema",
+        &[
+            (
+                "det/src/order.rs",
+                "use std::sync::Mutex;\n\
+                 pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                 impl S {\n\
+                     pub fn ab(&self) -> u32 {\n\
+                         let ga = self.a.lock().unwrap();\n\
+                         let gb = self.b.lock().unwrap();\n\
+                         *ga + *gb\n\
+                     }\n\
+                     pub fn ba(&self) -> u32 {\n\
+                         let gb = self.b.lock().unwrap();\n\
+                         let ga = self.a.lock().unwrap();\n\
+                         *ga + *gb\n\
+                     }\n\
+                     pub fn leak(&self, tx: &std::sync::mpsc::SyncSender<u32>) {\n\
+                         let g = self.a.lock().unwrap();\n\
+                         let _ = tx.send(*g);\n\
+                     }\n\
+                 }\n",
+            ),
+            (
+                "det/src/clock.rs",
+                "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+            ),
+        ],
+    );
+    let (code, out) = run_audit(&root, &["--json"]);
+    assert_eq!(code, 3, "{out}");
+    for needle in [
+        // The inversion carries the sorted lock pair.
+        "\"lock_pair\": [\"self.a\", \"self.b\"]",
+        // The concurrency findings carry their enclosing function.
+        "\"function\": \"S::leak\"",
+        // Token lints carry explicit nulls, not absent keys.
+        "\"function\": null",
+        "\"lock_pair\": null",
+        "\"lint\": \"wall-clock\"",
+    ] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+}
+
 /// Self-hosting: the gate must pass on the repository that ships it.
 /// This is the same invocation `scripts/ci.sh` runs first.
 #[test]

@@ -167,6 +167,50 @@ fn cfg_test_modules_are_exempt_but_cfg_not_test_is_not() {
     );
 }
 
+/// Regression for the attribute-aware item parser: `#[cfg(test)]` on
+/// an `impl` block — including one nested inside a production module —
+/// must exempt the whole block, and doc comments interleaved with the
+/// attribute must not break the attachment. The old line-oriented
+/// heuristic only understood gated `mod` items.
+#[test]
+fn nested_cfg_on_impl_blocks_is_exempt() {
+    let gated_impl = "pub struct S;\n\
+                      #[cfg(test)]\n\
+                      impl S {\n\
+                          fn now() { let _ = std::time::Instant::now(); }\n\
+                      }\n";
+    assert!(
+        det_findings(gated_impl).is_empty(),
+        "a test-gated impl is test code"
+    );
+
+    let nested = "pub mod prod {\n\
+                      pub struct S;\n\
+                      #[cfg(test)]\n\
+                      impl S {\n\
+                          fn now() { let _ = std::time::Instant::now(); }\n\
+                      }\n\
+                      pub fn hot() { let _ = std::time::Instant::now(); }\n\
+                  }\n";
+    assert_eq!(
+        det_findings(nested),
+        ["wall-clock@7"],
+        "only the sibling outside the gated impl fires"
+    );
+
+    let with_docs = "/// Production type.\n\
+                     pub struct S;\n\
+                     #[cfg(test)]\n\
+                     /// Test-only helpers.\n\
+                     impl S {\n\
+                         fn now() { let _ = std::time::Instant::now(); }\n\
+                     }\n";
+    assert!(
+        det_findings(with_docs).is_empty(),
+        "doc comments between attribute and item do not detach the gate"
+    );
+}
+
 #[test]
 fn io_tier_spares_tests_and_honours_safety_comments() {
     let src = "fn fallible() -> Option<u8> { None }\n\

@@ -1,0 +1,193 @@
+//! Property tests for the auditor's syntax layer.
+//!
+//! The item tree sits between the total lexer and every syntax-aware
+//! lint: test-region exemption, the concurrency analysis, and the tier
+//! contracts all read it. These properties pin the invariants those
+//! passes rely on — the parser is total, item spans nest like a tree,
+//! statement spans tile a range, and attributes attach to the item
+//! that follows them even with doc comments interleaved — so a parser
+//! bug surfaces here instead of as a silently missed finding.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rfid_audit::{ItemKind, SyntaxTree};
+
+/// Recursively checks the tree-span invariant: siblings are ordered
+/// and disjoint, children sit inside their parent, and every span is a
+/// real char-boundary slice of the source.
+fn check_spans(
+    items: &[rfid_audit::Item],
+    lo: usize,
+    hi: usize,
+    src: &str,
+) -> Result<(), TestCaseError> {
+    let mut prev_end = lo;
+    for item in items {
+        prop_assert!(item.byte_start <= item.byte_end, "inverted span");
+        prop_assert!(item.byte_start >= prev_end, "sibling overlap in {src:?}");
+        prop_assert!(item.byte_end <= hi, "child escapes parent in {src:?}");
+        prop_assert!(src.is_char_boundary(item.byte_start));
+        prop_assert!(src.is_char_boundary(item.byte_end));
+        prev_end = item.byte_end;
+        check_spans(&item.children, item.byte_start, item.byte_end, src)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The parser is total and its item tree is well-formed on
+    /// arbitrary printable input — unbalanced braces, half-written
+    /// items, anything. The lints walk this tree, so "well-formed"
+    /// (ordered, disjoint, nested, in-bounds) must hold always, not
+    /// just on valid Rust.
+    #[test]
+    fn item_tree_is_well_formed_on_arbitrary_input(src in "[ -~\t\n]{0,80}") {
+        let tree = SyntaxTree::new(&src);
+        check_spans(tree.items(), 0, src.len(), &src)?;
+        for region in tree.test_regions() {
+            prop_assert!(region.0 <= region.1 && region.1 <= src.len());
+        }
+        for f in tree.functions() {
+            if let Some((lo, hi)) = f.body {
+                prop_assert!(lo <= hi && hi <= tree.sig().len());
+            }
+            prop_assert!(f.ret.0 <= f.ret.1 && f.ret.1 <= tree.sig().len());
+        }
+    }
+
+    /// Statement spans tile the requested range exactly: contiguous,
+    /// non-empty, covering every significant token once. The
+    /// concurrency pass walks statements to scope guard lifetimes, so
+    /// a dropped or doubled token would mis-scope a lock.
+    #[test]
+    fn statements_tile_any_range(src in "[ -~\t\n]{0,80}") {
+        let tree = SyntaxTree::new(&src);
+        let n = tree.sig().len();
+        let mut pos = 0usize;
+        for (lo, hi) in tree.statements(&src, 0, n) {
+            prop_assert_eq!(lo, pos, "gap or overlap in {:?}", src);
+            prop_assert!(hi > lo, "empty statement span in {:?}", src);
+            pos = hi;
+        }
+        prop_assert_eq!(pos, n, "tail not covered in {:?}", src);
+    }
+
+    /// `#[cfg(test)]` gates the item that follows it no matter how
+    /// many doc comments surround the attribute — doc comments are
+    /// attributes too and may legally interleave. The old line-based
+    /// heuristic broke on exactly this; the item parser reads the
+    /// comment-free token stream, so docs are invisible to attachment.
+    #[test]
+    fn attributes_attach_through_doc_comments(
+        docs_before in 0usize..3,
+        docs_after in 0usize..3,
+        kind in 0usize..3,
+    ) {
+        let (item, keyword) = match kind {
+            0 => ("fn t() { helper(); }", "fn"),
+            1 => ("mod t { pub fn helper() {} }", "mod"),
+            _ => ("impl Thing { fn t(&self) {} }", "impl"),
+        };
+        let mut src = String::new();
+        for _ in 0..docs_before {
+            src.push_str("/// doc line before the gate\n");
+        }
+        src.push_str("#[cfg(test)]\n");
+        for _ in 0..docs_after {
+            src.push_str("/// doc line between gate and item\n");
+        }
+        src.push_str(item);
+        src.push('\n');
+        let tree = SyntaxTree::new(&src);
+        let regions = tree.test_regions();
+        prop_assert_eq!(regions.len(), 1, "item must be gated in:\n{}", src);
+        let keyword_at = src.find(keyword).expect("keyword present");
+        let close_at = src.rfind('}').expect("brace present");
+        let (lo, hi) = regions[0];
+        prop_assert!(lo <= keyword_at, "region starts at the attribute");
+        prop_assert!(hi > close_at, "region covers the whole item body");
+    }
+
+    /// Generated module chains round-trip: every function is found
+    /// with its name, and the item tree mirrors the nesting exactly.
+    #[test]
+    fn module_trees_round_trip(depth in 1usize..4, fns in 1usize..4) {
+        let mut src = String::new();
+        for d in 0..depth {
+            src.push_str(&format!("mod m{d} {{\n"));
+        }
+        for f in 0..fns {
+            src.push_str(&format!("fn f{f}() {{ let x = {f}; }}\n"));
+        }
+        for _ in 0..depth {
+            src.push_str("}\n");
+        }
+        let tree = SyntaxTree::new(&src);
+        let names: Vec<String> = tree.functions().into_iter().map(|f| f.name).collect();
+        for f in 0..fns {
+            prop_assert!(names.contains(&format!("f{f}")), "missing f{} in {:?}", f, names);
+        }
+        let mut level = tree.items();
+        for d in 0..depth {
+            prop_assert_eq!(level.len(), 1, "one module per level");
+            prop_assert_eq!(level[0].kind, ItemKind::Mod);
+            let want = format!("m{d}");
+            prop_assert_eq!(level[0].name.as_deref(), Some(want.as_str()));
+            level = &level[0].children;
+        }
+        prop_assert_eq!(level.len(), fns, "innermost module holds the fns");
+    }
+}
+
+#[test]
+fn impl_methods_are_qualified_and_inherit_gating() {
+    let src = "struct Foo;\n\
+               impl Foo {\n\
+                   pub fn bar(&self) -> u32 { 7 }\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   impl super::Foo {\n\
+                       fn helper(&self) {}\n\
+                   }\n\
+               }\n";
+    let tree = SyntaxTree::new(src);
+    let fns = tree.functions();
+    let bar = fns.iter().find(|f| f.name == "bar").expect("bar parsed");
+    assert_eq!(bar.qualified, "Foo::bar");
+    assert!(bar.in_impl);
+    assert!(!bar.gated, "bar is production code");
+    let helper = fns
+        .iter()
+        .find(|f| f.name == "helper")
+        .expect("helper parsed");
+    assert!(helper.gated, "gating is inherited from the enclosing mod");
+}
+
+#[test]
+fn trait_impls_expose_the_trait_name() {
+    let src = "impl crate::stream::Operator for Passthrough {\n\
+                   fn push(&mut self) {}\n\
+               }\n\
+               impl<'a> Iterator for Cursor<'a> {\n\
+                   fn next(&mut self) -> Option<u8> { None }\n\
+               }\n";
+    let tree = SyntaxTree::new(src);
+    let traits: Vec<_> = tree
+        .items()
+        .iter()
+        .filter_map(|i| i.trait_name.as_deref())
+        .collect();
+    assert_eq!(traits, ["Operator", "Iterator"]);
+}
+
+#[test]
+fn struct_fields_are_listed_in_order() {
+    let src = "pub struct Reorder {\n\
+                   pub watermark_s: f64,\n\
+                   buffer: Vec<u8>,\n\
+                   pub(crate) len: usize,\n\
+               }\n";
+    let tree = SyntaxTree::new(src);
+    assert_eq!(tree.items()[0].fields, ["watermark_s", "buffer", "len"]);
+}

@@ -102,6 +102,7 @@ impl TrialExecutor {
         let workers = (self.threads as u64).min(trials);
         let chunk = trials.div_ceil(workers);
         let mut results = Vec::with_capacity(trials as usize);
+        // audit:allow(thread-spawn-tier, reason = "the trial executor is the one sanctioned parallelism in the sim tier: disjoint index ranges, joined in spawn order, proven bit-identical to the serial loop by the executor identity tests for every thread count")
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {

@@ -494,6 +494,7 @@ impl ShardExecutor {
         let order_of = &order_of;
         let (egress_tx, egress_rx) = mpsc::sync_channel::<EgressMsg<Op::Out>>(CHANNEL_BOUND);
         let mut routed = vec![0u64; shards];
+        // audit:allow(thread-spawn-tier, reason = "the shard executor is the data plane's sanctioned parallelism: EPC-partitioned lanes with a deterministic watermark-aligned merge, proven bit-identical to K=1 by the shard_identity proptest suite")
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(shards);
             for (lane, mut chain) in chains.drain(..).enumerate() {

@@ -5,12 +5,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Stage 1: the in-repo audit gate. Its exit code is the finding count,
-# so any determinism or robustness violation fails CI before a single
-# crate compiles. The allow list is printed so suppressions stay visible
-# in every CI log (each carries a mandatory reason; the audit's own test
-# suite fails on unused ones).
-cargo run -q -p rfid-audit
+# Stage 1: the in-repo audit gate — token lints plus the syntax-aware
+# concurrency and tier-contract passes. Its exit code is the finding
+# count, so any determinism, robustness, or lock-discipline violation
+# fails CI before a single crate compiles; the grep pins the literal
+# zero-findings summary so a suppressed-by-baseline run can never pass
+# silently (CI runs without `--baseline` on purpose). The allow list is
+# printed so suppressions stay visible in every CI log (each carries a
+# mandatory reason; the audit's own test suite fails on unused ones).
+audit_out="$(mktemp)"
+cargo run -q -p rfid-audit | tee "$audit_out"
+grep -q "audit: 0 finding(s)" "$audit_out"
+rm -f "$audit_out"
 cargo run -q -p rfid-audit -- --list-allows
 
 cargo fmt --all --check
