@@ -2,7 +2,7 @@
 //! unmemoized reference and writes the result as JSON.
 //!
 //! ```text
-//! bench_snapshot <out.json> [--smoke]
+//! bench_snapshot <out.json> [--smoke] [--fleet]
 //! ```
 //!
 //! Two cases, chosen to bracket the caching design:
@@ -46,14 +46,34 @@
 //! point-query latency (p50/p99) against the span index, and cold
 //! recovery time (reopen + replay into a fresh tracker), gated on the
 //! replay being bit-identical to the tracker fed live.
+//!
+//! A seventh section, `fleet_campaign`, drives the campaign engine over
+//! a full procedural [`CampaignSpec`] — the `fleet` preset (≥100k
+//! simulated objects) under `--fleet`, `smoke`/`standard` otherwise —
+//! and reports objects/second plus the peak live accumulator bytes (the
+//! bounded-memory proxy: campaign state is O(deployments), never
+//! per-trial). Two correctness gates run before any number is recorded:
+//! the streaming fold must equal a materialized batch fold bit for bit,
+//! and a halted-then-resumed checkpointed run must reach the exact
+//! digest of the uninterrupted run.
+//!
+//! All floats in the JSON go through [`rfid_bench::json_f64`], the
+//! shortest-round-trip formatter, so the document parses back to the
+//! exact measured bits.
 
+use rfid_bench::json_f64;
+use rfid_experiments::campaign::{
+    run_campaign_checkpointed, run_instance, CampaignAccumulator, CampaignRunConfig, CampaignState,
+};
 use rfid_experiments::scenarios::{
     object_pass_scenario, read_range_scenario, BoxFace, ObjectPassConfig,
 };
 use rfid_experiments::Calibration;
 use rfid_gen2::Epc96;
 use rfid_readerapi::TagRecord;
-use rfid_sim::{run_scenario_reference, ReadEvent, Scenario, TrialExecutor};
+use rfid_sim::{
+    run_scenario_reference, CampaignSpec, ReadEvent, Scenario, ScenarioCompiler, TrialExecutor,
+};
 use rfid_site_server::{
     recorded_reads, run_portal, synthetic_world, QueryClient, ServerConfig, SharedIngest,
     SiteServer,
@@ -556,6 +576,124 @@ fn measure_store(smoke: bool) -> Result<StoreMeasurement, String> {
     result
 }
 
+struct FleetMeasurement {
+    spec_name: &'static str,
+    seed: u64,
+    instances: u64,
+    trials: u64,
+    objects: u64,
+    elapsed_s: f64,
+    peak_accumulator_bytes: usize,
+    digest: u64,
+}
+
+impl FleetMeasurement {
+    fn objects_per_sec(&self) -> f64 {
+        self.objects as f64 / self.elapsed_s
+    }
+}
+
+/// Drives the campaign engine over a full procedural spec and reports
+/// objects/second plus the peak live accumulator bytes. Two gates run
+/// before the numbers count:
+///
+/// * **streaming ≡ batch** — the first compiled instance is folded
+///   through the streaming plane and again from materialized outputs;
+///   the accumulators must be bit-identical.
+/// * **kill + resume** — a checkpointed run halted halfway, then
+///   resumed, must reach the exact state digest of the uninterrupted
+///   timed run.
+fn measure_fleet_campaign(smoke: bool, fleet: bool) -> Result<FleetMeasurement, String> {
+    let seed = 0xF1EE7;
+    let (spec_name, spec) = if fleet {
+        ("fleet", CampaignSpec::fleet(seed))
+    } else if smoke {
+        ("smoke", CampaignSpec::smoke(seed))
+    } else {
+        ("standard", CampaignSpec::standard(seed))
+    };
+    let executor = TrialExecutor::new();
+
+    // Gate: the streaming fold equals a materialized batch fold.
+    let first = ScenarioCompiler::new(&spec)
+        .next()
+        .ok_or("the campaign spec compiled no instances")?;
+    let streamed = run_instance(&executor, &first);
+    let outputs = executor.run_scenario_trials(&first.scenario, first.trials, first.base_seed);
+    let mut batch = CampaignAccumulator::new();
+    for output in &outputs {
+        batch.fold_trial(output, first.tags);
+    }
+    if streamed != batch {
+        return Err(format!(
+            "streaming fold diverged from the batch fold on {}",
+            first.label
+        ));
+    }
+    drop(outputs);
+
+    // The timed run: stream every instance into O(deployments) state,
+    // tracking the peak live accumulator footprint as we go.
+    let mut state = CampaignState::new(&spec);
+    let mut peak_accumulator_bytes = state.state_bytes();
+    let start = Instant::now();
+    for instance in ScenarioCompiler::new(&spec) {
+        let acc = run_instance(&executor, &instance);
+        peak_accumulator_bytes =
+            peak_accumulator_bytes.max(state.state_bytes() + acc.state_bytes());
+        state.apply_instance(instance.deployment, &acc);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    peak_accumulator_bytes = peak_accumulator_bytes.max(state.state_bytes());
+
+    // Gate: a run killed at the halfway checkpoint and resumed reaches
+    // the exact digest of the uninterrupted run above.
+    let path = std::env::temp_dir().join(format!("bench-campaign-{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let halt = CampaignRunConfig {
+        halt_after: Some(spec.total_instances() / 2),
+    };
+    let resume = (|| -> Result<_, String> {
+        let halted = run_campaign_checkpointed(&executor, &spec, &path, halt)
+            .map_err(|e| format!("halted run: {e}"))?;
+        if halted.completed {
+            return Err("the halt hook did not interrupt the run".to_owned());
+        }
+        run_campaign_checkpointed(&executor, &spec, &path, CampaignRunConfig::default())
+            .map_err(|e| format!("resumed run: {e}"))
+    })();
+    let _ = std::fs::remove_file(&path);
+    let resumed = resume?;
+    if !resumed.completed || resumed.resumed_from != spec.total_instances() / 2 {
+        return Err(format!(
+            "resume picked up at instance {} of {} and completed={}",
+            resumed.resumed_from,
+            spec.total_instances(),
+            resumed.completed
+        ));
+    }
+    if resumed.state.digest() != state.digest() {
+        return Err("kill+resume digest diverged from the uninterrupted run".to_owned());
+    }
+
+    if fleet && state.total.objects < 100_000 {
+        return Err(format!(
+            "fleet campaign simulated only {} objects (< 100k)",
+            state.total.objects
+        ));
+    }
+    Ok(FleetMeasurement {
+        spec_name,
+        seed,
+        instances: state.instances_done,
+        trials: state.total.trials,
+        objects: state.total.objects,
+        elapsed_s,
+        peak_accumulator_bytes,
+        digest: state.digest(),
+    })
+}
+
 /// Raises the server shutdown flag when dropped, so an error return
 /// from the load scope unwinds the daemon instead of deadlocking.
 struct RaiseOnDrop<'a>(&'a AtomicBool);
@@ -706,13 +844,15 @@ fn measure_site_server(smoke: bool) -> Result<SiteServerMeasurement, String> {
 fn main() -> std::process::ExitCode {
     let mut out_path = None;
     let mut smoke = false;
+    let mut fleet = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--fleet" => fleet = true,
             other if out_path.is_none() => out_path = Some(other.to_string()),
             other => {
                 eprintln!("bench_snapshot: unexpected argument: {other}");
-                eprintln!("usage: bench_snapshot [OUT_PATH] [--smoke]");
+                eprintln!("usage: bench_snapshot [OUT_PATH] [--smoke] [--fleet]");
                 return std::process::ExitCode::FAILURE;
             }
         }
@@ -755,19 +895,26 @@ fn main() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
     };
+    let fleet_campaign = match measure_fleet_campaign(smoke, fleet) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_snapshot: fleet_campaign section failed: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
 
     let mut json =
         String::from("{\n  \"benchmark\": \"memoized hot path vs unmemoized reference\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"trials\": {}, \"memoized_s\": {:.6}, \
-             \"unmemoized_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"trials\": {}, \"memoized_s\": {}, \
+             \"unmemoized_s\": {}, \"speedup\": {}}}{}\n",
             m.name,
             m.trials,
-            m.memoized_s,
-            m.unmemoized_s,
-            m.speedup(),
+            json_f64(m.memoized_s),
+            json_f64(m.unmemoized_s),
+            json_f64(m.speedup()),
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
@@ -775,12 +922,12 @@ fn main() -> std::process::ExitCode {
     for (i, m) in streaming.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"events\": {}, \"outputs\": {}, \
-             \"elapsed_s\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+             \"elapsed_s\": {}, \"events_per_sec\": {}}}{}\n",
             m.name,
             m.events,
             m.outputs,
-            m.elapsed_s,
-            m.events_per_sec(),
+            json_f64(m.elapsed_s),
+            json_f64(m.events_per_sec()),
             if i + 1 < streaming.len() { "," } else { "" },
         ));
     }
@@ -788,47 +935,62 @@ fn main() -> std::process::ExitCode {
     for (i, m) in sharded.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"shards\": {}, \"events\": {}, \"outputs\": {}, \
-             \"elapsed_s\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+             \"elapsed_s\": {}, \"events_per_sec\": {}}}{}\n",
             m.shards,
             m.events,
             m.outputs,
-            m.elapsed_s,
-            m.events_per_sec(),
+            json_f64(m.elapsed_s),
+            json_f64(m.events_per_sec()),
             if i + 1 < sharded.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"site_server\": {{\"portals\": {}, \"tags\": {}, \"events\": {}, \
-         \"ingest_s\": {:.6}, \"events_per_sec\": {:.0}, \"queries\": {}, \
-         \"query_p50_ms\": {:.3}, \"query_p99_ms\": {:.3}, \
-         \"ingest_batched_events_per_sec\": {:.0}, \
-         \"ingest_per_record_events_per_sec\": {:.0}, \
-         \"ingest_batch_speedup\": {:.3}}},\n",
+         \"ingest_s\": {}, \"events_per_sec\": {}, \"queries\": {}, \
+         \"query_p50_ms\": {}, \"query_p99_ms\": {}, \
+         \"ingest_batched_events_per_sec\": {}, \
+         \"ingest_per_record_events_per_sec\": {}, \
+         \"ingest_batch_speedup\": {}}},\n",
         site_server.portals,
         site_server.tags,
         site_server.events,
-        site_server.ingest_s,
-        site_server.events_per_sec(),
+        json_f64(site_server.ingest_s),
+        json_f64(site_server.events_per_sec()),
         site_server.queries,
-        site_server.query_p50_ms,
-        site_server.query_p99_ms,
-        ingest_batching.batched_events_per_sec(),
-        ingest_batching.per_record_events_per_sec(),
-        ingest_batching.per_record_s / ingest_batching.batched_s,
+        json_f64(site_server.query_p50_ms),
+        json_f64(site_server.query_p99_ms),
+        json_f64(ingest_batching.batched_events_per_sec()),
+        json_f64(ingest_batching.per_record_events_per_sec()),
+        json_f64(ingest_batching.per_record_s / ingest_batching.batched_s),
     ));
     json.push_str(&format!(
-        "  \"store\": {{\"records\": {}, \"append_s\": {:.6}, \
-         \"append_events_per_sec\": {:.0}, \"queries\": {}, \
-         \"location_at_p50_ms\": {:.4}, \"location_at_p99_ms\": {:.4}, \
-         \"recovery_s\": {:.6}}}\n",
+        "  \"store\": {{\"records\": {}, \"append_s\": {}, \
+         \"append_events_per_sec\": {}, \"queries\": {}, \
+         \"location_at_p50_ms\": {}, \"location_at_p99_ms\": {}, \
+         \"recovery_s\": {}}},\n",
         store.records,
-        store.append_s,
-        store.append_events_per_sec(),
+        json_f64(store.append_s),
+        json_f64(store.append_events_per_sec()),
         store.queries,
-        store.location_at_p50_ms,
-        store.location_at_p99_ms,
-        store.recovery_s,
+        json_f64(store.location_at_p50_ms),
+        json_f64(store.location_at_p99_ms),
+        json_f64(store.recovery_s),
+    ));
+    json.push_str(&format!(
+        "  \"fleet_campaign\": {{\"spec\": \"{}\", \"seed\": {}, \"instances\": {}, \
+         \"trials\": {}, \"objects\": {}, \"elapsed_s\": {}, \"objects_per_sec\": {}, \
+         \"peak_accumulator_bytes\": {}, \"streaming_matches_batch\": true, \
+         \"resume_digest_matches\": true, \"state_digest\": \"{:#018x}\"}}\n",
+        fleet_campaign.spec_name,
+        fleet_campaign.seed,
+        fleet_campaign.instances,
+        fleet_campaign.trials,
+        fleet_campaign.objects,
+        json_f64(fleet_campaign.elapsed_s),
+        json_f64(fleet_campaign.objects_per_sec()),
+        fleet_campaign.peak_accumulator_bytes,
+        fleet_campaign.digest,
     ));
     json.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -896,6 +1058,18 @@ fn main() -> std::process::ExitCode {
         store.location_at_p50_ms,
         store.location_at_p99_ms,
         store.recovery_s,
+    );
+    println!(
+        "fleet_campaign [{}]: {} instances, {} trials, {} objects in {:.3} s \
+         ({:.0} objects/s), peak accumulator bytes {}, digest {:#018x}",
+        fleet_campaign.spec_name,
+        fleet_campaign.instances,
+        fleet_campaign.trials,
+        fleet_campaign.objects,
+        fleet_campaign.elapsed_s,
+        fleet_campaign.objects_per_sec(),
+        fleet_campaign.peak_accumulator_bytes,
+        fleet_campaign.digest,
     );
     println!("wrote {out_path}");
     std::process::ExitCode::SUCCESS

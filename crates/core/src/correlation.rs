@@ -91,6 +91,15 @@ impl JointOutcomes {
         }
     }
 
+    /// Merges another contingency table in (cell-wise addition, exactly
+    /// associative — safe inside block-merged trial folds).
+    pub fn merge(&mut self, other: &JointOutcomes) {
+        self.both += other.both;
+        self.first_only += other.first_only;
+        self.second_only += other.second_only;
+        self.neither += other.neither;
+    }
+
     /// Total trials.
     #[must_use]
     pub fn trials(&self) -> u64 {

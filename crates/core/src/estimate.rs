@@ -53,7 +53,9 @@ impl ReliabilityEstimate {
 
     /// [`ReliabilityEstimate::from_trials`] fanned across the executor's
     /// threads. Trial `i` still receives seed `i`, so the estimate is
-    /// identical to the serial path for any thread count.
+    /// identical to the serial path for any thread count — and the count
+    /// is folded block-wise, so memory stays O(1) in `trials` instead of
+    /// materializing a per-trial vector.
     ///
     /// # Panics
     ///
@@ -63,10 +65,12 @@ impl ReliabilityEstimate {
         F: Fn(u64) -> bool + Sync,
     {
         assert!(trials > 0, "at least one trial is required");
-        let successes = executor
-            .run_trials(trials, |i| u64::from(f(i)))
-            .into_iter()
-            .sum();
+        let successes = executor.run_fold(
+            trials,
+            || 0u64,
+            |acc, i| acc + u64::from(f(i)),
+            |a, b| a + b,
+        );
         Self { successes, trials }
     }
 

@@ -8,7 +8,8 @@ use rfid_experiments::scenarios::{
     BoxFace, HumanPassConfig, ObjectPassConfig, OrientationCase,
 };
 use rfid_experiments::Calibration;
-use rfid_sim::{run_scenario, run_single_round};
+use rfid_sim::{run_scenario, TrialExecutor};
+use rfid_stats::StreamSummary;
 
 fn main() {
     let cal = Calibration::default();
@@ -24,10 +25,24 @@ fn main() {
         println!("== fig2: tags read of 20 vs distance (paper: 20 @1m, declining 2-9m)");
         for d in 1..=9 {
             let scenario = read_range_scenario(&cal, d as f64);
-            let total: usize = (0..trials)
-                .map(|s| run_single_round(&scenario, 0, 0, 0.0, s).reads.len())
-                .sum();
-            println!("  {d} m: {:.1}/20", total as f64 / trials as f64);
+            let reads = TrialExecutor::new().run_round_fold(
+                &scenario,
+                0,
+                0,
+                0.0,
+                trials,
+                0,
+                StreamSummary::new,
+                |mut acc, log| {
+                    acc.push(log.reads.len() as f64);
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            );
+            println!("  {d} m: {:.1}/20", reads.mean());
         }
     }
 
@@ -39,10 +54,21 @@ fn main() {
             print!("  case {:40}", case.label());
             for mm in [0.3, 4.0, 10.0, 20.0, 40.0] {
                 let scenario = spacing_scenario(&cal, mm / 1000.0, case);
-                let total: usize = (0..trials)
-                    .map(|s| run_scenario(&scenario, s).tags_read().len())
-                    .sum();
-                print!(" {:4.1}", total as f64 / trials as f64);
+                let reads = TrialExecutor::new().run_scenario_fold(
+                    &scenario,
+                    trials,
+                    0,
+                    StreamSummary::new,
+                    |mut acc, output| {
+                        acc.push(output.tags_read().len() as f64);
+                        acc
+                    },
+                    |mut a, b| {
+                        a.merge(&b);
+                        a
+                    },
+                );
+                print!(" {:4.1}", reads.mean());
             }
             println!();
         }

@@ -1,0 +1,332 @@
+//! Fleet-scale campaign execution over the streaming statistics plane.
+//!
+//! A campaign folds every trial of every compiled instance into
+//! fixed-size [`CampaignAccumulator`]s — no per-trial vectors anywhere —
+//! so memory stays bounded no matter how many objects the fleet
+//! simulates. All folding goes through
+//! [`TrialExecutor::run_scenario_fold`], so results are bit-identical
+//! for any thread count, and the accumulators' canonical encoding makes
+//! "same bits" checkable with a single digest.
+
+pub mod checkpoint;
+
+use rfid_sim::{
+    digest_bytes, CampaignSpec, CompiledInstance, ScenarioCompiler, SimOutput, TrialExecutor,
+};
+use rfid_stats::{StatsError, StreamSummary};
+
+pub use checkpoint::{
+    run_campaign_checkpointed, CampaignRunConfig, CampaignRunReport, CheckpointError,
+};
+
+/// Streaming per-deployment (or whole-campaign) metrics.
+///
+/// Everything here is O(1) in the number of trials: counters plus
+/// [`StreamSummary`] accumulators whose merges are exactly associative,
+/// so partial campaigns folded in any grouping produce the same bits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignAccumulator {
+    /// Trials folded in.
+    pub trials: u64,
+    /// Simulated objects: tags in the world, summed over trials.
+    pub objects: u64,
+    /// Tags detected at least once, summed over trials.
+    pub detected: u64,
+    /// Per-trial detection fraction (tags read / tags present).
+    pub detection: StreamSummary,
+    /// Per-trial mean reads per present tag.
+    pub reads_per_tag: StreamSummary,
+    /// Per-trial inventory-round count across all readers.
+    pub rounds: StreamSummary,
+}
+
+impl CampaignAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one trial's simulation output in. `tags` is the number of
+    /// tags in the compiled world.
+    pub fn fold_trial(&mut self, output: &SimOutput, tags: u64) {
+        self.trials += 1;
+        self.objects += tags;
+        let read = output.tags_read().len() as u64;
+        self.detected += read;
+        if tags > 0 {
+            self.detection.push(read as f64 / tags as f64);
+            self.reads_per_tag
+                .push(output.reads.len() as f64 / tags as f64);
+        }
+        self.rounds.push(output.rounds.len() as f64);
+    }
+
+    /// Merges another accumulator in. Exactly associative and
+    /// commutative in the multiset of folded trials.
+    pub fn merge(&mut self, other: &CampaignAccumulator) {
+        self.trials += other.trials;
+        self.objects += other.objects;
+        self.detected += other.detected;
+        self.detection.merge(&other.detection);
+        self.reads_per_tag.merge(&other.reads_per_tag);
+        self.rounds.merge(&other.rounds);
+    }
+
+    /// Appends the canonical little-endian encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trials.to_le_bytes());
+        out.extend_from_slice(&self.objects.to_le_bytes());
+        out.extend_from_slice(&self.detected.to_le_bytes());
+        self.detection.encode(out);
+        self.reads_per_tag.encode(out);
+        self.rounds.encode(out);
+    }
+
+    /// Decodes an accumulator from `buf` starting at `*cur`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadEncoding`] on malformed input.
+    pub fn decode(buf: &[u8], cur: &mut usize) -> Result<Self, StatsError> {
+        let mut word = |n: usize| -> Result<u64, StatsError> {
+            let end = cur
+                .checked_add(n)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| StatsError::BadEncoding {
+                    reason: "campaign accumulator truncated".to_owned(),
+                })?;
+            let mut raw = [0u8; 8];
+            raw[..n].copy_from_slice(&buf[*cur..end]);
+            *cur = end;
+            Ok(u64::from_le_bytes(raw))
+        };
+        let trials = word(8)?;
+        let objects = word(8)?;
+        let detected = word(8)?;
+        Ok(Self {
+            trials,
+            objects,
+            detected,
+            detection: StreamSummary::decode(buf, cur)?,
+            reads_per_tag: StreamSummary::decode(buf, cur)?,
+            rounds: StreamSummary::decode(buf, cur)?,
+        })
+    }
+
+    /// Bytes of live accumulator state (the fleet bench's bounded-memory
+    /// proxy).
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        3 * 8
+            + self.detection.state_bytes()
+            + self.reads_per_tag.state_bytes()
+            + self.rounds.state_bytes()
+    }
+}
+
+/// Full campaign progress: what a checkpoint persists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    /// Digest of the spec this state belongs to; resume refuses a
+    /// mismatch.
+    pub spec_digest: u64,
+    /// Instances completed, in the global compilation order.
+    pub instances_done: u64,
+    /// One accumulator per deployment in the spec.
+    pub per_deployment: Vec<CampaignAccumulator>,
+    /// Everything folded together.
+    pub total: CampaignAccumulator,
+}
+
+impl CampaignState {
+    /// Fresh state for `spec`.
+    #[must_use]
+    pub fn new(spec: &CampaignSpec) -> Self {
+        Self {
+            spec_digest: spec.digest(),
+            instances_done: 0,
+            per_deployment: vec![CampaignAccumulator::new(); spec.deployments.len()],
+            total: CampaignAccumulator::new(),
+        }
+    }
+
+    /// Folds one completed instance's accumulator in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployment` is out of range for the spec this state
+    /// was created from.
+    pub fn apply_instance(&mut self, deployment: usize, acc: &CampaignAccumulator) {
+        self.per_deployment[deployment].merge(acc);
+        self.total.merge(acc);
+        self.instances_done += 1;
+    }
+
+    /// Canonical little-endian encoding.
+    #[must_use]
+    pub fn encode_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.spec_digest.to_le_bytes());
+        out.extend_from_slice(&self.instances_done.to_le_bytes());
+        out.extend_from_slice(&(self.per_deployment.len() as u32).to_le_bytes());
+        for acc in &self.per_deployment {
+            acc.encode(&mut out);
+        }
+        self.total.encode(&mut out);
+        out
+    }
+
+    /// Decodes a state from the canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadEncoding`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self, StatsError> {
+        let bad = |reason: &str| StatsError::BadEncoding {
+            reason: reason.to_owned(),
+        };
+        let mut cur = 0usize;
+        let word = |n: usize, cur: &mut usize| -> Result<u64, StatsError> {
+            let end = cur
+                .checked_add(n)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| bad("campaign state truncated"))?;
+            let mut raw = [0u8; 8];
+            raw[..n].copy_from_slice(&buf[*cur..end]);
+            *cur = end;
+            Ok(u64::from_le_bytes(raw))
+        };
+        let spec_digest = word(8, &mut cur)?;
+        let instances_done = word(8, &mut cur)?;
+        let deployments = word(4, &mut cur)? as usize;
+        if deployments > 1 << 20 {
+            return Err(bad("implausible deployment count"));
+        }
+        let mut per_deployment = Vec::with_capacity(deployments);
+        for _ in 0..deployments {
+            per_deployment.push(CampaignAccumulator::decode(buf, &mut cur)?);
+        }
+        let total = CampaignAccumulator::decode(buf, &mut cur)?;
+        if cur != buf.len() {
+            return Err(bad("trailing bytes after campaign state"));
+        }
+        Ok(Self {
+            spec_digest,
+            instances_done,
+            per_deployment,
+            total,
+        })
+    }
+
+    /// A digest of the canonical encoding: two campaign runs reached the
+    /// same state iff their digests match.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        digest_bytes(&self.encode_vec())
+    }
+
+    /// Live accumulator bytes across the whole state.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        let mut bytes = 2 * 8 + 4 + self.total.state_bytes();
+        for acc in &self.per_deployment {
+            bytes += acc.state_bytes();
+        }
+        bytes
+    }
+}
+
+/// Runs one compiled instance's trials through the fold plane.
+///
+/// Bit-identical for any thread count: the fold goes through
+/// [`TrialExecutor::run_scenario_fold`], whose fixed-block merge
+/// discipline does not depend on parallelism.
+#[must_use]
+pub fn run_instance(executor: &TrialExecutor, instance: &CompiledInstance) -> CampaignAccumulator {
+    let tags = instance.tags;
+    executor.run_scenario_fold(
+        &instance.scenario,
+        instance.trials,
+        instance.base_seed,
+        CampaignAccumulator::new,
+        |mut acc, output| {
+            acc.fold_trial(&output, tags);
+            acc
+        },
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    )
+}
+
+/// Runs a whole campaign start to finish, no checkpointing.
+#[must_use]
+pub fn run_campaign(executor: &TrialExecutor, spec: &CampaignSpec) -> CampaignState {
+    let mut state = CampaignState::new(spec);
+    for instance in ScenarioCompiler::new(spec) {
+        let acc = run_instance(executor, &instance);
+        state.apply_instance(instance.deployment, &acc);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_roundtrips_through_codec() {
+        let spec = CampaignSpec::smoke(21);
+        let executor = TrialExecutor::with_threads(1);
+        let state = run_campaign(&executor, &spec);
+        assert_eq!(state.instances_done, spec.total_instances());
+        assert!(state.total.trials > 0);
+        assert!(state.total.objects > 0);
+
+        let bytes = state.encode_vec();
+        let back = CampaignState::decode(&bytes).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.digest(), state.digest());
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let spec = CampaignSpec::smoke(22);
+        let serial = run_campaign(&TrialExecutor::with_threads(1), &spec);
+        let parallel = run_campaign(&TrialExecutor::with_threads(4), &spec);
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn streaming_fold_matches_batch_collection() {
+        let spec = CampaignSpec::smoke(23);
+        let executor = TrialExecutor::with_threads(2);
+        for instance in ScenarioCompiler::new(&spec) {
+            let streamed = run_instance(&executor, &instance);
+            // Batch path: materialize every output, fold serially.
+            let outputs = executor.run_scenario_trials(
+                &instance.scenario,
+                instance.trials,
+                instance.base_seed,
+            );
+            let mut batch = CampaignAccumulator::new();
+            for output in &outputs {
+                batch.fold_trial(output, instance.tags);
+            }
+            assert_eq!(streamed, batch, "{}", instance.label);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let spec = CampaignSpec::smoke(24);
+        let state = CampaignState::new(&spec);
+        let mut bytes = state.encode_vec();
+        assert!(CampaignState::decode(&bytes[..bytes.len() - 1]).is_err());
+        bytes.push(0);
+        assert!(CampaignState::decode(&bytes).is_err(), "trailing byte");
+    }
+}

@@ -12,7 +12,7 @@ use crate::scenarios::{object_pass_scenario, BoxFace, ObjectPassConfig, BOX_COUN
 use crate::Calibration;
 use rfid_core::tracking_outcome;
 use rfid_phys::Mounting;
-use rfid_sim::{run_scenario, Scenario};
+use rfid_sim::{Scenario, TrialExecutor};
 use rfid_stats::{Align, Table};
 
 /// The ablatable mechanisms.
@@ -133,14 +133,19 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> AblationResult {
                 let (mut scenario, box_tags) =
                     object_pass_scenario(cal, &ObjectPassConfig::single(face));
                 mechanism.apply(&mut scenario);
-                let mut hits = 0u64;
-                for i in 0..trials {
-                    let output = run_scenario(&scenario, seed.wrapping_add(i));
-                    hits += box_tags
-                        .iter()
-                        .filter(|tags| tracking_outcome(&output, tags))
-                        .count() as u64;
-                }
+                let hits = TrialExecutor::new().run_scenario_fold(
+                    &scenario,
+                    trials,
+                    seed,
+                    || 0u64,
+                    |acc, output| {
+                        acc + box_tags
+                            .iter()
+                            .filter(|tags| tracking_outcome(&output, tags))
+                            .count() as u64
+                    },
+                    |a, b| a + b,
+                );
                 values[fi] = hits as f64 / (trials * BOX_COUNT as u64) as f64;
             }
             (mechanism, values)

@@ -4,7 +4,7 @@ use crate::report::paper_vs_measured;
 use crate::scenarios::read_range_scenario;
 use crate::Calibration;
 use rfid_sim::TrialExecutor;
-use rfid_stats::Summary;
+use rfid_stats::StreamSummary;
 
 /// Distances the paper sweeps, meters.
 pub const DISTANCES_M: [f64; 9] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
@@ -14,8 +14,8 @@ pub const DISTANCES_M: [f64; 9] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
 pub struct Fig2Row {
     /// Tag-antenna distance.
     pub distance_m: f64,
-    /// Summary of tags read (out of 20) across trials.
-    pub tags_read: Summary,
+    /// Streaming summary of tags read (out of 20) across trials.
+    pub tags_read: StreamSummary,
 }
 
 /// The full Figure 2 sweep.
@@ -63,14 +63,26 @@ pub fn run_with(cal: &Calibration, trials: u64, seed: u64, executor: &TrialExecu
         .iter()
         .map(|&distance_m| {
             let scenario = read_range_scenario(cal, distance_m);
-            let counts: Vec<f64> = executor
-                .run_round_trials(&scenario, 0, 0, 0.0, trials, seed)
-                .iter()
-                .map(|log| log.reads.len() as f64)
-                .collect();
+            let tags_read = executor.run_round_fold(
+                &scenario,
+                0,
+                0,
+                0.0,
+                trials,
+                seed,
+                StreamSummary::new,
+                |mut acc, log| {
+                    acc.push(log.reads.len() as f64);
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            );
             Fig2Row {
                 distance_m,
-                tags_read: Summary::from_samples(&counts),
+                tags_read,
             }
         })
         .collect();
@@ -84,7 +96,10 @@ pub fn render(result: &Fig2Result) -> String {
         .rows
         .iter()
         .map(|row| {
-            let q = row.tags_read.quartiles();
+            let q = row
+                .tags_read
+                .quartiles()
+                .expect("each row folded at least one NaN-free trial");
             (
                 format!("{:.0} m", row.distance_m),
                 paper_reference(row.distance_m),

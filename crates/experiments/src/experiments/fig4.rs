@@ -3,7 +3,7 @@
 use crate::scenarios::{spacing_scenario, OrientationCase, TAG_COUNT};
 use crate::Calibration;
 use rfid_sim::{run_scenario_with, ScenarioCache, TrialExecutor};
-use rfid_stats::{Align, Summary, Table};
+use rfid_stats::{Align, StreamSummary, Table};
 
 /// Spacings the paper sweeps, meters.
 pub const SPACINGS_M: [f64; 5] = [0.0003, 0.004, 0.010, 0.020, 0.040];
@@ -15,8 +15,8 @@ pub struct Fig4Cell {
     pub orientation: OrientationCase,
     /// Inter-tag spacing in meters.
     pub spacing_m: f64,
-    /// Summary of tags read (out of 10) across trials.
-    pub tags_read: Summary,
+    /// Streaming summary of tags read (out of 10) across trials.
+    pub tags_read: StreamSummary,
 }
 
 /// The full orientation-by-spacing grid.
@@ -88,19 +88,30 @@ pub fn run_with(cal: &Calibration, trials: u64, seed: u64, executor: &TrialExecu
         for (si, &spacing_m) in SPACINGS_M.iter().enumerate() {
             let scenario = spacing_scenario(cal, spacing_m, orientation);
             let cache = ScenarioCache::new(&scenario);
-            let counts: Vec<f64> = executor.run_trials(trials, |i| {
-                let trial_seed = seed
-                    .wrapping_add(i)
-                    .wrapping_add((oi as u64) << 32)
-                    .wrapping_add((si as u64) << 40);
-                run_scenario_with(&scenario, &cache, trial_seed)
-                    .tags_read()
-                    .len() as f64
-            });
+            let tags_read = executor.run_fold(
+                trials,
+                StreamSummary::new,
+                |mut acc, i| {
+                    let trial_seed = seed
+                        .wrapping_add(i)
+                        .wrapping_add((oi as u64) << 32)
+                        .wrapping_add((si as u64) << 40);
+                    acc.push(
+                        run_scenario_with(&scenario, &cache, trial_seed)
+                            .tags_read()
+                            .len() as f64,
+                    );
+                    acc
+                },
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            );
             cells.push(Fig4Cell {
                 orientation,
                 spacing_m,
-                tags_read: Summary::from_samples(&counts),
+                tags_read,
             });
         }
     }

@@ -132,16 +132,19 @@ pub fn run_with(
         .iter()
         .map(|&power_dbm| {
             let scenario = portal_with_bystander(cal, power_dbm);
-            let mut legitimate_hits = 0u64;
-            let mut bystander_hits = 0u64;
-            for output in executor.run_scenario_trials(&scenario, trials, seed) {
-                if output.tag_was_read(0) {
-                    legitimate_hits += 1;
-                }
-                if output.tag_was_read(1) {
-                    bystander_hits += 1;
-                }
-            }
+            let (legitimate_hits, bystander_hits) = executor.run_scenario_fold(
+                &scenario,
+                trials,
+                seed,
+                || (0u64, 0u64),
+                |(legit, bystander), output| {
+                    (
+                        legit + u64::from(output.tag_was_read(0)),
+                        bystander + u64::from(output.tag_was_read(1)),
+                    )
+                },
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            );
             PowerRow {
                 power_dbm,
                 in_zone_reliability: legitimate_hits as f64 / trials as f64,

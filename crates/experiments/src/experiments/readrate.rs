@@ -6,7 +6,8 @@ use crate::scenarios::{antenna_poses, orient_tag};
 use crate::Calibration;
 use rfid_geom::{Pose, Vec3};
 use rfid_phys::Mounting;
-use rfid_sim::{run_single_round, Attachment, Motion, Scenario, ScenarioBuilder, SimTag};
+use rfid_sim::{Attachment, Motion, Scenario, ScenarioBuilder, SimTag, TrialExecutor};
+use rfid_stats::StreamSummary;
 
 /// Population sizes swept.
 pub const POPULATIONS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -93,27 +94,44 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> ReadRateResult {
         .iter()
         .map(|&population| {
             let scenario = population_scenario(cal, population);
-            let mut read = 0.0;
-            let mut duration = 0.0;
-            let mut collisions = 0.0;
-            for i in 0..trials {
-                let log = run_single_round(&scenario, 0, 0, 0.0, seed.wrapping_add(i));
-                read += log.reads.len() as f64;
-                duration += log.duration_s;
-                collisions += f64::from(log.collisions);
-            }
-            let n = trials as f64;
-            let mean_read = read / n;
+            let (read, duration, collisions) = TrialExecutor::new().run_round_fold(
+                &scenario,
+                0,
+                0,
+                0.0,
+                trials,
+                seed,
+                || {
+                    (
+                        StreamSummary::new(),
+                        StreamSummary::new(),
+                        StreamSummary::new(),
+                    )
+                },
+                |(mut read, mut duration, mut collisions), log| {
+                    read.push(log.reads.len() as f64);
+                    duration.push(log.duration_s);
+                    collisions.push(f64::from(log.collisions));
+                    (read, duration, collisions)
+                },
+                |(mut ra, mut da, mut ca), (rb, db, cb)| {
+                    ra.merge(&rb);
+                    da.merge(&db);
+                    ca.merge(&cb);
+                    (ra, da, ca)
+                },
+            );
+            let mean_read = read.mean();
             ReadRateRow {
                 population,
                 read: mean_read,
-                round_s: duration / n,
+                round_s: duration.mean(),
                 per_tag_s: if mean_read > 0.0 {
-                    duration / n / mean_read
+                    duration.mean() / mean_read
                 } else {
                     f64::INFINITY
                 },
-                collisions: collisions / n,
+                collisions: collisions.mean(),
             }
         })
         .collect();

@@ -104,11 +104,14 @@ pub fn run_with(
             };
             let (scenario, box_tags) = object_pass_scenario(&tuned, &config);
             let tag_count: u64 = box_tags.iter().map(|tags| tags.len() as u64).sum();
-            let hits: u64 = executor
-                .run_scenario_trials(&scenario, trials, seed)
-                .iter()
-                .map(|output| output.tags_read().len() as u64)
-                .sum();
+            let hits: u64 = executor.run_scenario_fold(
+                &scenario,
+                trials,
+                seed,
+                || 0u64,
+                |acc, output| acc + output.tags_read().len() as u64,
+                |a, b| a + b,
+            );
             SpeedRow {
                 speed_mps,
                 dwell_s: 2.0 / speed_mps,

@@ -83,16 +83,19 @@ pub fn run_with(
         .iter()
         .map(|&face| {
             let (scenario, box_tags) = object_pass_scenario(cal, &ObjectPassConfig::single(face));
-            let hits: u64 = executor
-                .run_scenario_trials(&scenario, trials, seed)
-                .iter()
-                .map(|output| {
-                    box_tags
+            let hits: u64 = executor.run_scenario_fold(
+                &scenario,
+                trials,
+                seed,
+                || 0u64,
+                |acc, output| {
+                    acc + box_tags
                         .iter()
-                        .filter(|tags| tracking_outcome(output, tags))
+                        .filter(|tags| tracking_outcome(&output, tags))
                         .count() as u64
-                })
-                .sum();
+                },
+                |a, b| a + b,
+            );
             let estimate = ReliabilityEstimate::from_counts(hits, trials * BOX_COUNT as u64)
                 .expect("hits cannot exceed trials x boxes");
             (face, estimate)

@@ -4,7 +4,7 @@ use crate::report::{paper_vs_measured, percent};
 use crate::scenarios::{human_pass_scenario, BadgeSpot, HumanPassConfig};
 use crate::Calibration;
 use rfid_core::{tracking_outcome, ReliabilityEstimate};
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 
 /// Table 2 results.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,14 +66,21 @@ impl Table2Result {
 #[must_use]
 pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Table2Result {
     assert!(trials > 0, "at least one trial is required");
+    let executor = TrialExecutor::new();
     let one_subject = BadgeSpot::ALL
         .iter()
         .map(|&spot| {
             let (scenario, subject_tags) = human_pass_scenario(cal, &HumanPassConfig::single(spot));
-            let estimate = ReliabilityEstimate::from_trials(trials, |i| {
-                let output = run_scenario(&scenario, seed.wrapping_add(i));
-                tracking_outcome(&output, &subject_tags[0])
-            });
+            let hits = executor.run_scenario_fold(
+                &scenario,
+                trials,
+                seed,
+                || 0u64,
+                |acc, output| acc + u64::from(tracking_outcome(&output, &subject_tags[0])),
+                |a, b| a + b,
+            );
+            let estimate =
+                ReliabilityEstimate::from_counts(hits, trials).expect("hits bounded by trials");
             (spot, estimate)
         })
         .collect();
@@ -87,17 +94,19 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Table2Result {
                 antennas: 1,
             };
             let (scenario, subject_tags) = human_pass_scenario(cal, &config);
-            let mut closer_hits = 0u64;
-            let mut farther_hits = 0u64;
-            for i in 0..trials {
-                let output = run_scenario(&scenario, seed.wrapping_add(0x2000 + i));
-                if tracking_outcome(&output, &subject_tags[0]) {
-                    closer_hits += 1;
-                }
-                if tracking_outcome(&output, &subject_tags[1]) {
-                    farther_hits += 1;
-                }
-            }
+            let (closer_hits, farther_hits) = executor.run_scenario_fold(
+                &scenario,
+                trials,
+                seed.wrapping_add(0x2000),
+                || (0u64, 0u64),
+                |(closer, farther), output| {
+                    (
+                        closer + u64::from(tracking_outcome(&output, &subject_tags[0])),
+                        farther + u64::from(tracking_outcome(&output, &subject_tags[1])),
+                    )
+                },
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            );
             (
                 spot,
                 ReliabilityEstimate::from_counts(closer_hits, trials)

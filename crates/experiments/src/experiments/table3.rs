@@ -13,7 +13,7 @@ use rfid_core::{
     combined_reliability, tracking_outcome, CommonCauseModel, JointOutcomes, ModelComparison,
     Probability, ReliabilityEstimate,
 };
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 use rfid_stats::BarChart;
 
 /// Table 3 results.
@@ -72,14 +72,19 @@ fn measure(
     seed: u64,
 ) -> ReliabilityEstimate {
     let (scenario, box_tags) = object_pass_scenario(cal, config);
-    let mut hits = 0u64;
-    for i in 0..trials {
-        let output = run_scenario(&scenario, seed.wrapping_add(i));
-        hits += box_tags
-            .iter()
-            .filter(|tags| tracking_outcome(&output, tags))
-            .count() as u64;
-    }
+    let hits = TrialExecutor::new().run_scenario_fold(
+        &scenario,
+        trials,
+        seed,
+        || 0u64,
+        |acc, output| {
+            acc + box_tags
+                .iter()
+                .filter(|tags| tracking_outcome(&output, tags))
+                .count() as u64
+        },
+        |a, b| a + b,
+    );
     ReliabilityEstimate::from_counts(hits, trials * BOX_COUNT as u64)
         .expect("hits bounded by trials x boxes")
 }
@@ -129,21 +134,30 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> Table3Result {
     );
     // Re-run the same configuration collecting per-antenna outcomes to
     // quantify the correlation the paper observed qualitatively.
-    let mut antenna_joint = JointOutcomes::default();
-    {
+    let antenna_joint = {
         let config = two_antenna_config(vec![BoxFace::Front]);
         let (scenario, box_tags) = object_pass_scenario(cal, &config);
-        for i in 0..trials {
-            let output = run_scenario(&scenario, seed.wrapping_add(0x30).wrapping_add(i));
-            for tags in &box_tags {
-                let tag = tags[0];
-                antenna_joint.record(
-                    output.tag_was_read_by(tag, 0, 0),
-                    output.tag_was_read_by(tag, 0, 1),
-                );
-            }
-        }
-    }
+        TrialExecutor::new().run_scenario_fold(
+            &scenario,
+            trials,
+            seed.wrapping_add(0x30),
+            JointOutcomes::default,
+            |mut joint, output| {
+                for tags in &box_tags {
+                    let tag = tags[0];
+                    joint.record(
+                        output.tag_was_read_by(tag, 0, 0),
+                        output.tag_was_read_by(tag, 0, 1),
+                    );
+                }
+                joint
+            },
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        )
+    };
     let fitted = antenna_joint.fit_common_cause();
     let two_ant_side = measure(
         cal,

@@ -12,7 +12,7 @@ use crate::Calibration;
 use rfid_core::{
     combined_reliability, tracking_outcome, ModelComparison, Probability, ReliabilityEstimate,
 };
-use rfid_sim::run_scenario;
+use rfid_sim::TrialExecutor;
 
 /// The tag sets the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,15 +199,26 @@ fn measure(
         antennas,
     };
     let (scenario, subject_tags) = human_pass_scenario(cal, &config);
-    let mut hits = vec![0u64; subjects];
-    for i in 0..trials {
-        let output = run_scenario(&scenario, seed.wrapping_add(i));
-        for (subject, tags) in subject_tags.iter().enumerate() {
-            if tracking_outcome(&output, tags) {
-                hits[subject] += 1;
+    let hits = TrialExecutor::new().run_scenario_fold(
+        &scenario,
+        trials,
+        seed,
+        || vec![0u64; subjects],
+        |mut hits, output| {
+            for (subject, tags) in subject_tags.iter().enumerate() {
+                if tracking_outcome(&output, tags) {
+                    hits[subject] += 1;
+                }
             }
-        }
-    }
+            hits
+        },
+        |mut a, b| {
+            for (slot, add) in a.iter_mut().zip(&b) {
+                *slot += add;
+            }
+            a
+        },
+    );
     hits.into_iter()
         .map(|h| ReliabilityEstimate::from_counts(h, trials).expect("bounded"))
         .collect()

@@ -16,7 +16,7 @@ use crate::scenarios::{
 };
 use crate::Calibration;
 use rfid_phys::TagChip;
-use rfid_sim::{run_scenario, run_single_round};
+use rfid_sim::TrialExecutor;
 
 /// The tag builds under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,13 +109,14 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> TagDesignResult {
         .map(|&build| {
             let scenario =
                 spacing_scenario_with_chip(cal, 0.040, OrientationCase::Case1, build.chip(cal));
-            let total: usize = (0..trials)
-                .map(|i| {
-                    run_scenario(&scenario, seed.wrapping_add(i))
-                        .tags_read()
-                        .len()
-                })
-                .sum();
+            let total = TrialExecutor::new().run_scenario_fold(
+                &scenario,
+                trials,
+                seed,
+                || 0u64,
+                |acc, output| acc + output.tags_read().len() as u64,
+                |a, b| a + b,
+            );
             (build, total as f64 / trials as f64)
         })
         .collect();
@@ -123,13 +124,17 @@ pub fn run(cal: &Calibration, trials: u64, seed: u64) -> TagDesignResult {
         .iter()
         .map(|&build| {
             let scenario = read_range_scenario_with_chip(cal, 6.0, build.chip(cal));
-            let total: usize = (0..trials)
-                .map(|i| {
-                    run_single_round(&scenario, 0, 0, 0.0, seed.wrapping_add(0x40 + i))
-                        .reads
-                        .len()
-                })
-                .sum();
+            let total = TrialExecutor::new().run_round_fold(
+                &scenario,
+                0,
+                0,
+                0.0,
+                trials,
+                seed.wrapping_add(0x40),
+                || 0u64,
+                |acc, log| acc + log.reads.len() as u64,
+                |a, b| a + b,
+            );
             (build, total as f64 / trials as f64)
         })
         .collect();

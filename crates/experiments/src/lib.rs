@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 pub mod scenarios;

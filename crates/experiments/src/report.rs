@@ -1,7 +1,9 @@
 //! Rendering helpers for experiment reports.
 
+use crate::campaign::CampaignState;
 use rfid_core::{ModelComparison, ReliabilityEstimate};
-use rfid_stats::{Align, Table};
+use rfid_sim::CampaignSpec;
+use rfid_stats::{Align, StreamSummary, Table};
 
 /// Formats a probability in `[0, 1]` as a paper-style percentage.
 #[must_use]
@@ -67,6 +69,55 @@ pub fn estimate_line(label: &str, estimate: &ReliabilityEstimate) -> String {
         ci.low * 100.0,
         ci.high * 100.0
     )
+}
+
+/// Renders a [`StreamSummary`] the way figure rows need it: mean with
+/// sketch-derived quartiles, or `-` when nothing was folded in.
+#[must_use]
+pub fn summary_cell(summary: &StreamSummary) -> String {
+    if summary.is_empty() {
+        return "-".to_owned();
+    }
+    match (summary.quantile(0.25), summary.quantile(0.75)) {
+        (Ok(q1), Ok(q3)) => format!("{:.2} [{q1:.2}, {q3:.2}]", summary.mean()),
+        _ => format!("{:.2}", summary.mean()),
+    }
+}
+
+/// The campaign report table: one row per deployment plus a total row,
+/// every cell read straight off the streaming accumulators.
+#[must_use]
+pub fn campaign_table(spec: &CampaignSpec, state: &CampaignState) -> String {
+    let mut table = Table::new(vec![
+        "deployment".into(),
+        "trials".into(),
+        "objects".into(),
+        "detection".into(),
+        "reads/tag".into(),
+        "rounds".into(),
+    ]);
+    for col in 1..6 {
+        table.align(col, Align::Right);
+    }
+    for (deployment, acc) in spec.deployments.iter().zip(&state.per_deployment) {
+        table.row(vec![
+            deployment.name.clone(),
+            acc.trials.to_string(),
+            acc.objects.to_string(),
+            summary_cell(&acc.detection),
+            summary_cell(&acc.reads_per_tag),
+            summary_cell(&acc.rounds),
+        ]);
+    }
+    table.row(vec![
+        "total".into(),
+        state.total.trials.to_string(),
+        state.total.objects.to_string(),
+        summary_cell(&state.total.detection),
+        summary_cell(&state.total.reads_per_tag),
+        summary_cell(&state.total.rounds),
+    ]);
+    format!("{table}")
 }
 
 /// One line summarizing the simulator work behind a report (trial, round,

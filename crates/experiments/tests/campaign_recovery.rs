@@ -1,0 +1,232 @@
+//! Crash-recovery properties of the campaign checkpoint.
+//!
+//! The contract (see `rfid_experiments::campaign::checkpoint`): a torn
+//! tail is never a panic and never silent data loss — recovery keeps the
+//! bit-exact longest clean-frame prefix, reports the truncation, and a
+//! resumed run finishes with the same state digest as an uninterrupted
+//! one. These tests drive the contract through the real filesystem,
+//! exhaustively: the checkpoint is truncated at *every* byte offset, and
+//! every recovered state must be one of the states the uninterrupted run
+//! actually passed through.
+
+use proptest::prelude::*;
+use rfid_experiments::campaign::{
+    run_campaign_checkpointed, run_instance, CampaignRunConfig, CampaignState, CheckpointError,
+};
+use rfid_sim::{CampaignSpec, Deployment, DeploymentKind, ScenarioCompiler, TrialExecutor};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Length of the `RFCAMP01` file magic; offsets below it cannot hold a
+/// valid checkpoint prefix.
+const MAGIC_LEN: usize = 8;
+
+/// A fresh checkpoint path under the cargo-managed test tmpdir.
+fn checkpoint_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("campaign-recovery");
+    fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(format!("{name}.ckpt"));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// A deliberately tiny spec (3 instances, 1 trial each, few tags) so
+/// the exhaustive truncation sweep re-opens thousands of prefixes in
+/// reasonable time.
+fn tiny_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        seed,
+        deployments: vec![
+            Deployment {
+                name: "ward".to_owned(),
+                kind: DeploymentKind::HospitalPallet {
+                    pallets: 1,
+                    tags_per_pallet: 4,
+                },
+                instances: 2,
+                trials_per_instance: 1,
+            },
+            Deployment {
+                name: "dock".to_owned(),
+                kind: DeploymentKind::PortalGrid {
+                    portals_x: 1,
+                    portals_y: 1,
+                    antennas_per_portal: 1,
+                    tags_per_pass: 2,
+                },
+                instances: 1,
+                trials_per_instance: 1,
+            },
+        ],
+    }
+}
+
+/// The digest after each prefix of the uninterrupted run: entry `k` is
+/// the state with `k` instances folded in (entry 0 is the fresh state).
+fn prefix_digests(executor: &TrialExecutor, spec: &CampaignSpec) -> Vec<u64> {
+    let mut state = CampaignState::new(spec);
+    let mut digests = vec![state.digest()];
+    for instance in ScenarioCompiler::new(spec) {
+        let acc = run_instance(executor, &instance);
+        state.apply_instance(instance.deployment, &acc);
+        digests.push(state.digest());
+    }
+    digests
+}
+
+/// Writes a complete checkpoint for `spec` and returns its bytes.
+fn completed_checkpoint(executor: &TrialExecutor, spec: &CampaignSpec, name: &str) -> Vec<u8> {
+    let path = checkpoint_path(name);
+    let report = run_campaign_checkpointed(executor, spec, &path, CampaignRunConfig::default())
+        .expect("uninterrupted checkpointed run");
+    assert!(report.completed);
+    let bytes = fs::read(&path).expect("read checkpoint");
+    let _ = fs::remove_file(&path);
+    bytes
+}
+
+/// Recovery at `halt_after: Some(0)`: scan + torn-tail truncation + spec
+/// check run, but no instance is simulated — the cheap probe that makes
+/// the exhaustive sweep affordable.
+fn recover(
+    spec: &CampaignSpec,
+    path: &Path,
+) -> Result<rfid_experiments::campaign::CampaignRunReport, CheckpointError> {
+    run_campaign_checkpointed(
+        &TrialExecutor::with_threads(1),
+        spec,
+        path,
+        CampaignRunConfig {
+            halt_after: Some(0),
+        },
+    )
+}
+
+/// Exhaustive torn-tail sweep: for every truncation offset, recovery
+/// either refuses with the designed error (inside the magic) or lands
+/// bit-exactly on a state the uninterrupted run passed through.
+#[test]
+fn truncation_at_every_byte_offset_recovers_a_clean_prefix() {
+    let executor = TrialExecutor::with_threads(1);
+    let spec = tiny_spec(41);
+    let digests = prefix_digests(&executor, &spec);
+    let full = completed_checkpoint(&executor, &spec, "sweep");
+    let path = checkpoint_path("sweep-prefix");
+
+    let mut seen_resume_points = vec![false; digests.len()];
+    for cut in 0..=full.len() {
+        fs::write(&path, &full[..cut]).expect("write prefix");
+        if (1..MAGIC_LEN).contains(&cut) {
+            // A tail torn inside the magic itself is indistinguishable
+            // from a foreign file: the designed response is refusal,
+            // never a silent re-initialization.
+            match recover(&spec, &path) {
+                Err(CheckpointError::NotACheckpoint) => {}
+                other => panic!("cut {cut}: expected NotACheckpoint, got {other:?}"),
+            }
+            continue;
+        }
+        let report = recover(&spec, &path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        let k = report.resumed_from as usize;
+        assert!(k < digests.len(), "cut {cut}: resumed past the end");
+        assert_eq!(
+            report.state.digest(),
+            digests[k],
+            "cut {cut}: recovered state is not the uninterrupted prefix {k}"
+        );
+        seen_resume_points[k] = true;
+    }
+    assert!(
+        seen_resume_points.iter().all(|&seen| seen),
+        "the sweep must exercise every resume point: {seen_resume_points:?}"
+    );
+}
+
+/// For every distinct resume point, resuming to completion reaches the
+/// exact digest of the uninterrupted run. Combined with the exhaustive
+/// sweep above (every offset recovers some prefix `k` bit-exactly), this
+/// proves kill-at-any-byte + resume ≡ uninterrupted for every offset.
+#[test]
+fn resuming_from_every_prefix_matches_the_uninterrupted_run() {
+    let executor = TrialExecutor::with_threads(1);
+    let spec = tiny_spec(41);
+    let digests = prefix_digests(&executor, &spec);
+    let final_digest = *digests.last().expect("at least the fresh state");
+    let full = completed_checkpoint(&executor, &spec, "resume");
+    let path = checkpoint_path("resume-prefix");
+
+    // Frame boundaries: the cut lengths whose recovery lands on each
+    // distinct prefix state. Walk the frames the same way scan does.
+    let mut boundaries = vec![MAGIC_LEN];
+    let mut offset = MAGIC_LEN;
+    while offset + 8 <= full.len() {
+        let len = u32::from_le_bytes([
+            full[offset],
+            full[offset + 1],
+            full[offset + 2],
+            full[offset + 3],
+        ]) as usize;
+        offset += 8 + len;
+        boundaries.push(offset);
+    }
+    assert_eq!(
+        boundaries.len(),
+        digests.len(),
+        "one frame per completed instance"
+    );
+
+    for (k, &cut) in boundaries.iter().enumerate() {
+        fs::write(&path, &full[..cut]).expect("write prefix");
+        let report =
+            run_campaign_checkpointed(&executor, &spec, &path, CampaignRunConfig::default())
+                .unwrap_or_else(|e| panic!("resume from prefix {k}: {e}"));
+        assert!(report.completed, "resume from prefix {k} must finish");
+        assert_eq!(report.resumed_from, k as u64);
+        assert_eq!(
+            report.state.digest(),
+            final_digest,
+            "resume from prefix {k} diverged from the uninterrupted run"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hostile bytes: flipping any byte anywhere in the file is never a
+    /// panic and never silently accepted as different history — recovery
+    /// either refuses with a typed error or lands on a genuine prefix
+    /// state of the uninterrupted run.
+    #[test]
+    fn corruption_never_panics_and_never_fabricates_state(
+        seed in 0u64..4,
+        position_fraction in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let executor = TrialExecutor::with_threads(1);
+        let spec = tiny_spec(seed);
+        let digests = prefix_digests(&executor, &spec);
+        let mut bytes = completed_checkpoint(&executor, &spec, &format!("flip-{seed}"));
+        let position = ((bytes.len() - 1) as f64 * position_fraction) as usize;
+        bytes[position] ^= flip;
+
+        let path = checkpoint_path(&format!("flip-{seed}-case"));
+        fs::write(&path, &bytes).expect("write corrupted checkpoint");
+        match recover(&spec, &path) {
+            // Refusal with a typed error is always acceptable.
+            Err(
+                CheckpointError::NotACheckpoint
+                | CheckpointError::Corrupt { .. }
+                | CheckpointError::SpecMismatch { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+            // Acceptance must mean the CRC caught the damage and the
+            // recovered state is a bit-exact prefix of real history.
+            Ok(report) => {
+                let k = report.resumed_from as usize;
+                prop_assert!(k < digests.len());
+                prop_assert_eq!(report.state.digest(), digests[k]);
+            }
+        }
+    }
+}

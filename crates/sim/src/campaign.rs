@@ -1,0 +1,788 @@
+//! Procedural fleet-scale campaign compilation.
+//!
+//! A [`CampaignSpec`] is a few lines of configuration per deployment;
+//! the [`ScenarioCompiler`] expands it — deterministically from the
+//! campaign seed — into a stream of concrete [`Scenario`]s built with
+//! the ordinary world/motion builders: warehouse portal grids, conveyor
+//! farms, retail exits with crowds, and hospital pallets dense with
+//! coupled tags. Instances are compiled one at a time (the compiler is
+//! an iterator), so a million-object campaign never holds more than one
+//! scenario in memory, and every instance carries its own derived base
+//! seed so trials replay bit-identically regardless of which instances
+//! ran before it.
+
+use crate::motion::Motion;
+use crate::rng::{mix64, RngStream};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::world::SimObject;
+use rfid_geom::{Pose, Shape, Vec3};
+use rfid_phys::{Material, Mounting};
+
+/// One family of procedurally generated deployment scenarios.
+///
+/// Parameters are intentionally coarse: the compiler derives per-instance
+/// variation (speeds, offsets, stagger) from the campaign seed, so two
+/// instances of the same deployment are similar but not identical —
+/// the way two dock doors in one warehouse are.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentKind {
+    /// A warehouse dock: a grid of portal readers, a tagged cart pass
+    /// per trial, rows of neighboring portals supplying multi-reader
+    /// interference.
+    PortalGrid {
+        /// Portals across the dock face (one lane each).
+        portals_x: u32,
+        /// Rows of portals behind the active lane.
+        portals_y: u32,
+        /// Antenna ports per portal reader.
+        antennas_per_portal: u32,
+        /// Tags on the cart driven through per trial.
+        tags_per_pass: u32,
+    },
+    /// Parallel conveyor belts, each with an overhead reader and a
+    /// train of tagged totes.
+    ConveyorFarm {
+        /// Parallel belt lines (cross-line interference included).
+        lines: u32,
+        /// Totes riding each belt.
+        totes_per_line: u32,
+        /// Tags on each tote.
+        tags_per_tote: u32,
+        /// Nominal belt speed; jittered ±20% per instance.
+        belt_speed_mps: f64,
+    },
+    /// A retail exit: portal lanes and a crowd of walking shoppers
+    /// (lossy flesh occluders) wearing tagged badges.
+    RetailExit {
+        /// Exit lanes, one portal reader each.
+        lanes: u32,
+        /// Walking subjects per pass.
+        shoppers: u32,
+        /// Badge tags per subject.
+        tags_per_shopper: u32,
+    },
+    /// Hospital storage: static pallets stacked with densely spaced
+    /// tags — 100+ coupled tags per read zone stressing the
+    /// Q-algorithm.
+    HospitalPallet {
+        /// Pallets in front of the portal.
+        pallets: u32,
+        /// Tags per pallet, in a dense grid.
+        tags_per_pallet: u32,
+    },
+}
+
+impl DeploymentKind {
+    /// Stable one-byte discriminant used by the canonical encoding.
+    fn code(&self) -> u8 {
+        match self {
+            DeploymentKind::PortalGrid { .. } => 0,
+            DeploymentKind::ConveyorFarm { .. } => 1,
+            DeploymentKind::RetailExit { .. } => 2,
+            DeploymentKind::HospitalPallet { .. } => 3,
+        }
+    }
+}
+
+/// One deployment entry in a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Human-readable label used in reports and checkpoint tables.
+    pub name: String,
+    /// The scenario family.
+    pub kind: DeploymentKind,
+    /// Procedural variations of this deployment to compile.
+    pub instances: u32,
+    /// Monte-Carlo trials per instance.
+    pub trials_per_instance: u64,
+}
+
+/// A fleet-scale campaign: a seed plus a list of deployments.
+///
+/// # Examples
+///
+/// ```
+/// use rfid_sim::{CampaignSpec, ScenarioCompiler};
+///
+/// let spec = CampaignSpec::smoke(7);
+/// let instances: Vec<_> = ScenarioCompiler::new(&spec).collect();
+/// assert_eq!(instances.len() as u64, spec.total_instances());
+/// // Same spec, same bits: the digest pins the whole expansion.
+/// assert_eq!(spec.digest(), CampaignSpec::smoke(7).digest());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Root seed every instance seed and jitter derives from.
+    pub seed: u64,
+    /// The deployments, compiled in order.
+    pub deployments: Vec<Deployment>,
+}
+
+impl CampaignSpec {
+    /// Total instances across all deployments.
+    #[must_use]
+    pub fn total_instances(&self) -> u64 {
+        self.deployments
+            .iter()
+            .map(|d| u64::from(d.instances))
+            .sum()
+    }
+
+    /// Total trials across all deployments.
+    #[must_use]
+    pub fn total_trials(&self) -> u64 {
+        self.deployments
+            .iter()
+            .map(|d| u64::from(d.instances) * d.trials_per_instance)
+            .sum()
+    }
+
+    /// Canonical little-endian encoding of the spec (floats as IEEE
+    /// bits), the input to [`CampaignSpec::digest`].
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.deployments.len() as u32).to_le_bytes());
+        for d in &self.deployments {
+            out.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(d.name.as_bytes());
+            out.push(d.kind.code());
+            match &d.kind {
+                DeploymentKind::PortalGrid {
+                    portals_x,
+                    portals_y,
+                    antennas_per_portal,
+                    tags_per_pass,
+                } => {
+                    for v in [portals_x, portals_y, antennas_per_portal, tags_per_pass] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                DeploymentKind::ConveyorFarm {
+                    lines,
+                    totes_per_line,
+                    tags_per_tote,
+                    belt_speed_mps,
+                } => {
+                    for v in [lines, totes_per_line, tags_per_tote] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    out.extend_from_slice(&belt_speed_mps.to_bits().to_le_bytes());
+                }
+                DeploymentKind::RetailExit {
+                    lanes,
+                    shoppers,
+                    tags_per_shopper,
+                } => {
+                    for v in [lanes, shoppers, tags_per_shopper] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                DeploymentKind::HospitalPallet {
+                    pallets,
+                    tags_per_pallet,
+                } => {
+                    for v in [pallets, tags_per_pallet] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            out.extend_from_slice(&d.instances.to_le_bytes());
+            out.extend_from_slice(&d.trials_per_instance.to_le_bytes());
+        }
+        out
+    }
+
+    /// A stable 64-bit digest of the canonical encoding ([`mix64`]
+    /// chained over 8-byte chunks). Checkpoints store it so a resumed
+    /// campaign can refuse a spec that no longer matches.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        digest_bytes(&self.encode())
+    }
+
+    /// A seconds-scale spec for CI smoke runs: one small instance of
+    /// every deployment family.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            deployments: vec![
+                Deployment {
+                    name: "portal-grid".to_owned(),
+                    kind: DeploymentKind::PortalGrid {
+                        portals_x: 2,
+                        portals_y: 1,
+                        antennas_per_portal: 2,
+                        tags_per_pass: 6,
+                    },
+                    instances: 1,
+                    trials_per_instance: 3,
+                },
+                Deployment {
+                    name: "conveyor-farm".to_owned(),
+                    kind: DeploymentKind::ConveyorFarm {
+                        lines: 2,
+                        totes_per_line: 2,
+                        tags_per_tote: 3,
+                        belt_speed_mps: 0.8,
+                    },
+                    instances: 1,
+                    trials_per_instance: 3,
+                },
+                Deployment {
+                    name: "retail-exit".to_owned(),
+                    kind: DeploymentKind::RetailExit {
+                        lanes: 1,
+                        shoppers: 3,
+                        tags_per_shopper: 1,
+                    },
+                    instances: 1,
+                    trials_per_instance: 3,
+                },
+                Deployment {
+                    name: "hospital-pallet".to_owned(),
+                    kind: DeploymentKind::HospitalPallet {
+                        pallets: 1,
+                        tags_per_pallet: 12,
+                    },
+                    instances: 1,
+                    trials_per_instance: 2,
+                },
+            ],
+        }
+    }
+
+    /// The default campaign: minutes-scale, a few instances per family.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            seed,
+            deployments: vec![
+                Deployment {
+                    name: "portal-grid".to_owned(),
+                    kind: DeploymentKind::PortalGrid {
+                        portals_x: 3,
+                        portals_y: 2,
+                        antennas_per_portal: 2,
+                        tags_per_pass: 12,
+                    },
+                    instances: 4,
+                    trials_per_instance: 25,
+                },
+                Deployment {
+                    name: "conveyor-farm".to_owned(),
+                    kind: DeploymentKind::ConveyorFarm {
+                        lines: 3,
+                        totes_per_line: 3,
+                        tags_per_tote: 4,
+                        belt_speed_mps: 0.8,
+                    },
+                    instances: 4,
+                    trials_per_instance: 25,
+                },
+                Deployment {
+                    name: "retail-exit".to_owned(),
+                    kind: DeploymentKind::RetailExit {
+                        lanes: 2,
+                        shoppers: 6,
+                        tags_per_shopper: 2,
+                    },
+                    instances: 4,
+                    trials_per_instance: 25,
+                },
+                Deployment {
+                    name: "hospital-pallet".to_owned(),
+                    kind: DeploymentKind::HospitalPallet {
+                        pallets: 2,
+                        tags_per_pallet: 50,
+                    },
+                    instances: 2,
+                    trials_per_instance: 10,
+                },
+            ],
+        }
+    }
+
+    /// The fleet benchmark campaign: sized so total simulated objects
+    /// (tags x trials, summed over instances) exceeds 100k.
+    #[must_use]
+    pub fn fleet(seed: u64) -> Self {
+        Self {
+            seed,
+            deployments: vec![
+                Deployment {
+                    name: "portal-grid".to_owned(),
+                    kind: DeploymentKind::PortalGrid {
+                        portals_x: 3,
+                        portals_y: 2,
+                        antennas_per_portal: 2,
+                        tags_per_pass: 24,
+                    },
+                    instances: 10,
+                    trials_per_instance: 120,
+                },
+                Deployment {
+                    name: "conveyor-farm".to_owned(),
+                    kind: DeploymentKind::ConveyorFarm {
+                        lines: 4,
+                        totes_per_line: 4,
+                        tags_per_tote: 4,
+                        belt_speed_mps: 0.9,
+                    },
+                    instances: 10,
+                    trials_per_instance: 100,
+                },
+                Deployment {
+                    name: "retail-exit".to_owned(),
+                    kind: DeploymentKind::RetailExit {
+                        lanes: 2,
+                        shoppers: 8,
+                        tags_per_shopper: 2,
+                    },
+                    instances: 10,
+                    trials_per_instance: 100,
+                },
+                Deployment {
+                    name: "hospital-pallet".to_owned(),
+                    kind: DeploymentKind::HospitalPallet {
+                        pallets: 2,
+                        tags_per_pallet: 60,
+                    },
+                    instances: 5,
+                    trials_per_instance: 40,
+                },
+            ],
+        }
+    }
+}
+
+/// [`mix64`]-chained digest of a byte string (8-byte little-endian
+/// chunks, zero-padded tail, length mixed in first).
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut state = mix64(bytes.len() as u64 ^ 0x5851_F42D_4C95_7F2D);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state = mix64(state ^ u64::from_le_bytes(word));
+    }
+    state
+}
+
+/// One compiled campaign instance: a ready-to-run scenario plus the
+/// bookkeeping the campaign runner folds over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledInstance {
+    /// Index of the deployment this instance expands.
+    pub deployment: usize,
+    /// Instance index within the deployment.
+    pub instance: u32,
+    /// `"<deployment-name>#<instance>"`.
+    pub label: String,
+    /// The compiled world.
+    pub scenario: Scenario,
+    /// Trials to run.
+    pub trials: u64,
+    /// Base seed for trial `i` (`base_seed.wrapping_add(i)`), derived
+    /// from the campaign seed and the instance's identity — never from
+    /// compilation order.
+    pub base_seed: u64,
+    /// Tags in the compiled world (the "objects per trial" unit of the
+    /// fleet bench's objects/s metric).
+    pub tags: u64,
+}
+
+/// Streams [`CompiledInstance`]s out of a [`CampaignSpec`], one at a
+/// time, in deployment order then instance order.
+#[derive(Debug, Clone)]
+pub struct ScenarioCompiler<'a> {
+    spec: &'a CampaignSpec,
+    deployment: usize,
+    instance: u32,
+}
+
+impl<'a> ScenarioCompiler<'a> {
+    /// A compiler positioned at the first instance.
+    #[must_use]
+    pub fn new(spec: &'a CampaignSpec) -> Self {
+        Self {
+            spec,
+            deployment: 0,
+            instance: 0,
+        }
+    }
+
+    /// A compiler fast-forwarded past the first `completed` instances
+    /// (in the global instance order) without compiling them — how a
+    /// resumed campaign skips work already checkpointed.
+    #[must_use]
+    pub fn starting_at(spec: &'a CampaignSpec, completed: u64) -> Self {
+        let mut deployment = 0;
+        let mut remaining = completed;
+        while deployment < spec.deployments.len() {
+            let here = u64::from(spec.deployments[deployment].instances);
+            if remaining < here {
+                break;
+            }
+            remaining -= here;
+            deployment += 1;
+        }
+        Self {
+            spec,
+            deployment,
+            instance: remaining as u32,
+        }
+    }
+}
+
+impl Iterator for ScenarioCompiler<'_> {
+    type Item = CompiledInstance;
+
+    fn next(&mut self) -> Option<CompiledInstance> {
+        loop {
+            let dep = self.spec.deployments.get(self.deployment)?;
+            if self.instance >= dep.instances {
+                self.deployment += 1;
+                self.instance = 0;
+                continue;
+            }
+            let instance = self.instance;
+            self.instance += 1;
+            return Some(compile_instance(self.spec, self.deployment, instance));
+        }
+    }
+}
+
+/// Per-instance jitter stream: addressed by the campaign seed and the
+/// instance's identity, so adding a deployment or reordering instances
+/// never reshuffles another instance's variation.
+fn instance_rng(spec: &CampaignSpec, deployment: usize, instance: u32) -> RngStream {
+    RngStream::new(spec.seed)
+        .child(mix64(0xCA3F_0000 ^ deployment as u64))
+        .child(u64::from(instance))
+}
+
+fn compile_instance(spec: &CampaignSpec, deployment: usize, instance: u32) -> CompiledInstance {
+    let dep = &spec.deployments[deployment];
+    let rng = instance_rng(spec, deployment, instance);
+    let base_seed = rng.value(&[0]);
+    let scenario = match dep.kind {
+        DeploymentKind::PortalGrid {
+            portals_x,
+            portals_y,
+            antennas_per_portal,
+            tags_per_pass,
+        } => compile_portal_grid(
+            &rng,
+            portals_x,
+            portals_y,
+            antennas_per_portal,
+            tags_per_pass,
+        ),
+        DeploymentKind::ConveyorFarm {
+            lines,
+            totes_per_line,
+            tags_per_tote,
+            belt_speed_mps,
+        } => compile_conveyor_farm(&rng, lines, totes_per_line, tags_per_tote, belt_speed_mps),
+        DeploymentKind::RetailExit {
+            lanes,
+            shoppers,
+            tags_per_shopper,
+        } => compile_retail_exit(&rng, lanes, shoppers, tags_per_shopper),
+        DeploymentKind::HospitalPallet {
+            pallets,
+            tags_per_pallet,
+        } => compile_hospital_pallet(&rng, pallets, tags_per_pallet),
+    };
+    let tags = scenario.world.tags.len() as u64;
+    CompiledInstance {
+        deployment,
+        instance,
+        label: format!("{}#{instance}", dep.name),
+        scenario,
+        trials: dep.trials_per_instance,
+        base_seed,
+        tags,
+    }
+}
+
+/// Uniform jitter in `[lo, hi)` for a named per-instance knob.
+fn jitter(rng: &RngStream, knob: u64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.uniform(&[0xBEEF, knob])
+}
+
+/// Lays `count` tag mounts out on a vertical grid with `spacing_m`
+/// pitch, centered on the local origin, standing off along local y by
+/// `standoff_m` (negative puts the grid on the reader-facing -y face).
+fn grid_mounts(count: u32, spacing_m: f64, standoff_m: f64) -> Vec<Pose> {
+    let cols = (f64::from(count)).sqrt().ceil() as u32;
+    (0..count)
+        .map(|i| {
+            let col = i % cols;
+            let row = i / cols;
+            let x = (f64::from(col) - f64::from(cols - 1) / 2.0) * spacing_m;
+            let z = (f64::from(row) - f64::from(count.div_ceil(cols) - 1) / 2.0) * spacing_m;
+            Pose::from_translation(Vec3::new(x, standoff_m, z))
+        })
+        .collect()
+}
+
+fn compile_portal_grid(
+    rng: &RngStream,
+    portals_x: u32,
+    portals_y: u32,
+    antennas: u32,
+    tags_per_pass: u32,
+) -> Scenario {
+    let lane_spacing = 3.0;
+    let speed = jitter(rng, 1, 1.0, 1.4);
+    let span = f64::from(portals_x) * lane_spacing;
+    let duration = (span + 4.0) / speed;
+    let mut builder = ScenarioBuilder::new().duration_s(duration);
+    for col in 0..portals_x {
+        for row in 0..portals_y {
+            let pose = Pose::from_translation(Vec3::new(
+                f64::from(col) * lane_spacing,
+                -2.5 * f64::from(row),
+                1.0,
+            ));
+            builder = builder.portal_reader_spaced(pose, antennas as usize, 0.8);
+        }
+    }
+    // One cart of goods driven along the dock face, through every
+    // portal's read zone in turn.
+    let lane_y = 1.0 + jitter(rng, 2, -0.15, 0.15);
+    let start_x = -2.0 + jitter(rng, 3, -0.3, 0.3);
+    let cart = SimObject {
+        name: "cart".to_owned(),
+        shape: Shape::aabb(Vec3::new(0.4, 0.35, 0.5)),
+        material: Material::Cardboard,
+        motion: Motion::linear(
+            Pose::from_translation(Vec3::new(start_x, lane_y, 0.8)),
+            Vec3::new(speed, 0.0, 0.0),
+            0.0,
+            duration,
+        ),
+    };
+    builder = builder.object(cart);
+    for local in grid_mounts(tags_per_pass, 0.12, -0.36) {
+        builder = builder.tag_on(0, local, Mounting::on(Material::Cardboard, 0.004));
+    }
+    builder.build()
+}
+
+fn compile_conveyor_farm(
+    rng: &RngStream,
+    lines: u32,
+    totes_per_line: u32,
+    tags_per_tote: u32,
+    belt_speed_mps: f64,
+) -> Scenario {
+    // Belts run along -y, straight through each portal's read zone;
+    // lines sit side by side along x so reader beams stay parallel
+    // (a reader parked in another's boresight hears mostly jamming).
+    let line_spacing = 3.0;
+    let speed = belt_speed_mps * jitter(rng, 1, 0.8, 1.2);
+    let tote_pitch = 1.2;
+    let train = f64::from(totes_per_line) * tote_pitch;
+    let duration = (3.0 + train + tote_pitch) / speed;
+    let mut builder = ScenarioBuilder::new().duration_s(duration);
+    for line in 0..lines {
+        let x = f64::from(line) * line_spacing;
+        builder =
+            builder.portal_reader_spaced(Pose::from_translation(Vec3::new(x, 0.0, 1.2)), 2, 0.6);
+    }
+    let mut object = 0usize;
+    for line in 0..lines {
+        let x = f64::from(line) * line_spacing;
+        let stagger = jitter(rng, 100 + u64::from(line), 0.0, tote_pitch);
+        for tote in 0..totes_per_line {
+            let y0 = 2.0 + f64::from(tote) * tote_pitch + stagger;
+            builder = builder.object(SimObject {
+                name: format!("tote-{line}-{tote}"),
+                shape: Shape::aabb(Vec3::new(0.3, 0.2, 0.15)),
+                material: Material::Plastic,
+                motion: Motion::linear(
+                    Pose::from_translation(Vec3::new(x, y0, 1.0)),
+                    Vec3::new(0.0, -speed, 0.0),
+                    0.0,
+                    duration,
+                ),
+            });
+            for local in grid_mounts(tags_per_tote, 0.1, -0.21) {
+                builder = builder.tag_on(object, local, Mounting::on(Material::Plastic, 0.003));
+            }
+            object += 1;
+        }
+    }
+    builder.build()
+}
+
+fn compile_retail_exit(
+    rng: &RngStream,
+    lanes: u32,
+    shoppers: u32,
+    tags_per_shopper: u32,
+) -> Scenario {
+    let lane_spacing = 2.0;
+    let duration = 5.0;
+    let mut builder = ScenarioBuilder::new().duration_s(duration);
+    for lane in 0..lanes {
+        builder = builder.portal_reader_spaced(
+            Pose::from_translation(Vec3::new(f64::from(lane) * lane_spacing, 0.0, 1.0)),
+            2,
+            0.7,
+        );
+    }
+    for shopper in 0..shoppers {
+        let lane = shopper % lanes;
+        let speed = jitter(rng, 200 + u64::from(shopper), 1.1, 1.5);
+        let start_x =
+            f64::from(lane) * lane_spacing - 2.5 - jitter(rng, 300 + u64::from(shopper), 0.0, 1.5);
+        let y = 1.0 + jitter(rng, 400 + u64::from(shopper), -0.2, 0.4);
+        builder = builder.object(SimObject {
+            name: format!("shopper-{shopper}"),
+            shape: Shape::cylinder(0.18, 0.85),
+            material: Material::Flesh,
+            motion: Motion::linear(
+                Pose::from_translation(Vec3::new(start_x, y, 0.9)),
+                Vec3::new(speed, 0.0, 0.0),
+                0.0,
+                duration,
+            ),
+        });
+        for t in 0..tags_per_shopper {
+            // Badges on the torso front, slightly offset per tag.
+            let local = Pose::from_translation(Vec3::new(
+                0.05 * f64::from(t),
+                -0.19,
+                0.2 - 0.1 * f64::from(t),
+            ));
+            builder = builder.tag_on(
+                shopper as usize,
+                local,
+                Mounting::on(Material::Flesh, 0.005),
+            );
+        }
+    }
+    builder.build()
+}
+
+fn compile_hospital_pallet(rng: &RngStream, pallets: u32, tags_per_pallet: u32) -> Scenario {
+    let duration = 2.0;
+    let mut builder = ScenarioBuilder::new()
+        .duration_s(duration)
+        .portal_reader_spaced(Pose::from_translation(Vec3::new(0.0, 0.0, 1.0)), 2, 0.8);
+    for pallet in 0..pallets {
+        let x = (f64::from(pallet) - f64::from(pallets - 1) / 2.0) * 1.6
+            + jitter(rng, 500 + u64::from(pallet), -0.1, 0.1);
+        let y = 1.3 + jitter(rng, 600 + u64::from(pallet), -0.1, 0.2);
+        builder = builder.object(SimObject {
+            name: format!("pallet-{pallet}"),
+            shape: Shape::aabb(Vec3::new(0.6, 0.5, 0.6)),
+            material: Material::Wood,
+            motion: Motion::Static(Pose::from_translation(Vec3::new(x, y, 0.7))),
+        });
+        // Dense 50 mm pitch: within the paper's coupled regime, the
+        // Q-algorithm stressor this deployment exists for.
+        for local in grid_mounts(tags_per_pallet, 0.05, -0.51) {
+            builder = builder.tag_on(pallet as usize, local, Mounting::on(Material::Wood, 0.004));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_spec_compiles_every_family() {
+        let spec = CampaignSpec::smoke(11);
+        let instances: Vec<_> = ScenarioCompiler::new(&spec).collect();
+        assert_eq!(instances.len() as u64, spec.total_instances());
+        assert_eq!(instances.len(), 4);
+        for inst in &instances {
+            assert!(inst.tags > 0, "{}", inst.label);
+            assert!(!inst.scenario.world.readers.is_empty(), "{}", inst.label);
+            assert!(inst.scenario.duration_s > 0.0, "{}", inst.label);
+        }
+        assert_eq!(instances[0].label, "portal-grid#0");
+    }
+
+    #[test]
+    fn compilation_is_deterministic_and_seed_sensitive() {
+        let spec = CampaignSpec::standard(3);
+        let a: Vec<_> = ScenarioCompiler::new(&spec).collect();
+        let b: Vec<_> = ScenarioCompiler::new(&spec).collect();
+        assert_eq!(a, b, "same spec compiles bit-identically");
+
+        let other = CampaignSpec::standard(4);
+        let c: Vec<_> = ScenarioCompiler::new(&other).collect();
+        assert_ne!(
+            a[0].base_seed, c[0].base_seed,
+            "different campaign seeds derive different instance seeds"
+        );
+    }
+
+    #[test]
+    fn starting_at_matches_skipping() {
+        let spec = CampaignSpec::standard(9);
+        let all: Vec<_> = ScenarioCompiler::new(&spec).collect();
+        for completed in [0u64, 1, 4, 7, spec.total_instances()] {
+            let resumed: Vec<_> = ScenarioCompiler::starting_at(&spec, completed).collect();
+            assert_eq!(
+                resumed,
+                all[completed as usize..],
+                "completed = {completed}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_seeds_do_not_depend_on_compilation_order() {
+        let spec = CampaignSpec::standard(5);
+        let all: Vec<_> = ScenarioCompiler::new(&spec).collect();
+        let direct = compile_instance(&spec, 2, 1);
+        let via_iter = all
+            .iter()
+            .find(|i| i.deployment == 2 && i.instance == 1)
+            .unwrap();
+        assert_eq!(&direct, via_iter);
+    }
+
+    #[test]
+    fn digest_pins_the_spec() {
+        let a = CampaignSpec::smoke(7);
+        assert_eq!(a.digest(), CampaignSpec::smoke(7).digest());
+        assert_ne!(a.digest(), CampaignSpec::smoke(8).digest());
+        let mut tweaked = a.clone();
+        tweaked.deployments[0].trials_per_instance += 1;
+        assert_ne!(a.digest(), tweaked.digest());
+    }
+
+    #[test]
+    fn fleet_spec_exceeds_one_hundred_thousand_objects() {
+        let spec = CampaignSpec::fleet(1);
+        let objects: u64 = ScenarioCompiler::new(&spec)
+            .map(|i| i.tags * i.trials)
+            .sum();
+        assert!(objects >= 100_000, "fleet objects = {objects}");
+    }
+
+    #[test]
+    fn hospital_pallets_are_dense_enough_to_couple() {
+        let spec = CampaignSpec::fleet(2);
+        let pallet = ScenarioCompiler::new(&spec)
+            .find(|i| i.label.starts_with("hospital-pallet"))
+            .unwrap();
+        assert!(
+            pallet.tags >= 100,
+            "the Q-algorithm stressor wants 100+ coupled tags, got {}",
+            pallet.tags
+        );
+    }
+}

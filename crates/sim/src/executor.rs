@@ -19,6 +19,17 @@ use std::num::NonZeroUsize;
 /// Environment variable overriding the auto-detected thread count.
 pub const THREADS_ENV: &str = "RFID_SIM_THREADS";
 
+/// Trials folded serially per block by [`TrialExecutor::run_fold`].
+///
+/// The block size is a fixed constant — *not* derived from the thread
+/// count — so the partition of trials into blocks, the serial fold
+/// within each block, and the left-to-right merge of block accumulators
+/// are all identical for every thread count. That makes `run_fold`
+/// bit-reproducible even for accumulators whose merge is not
+/// associative; thread count only changes which worker computes which
+/// block.
+pub const FOLD_BLOCK: u64 = 1024;
+
 /// A deterministic parallel executor for batches of simulation trials.
 ///
 /// Results are bit-identical to serial execution regardless of thread
@@ -118,6 +129,139 @@ impl TrialExecutor {
             }
         });
         results
+    }
+
+    /// Folds trial indices `0..trials` into an accumulator without ever
+    /// materializing a per-trial `Vec` — the streaming-reduction spine
+    /// of the campaign engine.
+    ///
+    /// Trials are partitioned into fixed [`FOLD_BLOCK`]-sized blocks;
+    /// each block starts from `init()` and folds its indices serially
+    /// in order, and the block accumulators are merged strictly
+    /// left-to-right in block order. Because the block boundaries and
+    /// both fold orders are independent of the thread count, the result
+    /// is bit-identical to the serial fold for any thread count and
+    /// *any* accumulator — `merge` need not be associative (though the
+    /// `StreamSummary` family's is, which additionally makes the result
+    /// independent of how a caller re-chunks the stream).
+    ///
+    /// Live memory is one accumulator per block (`trials / 1024`), not
+    /// one result per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold` panics on any trial (the panic is propagated).
+    pub fn run_fold<A, I, F, G>(&self, trials: u64, init: I, fold: F, merge: G) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, u64) -> A + Sync,
+        G: FnMut(A, A) -> A,
+    {
+        if trials == 0 {
+            return init();
+        }
+        let blocks = trials.div_ceil(FOLD_BLOCK);
+        let mut block_accs = self
+            .run_trials(blocks, |b| {
+                let lo = b * FOLD_BLOCK;
+                let hi = ((b + 1) * FOLD_BLOCK).min(trials);
+                let mut acc = init();
+                for i in lo..hi {
+                    acc = fold(acc, i);
+                }
+                acc
+            })
+            .into_iter();
+        let first = block_accs.next().expect("trials > 0 yields a block");
+        block_accs.fold(first, merge)
+    }
+
+    /// Folds `trials` full scenario simulations (seeds
+    /// `base_seed.wrapping_add(i)`) into an accumulator, sharing one
+    /// precomputed [`ScenarioCache`] and never holding more than a
+    /// block of outputs. See [`TrialExecutor::run_fold`] for the
+    /// determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's world fails validation.
+    pub fn run_scenario_fold<A, I, F, G>(
+        &self,
+        scenario: &Scenario,
+        trials: u64,
+        base_seed: u64,
+        init: I,
+        fold: F,
+        merge: G,
+    ) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, SimOutput) -> A + Sync,
+        G: FnMut(A, A) -> A,
+    {
+        let cache = ScenarioCache::new(scenario);
+        self.run_fold(
+            trials,
+            init,
+            |acc, i| {
+                fold(
+                    acc,
+                    run_scenario_with(scenario, &cache, base_seed.wrapping_add(i)),
+                )
+            },
+            merge,
+        )
+    }
+
+    /// Folds `trials` single inventory rounds (the paper's Figure 2
+    /// methodology) into an accumulator, sharing one precomputed
+    /// [`ScenarioCache`]. See [`TrialExecutor::run_fold`] for the
+    /// determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's world fails validation or the indices
+    /// are out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_round_fold<A, I, F, G>(
+        &self,
+        scenario: &Scenario,
+        reader: usize,
+        port: usize,
+        t: f64,
+        trials: u64,
+        base_seed: u64,
+        init: I,
+        fold: F,
+        merge: G,
+    ) -> A
+    where
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, RoundLog) -> A + Sync,
+        G: FnMut(A, A) -> A,
+    {
+        let cache = ScenarioCache::new(scenario);
+        self.run_fold(
+            trials,
+            init,
+            |acc, i| {
+                fold(
+                    acc,
+                    run_single_round_with(
+                        scenario,
+                        &cache,
+                        reader,
+                        port,
+                        t,
+                        base_seed.wrapping_add(i),
+                    ),
+                )
+            },
+            merge,
+        )
     }
 
     /// Runs `trials` full scenario simulations with seeds
@@ -234,6 +378,123 @@ mod tests {
             .collect();
         let parallel = TrialExecutor::with_threads(4).run_round_trials(&scenario, 0, 0, 0.5, 6, 40);
         assert_eq!(direct, parallel);
+    }
+
+    #[test]
+    fn run_fold_matches_serial_fold_for_any_thread_count() {
+        // A non-associative float accumulation makes fold order
+        // visible; the canonical block discipline must hide the thread
+        // count anyway.
+        let serial = (0..5000u64).fold(0.0f64, |acc, i| acc + 1.0 / (i + 1) as f64);
+        for threads in [1, 2, 3, 7, 16] {
+            let folded = TrialExecutor::with_threads(threads).run_fold(
+                5000,
+                || 0.0f64,
+                |acc, i| acc + 1.0 / (i + 1) as f64,
+                |a, b| a + b,
+            );
+            // Identical across thread counts...
+            let again = TrialExecutor::serial().run_fold(
+                5000,
+                || 0.0f64,
+                |acc, i| acc + 1.0 / (i + 1) as f64,
+                |a, b| a + b,
+            );
+            assert_eq!(folded.to_bits(), again.to_bits(), "threads = {threads}");
+            // ...and numerically the same sum (block merges re-associate
+            // the additions, so bit-equality to the unblocked serial
+            // loop is not promised — only closeness and determinism).
+            assert!((folded - serial).abs() < 1e-9, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_fold_exercises_block_boundaries() {
+        // Trial counts straddling FOLD_BLOCK multiples: sums of indices
+        // are exact in u64, so every partition must agree exactly.
+        for trials in [
+            0,
+            1,
+            FOLD_BLOCK - 1,
+            FOLD_BLOCK,
+            FOLD_BLOCK + 1,
+            3 * FOLD_BLOCK,
+        ] {
+            for threads in [1, 4] {
+                let got = TrialExecutor::with_threads(threads).run_fold(
+                    trials,
+                    || 0u64,
+                    |acc, i| acc + i,
+                    |a, b| a + b,
+                );
+                let want: u64 = (0..trials).sum();
+                assert_eq!(got, want, "trials = {trials}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_fold_merge_order_is_block_order() {
+        // Collecting block-first indices shows merge runs left-to-right
+        // over blocks (a reordered merge would interleave).
+        let got = TrialExecutor::with_threads(3).run_fold(
+            2 * FOLD_BLOCK + 10,
+            Vec::new,
+            |mut acc, i| {
+                if i % FOLD_BLOCK == 0 {
+                    acc.push(i);
+                }
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        assert_eq!(got, vec![0, FOLD_BLOCK, 2 * FOLD_BLOCK]);
+    }
+
+    #[test]
+    fn scenario_fold_matches_materialized_trials() {
+        let scenario = pass_by();
+        let batch: usize = TrialExecutor::serial()
+            .run_scenario_trials(&scenario, 6, 7)
+            .iter()
+            .map(|o| o.reads.len())
+            .sum();
+        for threads in [1, 4] {
+            let folded = TrialExecutor::with_threads(threads).run_scenario_fold(
+                &scenario,
+                6,
+                7,
+                || 0usize,
+                |acc, out| acc + out.reads.len(),
+                |a, b| a + b,
+            );
+            assert_eq!(folded, batch, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn round_fold_matches_materialized_rounds() {
+        let scenario = pass_by();
+        let batch: usize = TrialExecutor::serial()
+            .run_round_trials(&scenario, 0, 0, 0.5, 6, 40)
+            .iter()
+            .map(|log| log.reads.len())
+            .sum();
+        let folded = TrialExecutor::with_threads(4).run_round_fold(
+            &scenario,
+            0,
+            0,
+            0.5,
+            6,
+            40,
+            || 0usize,
+            |acc, log| acc + log.reads.len(),
+            |a, b| a + b,
+        );
+        assert_eq!(folded, batch);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod channel;
 pub mod counters;
 mod events;
@@ -61,10 +62,13 @@ mod runner;
 mod scenario;
 mod world;
 
+pub use campaign::{
+    digest_bytes, CampaignSpec, CompiledInstance, Deployment, DeploymentKind, ScenarioCompiler,
+};
 pub use channel::{ChannelParams, PortalChannel};
 pub use counters::CountersSnapshot;
 pub use events::EventQueue;
-pub use executor::{TrialExecutor, THREADS_ENV};
+pub use executor::{TrialExecutor, FOLD_BLOCK, THREADS_ENV};
 pub use export::{reads_to_csv, rounds_to_csv, write_reads_csv, write_rounds_csv};
 pub use motion::Motion;
 pub use precompute::ScenarioCache;

@@ -26,6 +26,14 @@ pub enum StatsError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A sample set contained NaN where a totally ordered computation
+    /// (sorting-based quantiles) requires real values.
+    NanSample,
+    /// A serialized accumulator was truncated or malformed.
+    BadEncoding {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -41,6 +49,12 @@ impl fmt::Display for StatsError {
             }
             StatsError::BadHistogramConfig { reason } => {
                 write!(f, "invalid histogram configuration: {reason}")
+            }
+            StatsError::NanSample => {
+                write!(f, "sample set contains NaN, which has no rank")
+            }
+            StatsError::BadEncoding { reason } => {
+                write!(f, "malformed accumulator encoding: {reason}")
             }
         }
     }

@@ -27,6 +27,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -53,12 +54,17 @@ impl Histogram {
             counts: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         })
     }
 
-    /// Records one sample.
+    /// Records one sample. NaN goes to its own counter ([`Histogram::nan`]):
+    /// it fails both range comparisons, and the historical fall-through
+    /// silently counted it in bin 0 (`NaN as usize == 0`).
     pub fn record(&mut self, x: f64) {
-        if x < self.low {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.low {
             self.underflow += 1;
         } else if x >= self.high {
             self.overflow += 1;
@@ -112,10 +118,16 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total samples recorded, including under/overflow.
+    /// NaN samples recorded (binless: NaN compares outside every range).
+    #[must_use]
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total samples recorded, including under/overflow and NaN.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow + self.nan
     }
 
     /// Iterator over `(bin_low, bin_high, count)` triples.
@@ -160,6 +172,18 @@ mod tests {
         assert_eq!(h.count(3), 1);
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn nan_is_counted_separately_not_in_bin_zero() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(f64::NAN);
+        h.record(-f64::NAN);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.count(0), 0, "NaN must not leak into bin 0");
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 2);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod histogram;
 mod online;
 mod proportion;
 mod quantile;
+mod stream;
 mod sum;
 mod summary;
 mod table;
@@ -44,6 +45,9 @@ pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use proportion::{Interval, Proportion};
 pub use quantile::{median, quantile, quantile_sorted, quartiles, Quartiles};
+pub use stream::{
+    ExactSum, QuantileSketch, StreamSummary, MAX_TRACKED_ABS, MIN_TRACKED_ABS, QUANTILE_ALPHA,
+};
 pub use sum::ordered_sum;
 pub use summary::Summary;
 pub use table::{Align, Table};

@@ -30,10 +30,14 @@ impl Quartiles {
 
 /// Computes the `p`-quantile of `samples` (unsorted input is fine).
 ///
+/// Samples are ordered by IEEE `total_cmp`, so `-0.0` sorts before
+/// `+0.0` deterministically.
+///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] if `samples` is empty and
-/// [`StatsError::OutOfRange`] if `p` is not in `[0, 1]` or is NaN.
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty,
+/// [`StatsError::OutOfRange`] if `p` is not in `[0, 1]` or is NaN, and
+/// [`StatsError::NanSample`] if any sample is NaN (NaN has no rank).
 ///
 /// # Examples
 ///
@@ -50,23 +54,28 @@ pub fn quantile(samples: &[f64], p: f64) -> Result<f64, StatsError> {
             value: format!("{p}"),
         });
     }
+    if samples.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NanSample);
+    }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted(&sorted, p))
 }
 
-/// Computes the `p`-quantile of an already-sorted, non-empty sample.
+/// Computes the `p`-quantile of an already-sorted sample.
 ///
 /// This is the allocation-free building block behind [`quantile`]; use it when
-/// computing many quantiles of the same data.
-///
-/// # Panics
-///
-/// Panics in debug builds if `sorted` is empty.
+/// computing many quantiles of the same data. It is total: an empty
+/// slice returns NaN (documented, instead of the historical
+/// out-of-bounds panic in release builds), a single sample is every
+/// quantile, and `p` is clamped to `[0, 1]`. Callers who need a typed
+/// error for the empty case should use [`quantile`].
 #[must_use]
 pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
     let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
     if n == 1 {
         return sorted[0];
     }
@@ -87,7 +96,8 @@ pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] if `samples` is empty.
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty and
+/// [`StatsError::NanSample`] if any sample is NaN.
 pub fn median(samples: &[f64]) -> Result<f64, StatsError> {
     quantile(samples, 0.5)
 }
@@ -96,7 +106,8 @@ pub fn median(samples: &[f64]) -> Result<f64, StatsError> {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] if `samples` is empty.
+/// Returns [`StatsError::EmptyInput`] if `samples` is empty and
+/// [`StatsError::NanSample`] if any sample is NaN.
 ///
 /// # Examples
 ///
@@ -110,8 +121,11 @@ pub fn quartiles(samples: &[f64]) -> Result<Quartiles, StatsError> {
     if samples.is_empty() {
         return Err(StatsError::EmptyInput);
     }
+    if samples.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NanSample);
+    }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     Ok(Quartiles {
         lower: quantile_sorted(&sorted, 0.25),
         median: quantile_sorted(&sorted, 0.5),
@@ -159,6 +173,40 @@ mod tests {
             quantile(&[1.0], -0.1),
             Err(StatsError::OutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn nan_samples_are_a_typed_error_not_a_panic() {
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), Err(StatsError::NanSample));
+        assert_eq!(quartiles(&[f64::NAN]), Err(StatsError::NanSample));
+        assert_eq!(median(&[0.0, f64::NAN, 2.0]), Err(StatsError::NanSample));
+    }
+
+    #[test]
+    fn quantile_sorted_is_total_on_empty_input() {
+        // Historically an out-of-bounds panic in release builds; now a
+        // documented NaN.
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+        assert!(quantile_sorted(&[], 0.0).is_nan());
+    }
+
+    #[test]
+    fn all_equal_samples_have_degenerate_quartiles() {
+        let q = quartiles(&[4.2; 9]).unwrap();
+        assert_eq!(q.lower, 4.2);
+        assert_eq!(q.median, 4.2);
+        assert_eq!(q.upper, 4.2);
+        assert_eq!(q.iqr(), 0.0);
+    }
+
+    #[test]
+    fn signed_zeros_order_deterministically() {
+        // total_cmp puts -0.0 before +0.0, so the endpoints are exact
+        // down to the sign bit.
+        let q0 = quantile(&[0.0, -0.0], 0.0).unwrap();
+        let q1 = quantile(&[0.0, -0.0], 1.0).unwrap();
+        assert_eq!(q0.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(q1.to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

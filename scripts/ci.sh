@@ -68,8 +68,41 @@ timeout 120 cargo test -q -p rfid-site-server --test store_replay
 timeout 120 cargo test -q -p rfid-readerapi --test reader_error_paths
 timeout 120 cargo test -q --test reader_fault_injection
 
+# The campaign checkpoint recovery suite under its own budget: the
+# exhaustive every-byte-offset torn-tail sweep plus resume-equals-
+# uninterrupted proofs must stay typed-error-or-bit-exact, never a
+# panic or a hang on hostile checkpoint files.
+timeout 180 cargo test -q -p rfid-experiments --test campaign_recovery
+
+# Kill-and-resume the campaign runner end to end through the CLI: a
+# seeded smoke campaign halted at an instance boundary, resumed from
+# its checkpoint, must print the same state digest as a fresh
+# uncheckpointed run — the user-facing face of the bit-identical
+# recovery contract. `timeout` guards against a resume loop regression.
+campaign_dir="$(mktemp -d)"
+halted_out="$campaign_dir/halted.txt"
+resumed_out="$campaign_dir/resumed.txt"
+fresh_out="$campaign_dir/fresh.txt"
+timeout 120 cargo run --release -q -p rfid-experiments --bin campaign -- \
+    --spec smoke --seed 11 --checkpoint "$campaign_dir/smoke.ckpt" \
+    --halt-after 2 | tee "$halted_out"
+grep -q "halted after 2 instance(s)" "$halted_out"
+timeout 120 cargo run --release -q -p rfid-experiments --bin campaign -- \
+    --spec smoke --seed 11 --checkpoint "$campaign_dir/smoke.ckpt" \
+    | tee "$resumed_out"
+grep -q "resumed from checkpoint at instance 2" "$resumed_out"
+timeout 120 cargo run --release -q -p rfid-experiments --bin campaign -- \
+    --spec smoke --seed 11 | tee "$fresh_out"
+resumed_digest="$(grep "state digest" "$resumed_out")"
+fresh_digest="$(grep "state digest" "$fresh_out")"
+test -n "$resumed_digest"
+test "$resumed_digest" = "$fresh_digest"
+rm -rf "$campaign_dir"
+
 # Smoke the benchmark snapshot tool: it must run, assert the memoized
-# and reference paths bit-identical, and emit parseable JSON.
+# and reference paths bit-identical (and the campaign's streaming fold
+# identical to batch, kill+resume identical to uninterrupted), and emit
+# parseable JSON.
 smoke_out="$(mktemp)"
 trap 'rm -f "$smoke_out"' EXIT
 scripts/bench-snapshot.sh "$smoke_out" --smoke
@@ -80,3 +113,8 @@ grep -q '"sharded_streaming"' "$smoke_out"
 grep -q '"ingest_batch_speedup"' "$smoke_out"
 grep -q '"store"' "$smoke_out"
 grep -q '"append_events_per_sec"' "$smoke_out"
+grep -q '"fleet_campaign"' "$smoke_out"
+grep -q '"objects_per_sec"' "$smoke_out"
+grep -q '"peak_accumulator_bytes"' "$smoke_out"
+grep -q '"streaming_matches_batch": true' "$smoke_out"
+grep -q '"resume_digest_matches": true' "$smoke_out"
